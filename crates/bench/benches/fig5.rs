@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 5 (model speedups vs processor count).
+fn main() {
+    let rows = spec_bench::experiments::fig5();
+    println!("{}", spec_bench::render::fig5(&rows));
+}

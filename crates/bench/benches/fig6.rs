@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 6 (model speedup vs recomputation %).
+fn main() {
+    let rows = spec_bench::experiments::fig6();
+    println!("{}", spec_bench::render::fig6(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 8 (measured N-body speedups vs p).
+//! Scale selected by SPEC_BENCH_SCALE (paper|quick, default paper).
+fn main() {
+    let scale = spec_bench::Scale::from_env();
+    let rows = spec_bench::experiments::fig8(&scale);
+    println!("{}", spec_bench::render::fig8(&rows));
+}

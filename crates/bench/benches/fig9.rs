@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 9 (model vs measured speedups).
+fn main() {
+    let scale = spec_bench::Scale::from_env();
+    let data = spec_bench::experiments::fig8_data(&scale);
+    let rows = spec_bench::experiments::fig9_rows(&scale, &data);
+    println!("{}", spec_bench::render::fig9(&rows));
+}

@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks of the computational kernels: the O(N²)
+//! force accumulation, the eq. 10 speculation and eq. 11 check (the paper's
+//! 70/12/24-operation cost trio), and the Barnes–Hut comparator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpk::Rank;
+use nbody::barnes_hut::{BhConfig, Octree};
+use nbody::{
+    partition_proportional, uniform_cloud, NBodyApp, NBodyConfig, SpeculationOrder,
+};
+use speccore::{History, SpeculativeApp};
+
+fn bench_force_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_kernel");
+    group.sample_size(20);
+    for n in [100usize, 400] {
+        let particles = uniform_cloud(n, 1);
+        let ranges = partition_proportional(n, &[1.0, 1.0]);
+        group.bench_with_input(BenchmarkId::new("partition_absorb", n), &n, |b, _| {
+            let mut app = NBodyApp::new(
+                &particles,
+                ranges.clone(),
+                0,
+                NBodyConfig::default(),
+                SpeculationOrder::Linear,
+            );
+            let remote = nbody::PartitionShared {
+                pos: particles[n / 2..].iter().map(|p| p.pos).collect(),
+                vel: particles[n / 2..].iter().map(|p| p.vel).collect(),
+            };
+            b.iter(|| {
+                app.begin_iteration();
+                let ops = app.absorb(Rank(1), black_box(&remote));
+                app.finish_iteration();
+                black_box(ops)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_speculate_and_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speculation");
+    group.sample_size(30);
+    let n = 400;
+    let particles = uniform_cloud(n, 2);
+    let ranges = partition_proportional(n, &[1.0, 1.0]);
+    let app = NBodyApp::new(
+        &particles,
+        ranges,
+        0,
+        NBodyConfig::default(),
+        SpeculationOrder::Linear,
+    );
+    let remote = nbody::PartitionShared {
+        pos: particles[n / 2..].iter().map(|p| p.pos).collect(),
+        vel: particles[n / 2..].iter().map(|p| p.vel).collect(),
+    };
+    let mut hist = History::new(3);
+    hist.record(0, remote.clone());
+    hist.record(1, remote.clone());
+
+    group.bench_function("speculate_eq10_200_particles", |b| {
+        b.iter(|| black_box(app.speculate(Rank(1), black_box(&hist), 1)));
+    });
+    let (spec, _) = app.speculate(Rank(1), &hist, 1).unwrap();
+    group.bench_function("check_eq11_200_particles", |b| {
+        b.iter(|| black_box(app.check(Rank(1), black_box(&remote), black_box(&spec))));
+    });
+    group.finish();
+}
+
+fn bench_barnes_hut_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bh_vs_direct");
+    group.sample_size(10);
+    for n in [200usize, 800] {
+        let particles = uniform_cloud(n, 3);
+        group.bench_with_input(BenchmarkId::new("direct_n2", n), &n, |b, _| {
+            let ranges = partition_proportional(n, &[1.0]);
+            let mut app = NBodyApp::new(
+                &particles,
+                ranges,
+                0,
+                NBodyConfig::default(),
+                SpeculationOrder::Linear,
+            );
+            b.iter(|| {
+                black_box(app.begin_iteration());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("barnes_hut", n), &n, |b, _| {
+            b.iter(|| {
+                let tree = Octree::build(black_box(&particles), BhConfig::default());
+                black_box(tree.accel_on_all(&particles))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let caps: Vec<f64> = (0..16).map(|i| 120.0 - 7.0 * i as f64).collect();
+    c.bench_function("partition_proportional_100k_over_16", |b| {
+        b.iter(|| black_box(partition_proportional(black_box(100_000), &caps)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_force_kernel,
+    bench_speculate_and_check,
+    bench_barnes_hut_vs_direct,
+    bench_partitioning
+);
+criterion_main!(benches);

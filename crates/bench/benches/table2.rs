@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 2 (per-iteration phase times).
+fn main() {
+    let scale = spec_bench::Scale::from_env();
+    let p = scale.p_values.iter().copied().max().unwrap_or(16).max(2);
+    let rows = spec_bench::experiments::table2(&scale);
+    println!("{}", spec_bench::render::table2(&rows, p));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 3 (θ sweep: recomputations vs accepted error).
+fn main() {
+    let scale = spec_bench::Scale::from_env();
+    let rows = spec_bench::experiments::table3(&scale);
+    println!("{}", spec_bench::render::table3(&rows));
+}

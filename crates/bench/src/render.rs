@@ -1,0 +1,172 @@
+//! Text renderers: each experiment printed as the paper's table/figure,
+//! with the paper's reported values alongside for comparison.
+
+use crate::experiments::{Fig8Row, Fig9Row, Table2Row, Table3Row};
+use perfmodel::{Fig5Row, Fig6Row};
+
+/// Render Figure 5 (model speedups vs p).
+pub fn fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5 — model speedup vs processors (k = 2%)\n");
+    out.push_str("  p | no-spec |    spec | maximum\n");
+    out.push_str("----+---------+---------+--------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>3} | {:>7.2} | {:>7.2} | {:>7.2}\n",
+            r.p, r.no_spec, r.spec, r.max
+        ));
+    }
+    let last = rows.last().expect("non-empty");
+    out.push_str(&format!(
+        "gain at p={}: {:+.1}%   (paper: up to ~25% at 16)\n",
+        last.p,
+        100.0 * (last.spec / last.no_spec - 1.0)
+    ));
+    out
+}
+
+/// Render Figure 6 (model speedup at p = 8 vs k).
+pub fn fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6 — model speedup on 8 processors vs recomputation % \n");
+    out.push_str("   k%  |    spec | no-spec\n");
+    out.push_str("-------+---------+--------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5.1} | {:>7.2} | {:>7.2}\n",
+            100.0 * r.k,
+            r.spec,
+            r.no_spec
+        ));
+    }
+    let crossover = rows.iter().find(|r| r.spec < r.no_spec).map(|r| r.k);
+    match crossover {
+        Some(k) => out.push_str(&format!(
+            "crossover at k ≈ {:.0}%   (paper: speculation wins for errors < 10%)\n",
+            100.0 * k
+        )),
+        None => out.push_str("no crossover within the sweep\n"),
+    }
+    out
+}
+
+/// Render Figure 8 (measured N-body speedups).
+pub fn fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 8 — measured N-body speedup vs processors (θ = 0.01)\n");
+    out.push_str("  p |  FW = 0 |  FW = 1 |  FW = 2 | maximum\n");
+    out.push_str("----+---------+---------+---------+--------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>3} | {:>7.2} | {:>7.2} | {:>7.2} | {:>7.2}\n",
+            r.p, r.fw0, r.fw1, r.fw2, r.max
+        ));
+    }
+    if let Some(last) = rows.last() {
+        let best = last.fw1.max(last.fw2);
+        out.push_str(&format!(
+            "gain at p={}: {:+.1}% (paper: 34% at 16); best/max = {:.0}% (paper: within 20%)\n",
+            last.p,
+            100.0 * (best / last.fw0 - 1.0),
+            100.0 * best / last.max
+        ));
+    }
+    out
+}
+
+/// Render Table 2 (per-iteration phase times).
+pub fn table2(rows: &[Table2Row], p: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 2 — measured per-iteration times, {p}-processor 1000-particle run (seconds)\n"
+    ));
+    out.push_str("FW | computation | communication | speculation |  check |  total\n");
+    out.push_str("---+-------------+---------------+-------------+--------+-------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>2} | {:>11.4} | {:>13.4} | {:>11.4} | {:>6.4} | {:>6.4}\n",
+            r.fw, r.computation, r.communication, r.speculation, r.check, r.total
+        ));
+    }
+    out.push_str(
+        "paper (abs. seconds on 1994 hardware):\n\
+         \x20 0 |      5.83   |       4.73    |     0       |  0     | 10.56\n\
+         \x20 1 |      5.85   |       1.43    |     0.2     |  1.02  |  8.52\n\
+         \x20 2 |      5.82   |       0.22    |     0.3     |  1.5   |  7.79\n\
+         (compare ratios/shape: comm shrinks sharply with FW, overheads stay small)\n",
+    );
+    out
+}
+
+/// Render Table 3 (θ sweep).
+pub fn table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3 — effect of the error bound θ (FW = 1)\n");
+    out.push_str("    θ   | incorrect spec % | max force error %\n");
+    out.push_str("--------+------------------+------------------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>7.3} | {:>16.2} | {:>17.2}\n",
+            r.theta, r.incorrect_pct, r.max_force_error_pct
+        ));
+    }
+    out.push_str(
+        "paper:  0.1 → <1% / 20%;  0.05 → <1% / 10%;  0.01 → 2% / 2%;\n\
+         \x20       0.005 → 5% / 1%;  0.001 → 20% / 0.2%\n",
+    );
+    out
+}
+
+/// Render Figure 9 (model vs measured).
+pub fn fig9(rows: &[Fig9Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 9 — model predictions vs measured speedups\n");
+    out.push_str("  p | meas no-spec | model no-spec | meas spec | model spec | err%(ns) | err%(s)\n");
+    out.push_str("----+--------------+---------------+-----------+------------+----------+--------\n");
+    let mut worst: f64 = 0.0;
+    for r in rows {
+        let e0 = 100.0 * (r.model_nospec - r.measured_nospec).abs() / r.measured_nospec;
+        let e1 = 100.0 * (r.model_spec - r.measured_spec).abs() / r.measured_spec;
+        worst = worst.max(e0).max(e1);
+        out.push_str(&format!(
+            "{:>3} | {:>12.2} | {:>13.2} | {:>9.2} | {:>10.2} | {:>8.1} | {:>6.1}\n",
+            r.p, r.measured_nospec, r.model_nospec, r.measured_spec, r.model_spec, e0, e1
+        ));
+    }
+    out.push_str(&format!(
+        "worst model error: {worst:.1}%   (paper: <10% below 8 processors, <25% up to 16)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn model_renderers_produce_tables() {
+        let s5 = fig5(&experiments::fig5());
+        assert!(s5.contains("Figure 5"));
+        assert!(s5.lines().count() > 16);
+        let s6 = fig6(&experiments::fig6());
+        assert!(s6.contains("crossover"));
+    }
+
+    #[test]
+    fn measured_renderers_produce_tables() {
+        let rows = vec![Table2Row {
+            fw: 0,
+            computation: 1.0,
+            communication: 0.5,
+            speculation: 0.0,
+            check: 0.0,
+            total: 1.5,
+        }];
+        let s = table2(&rows, 16);
+        assert!(s.contains("Table 2"));
+        assert!(s.contains("paper"));
+        let t3 = table3(&[Table3Row { theta: 0.01, incorrect_pct: 2.0, max_force_error_pct: 2.0 }]);
+        assert!(t3.contains("0.010"));
+    }
+}

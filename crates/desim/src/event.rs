@@ -1,0 +1,230 @@
+//! The event queue at the heart of the simulator.
+//!
+//! Events are totally ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing counter assigned at insertion. This makes the schedule
+//! deterministic: two events at the same virtual time fire in the order they
+//! were scheduled.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::mailbox::MailboxId;
+use crate::process::ProcessId;
+use crate::time::SimTime;
+
+/// Type-erased message payload carried through the simulator.
+pub type Payload = Box<dyn Any + Send>;
+
+/// What happens when an event fires.
+pub enum EventKind {
+    /// Resume a process that was sleeping in [`ProcessHandle::advance`].
+    ///
+    /// [`ProcessHandle::advance`]: crate::process::ProcessHandle::advance
+    Wake(ProcessId),
+    /// A message reaches its destination mailbox.
+    Deliver {
+        /// Destination mailbox.
+        mbox: MailboxId,
+        /// The message payload.
+        msg: Payload,
+    },
+}
+
+/// Unique, totally ordered key of a scheduled event.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct EventKey {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion order, breaking ties at equal times.
+    pub seq: u64,
+}
+
+pub(crate) struct Event {
+    pub key: EventKey,
+    pub kind: EventKind,
+}
+
+// BinaryHeap is a max-heap; invert the comparison so the earliest event pops
+// first. Only the key participates in ordering.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
+/// A deterministic priority queue of simulation events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at `time`. Returns the assigned key.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) -> EventKey {
+        let key = EventKey { time, seq: self.next_seq };
+        self.next_seq += 1;
+        self.heap.push(Event { key, kind });
+        key
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Remove the earliest event, returning its key and kind (the public
+    /// counterpart of the kernel-internal `pop`, useful for tests and
+    /// benchmarks of the queue itself).
+    pub fn pop_event(&mut self) -> Option<(EventKey, EventKind)> {
+        self.heap.pop().map(|e| (e.key, e.kind))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(pid: usize) -> EventKind {
+        EventKind::Wake(ProcessId(pid))
+    }
+
+    fn pop_pid(q: &mut EventQueue) -> (SimTime, usize) {
+        let e = q.pop().unwrap();
+        match e.kind {
+            EventKind::Wake(pid) => (e.key.time, pid.0),
+            _ => panic!("expected wake"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), wake(3));
+        q.push(SimTime::from_nanos(10), wake(1));
+        q.push(SimTime::from_nanos(20), wake(2));
+        assert_eq!(pop_pid(&mut q), (SimTime::from_nanos(10), 1));
+        assert_eq!(pop_pid(&mut q), (SimTime::from_nanos(20), 2));
+        assert_eq!(pop_pid(&mut q), (SimTime::from_nanos(30), 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for pid in 0..100 {
+            q.push(t, wake(pid));
+        }
+        for pid in 0..100 {
+            assert_eq!(pop_pid(&mut q), (t, pid));
+        }
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(7), wake(0));
+        q.push(SimTime::from_nanos(3), wake(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, wake(0));
+        q.push(SimTime::ZERO, wake(1));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_unique_and_increasing() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::ZERO, wake(0));
+        let b = q.push(SimTime::ZERO, wake(0));
+        assert!(a.seq < b.seq);
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping the queue always yields keys in nondecreasing (time, seq)
+        /// order, whatever the insertion schedule was.
+        #[test]
+        fn pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(*t), EventKind::Wake(ProcessId(i)));
+            }
+            let mut last: Option<EventKey> = None;
+            while let Some(e) = q.pop() {
+                if let Some(prev) = last {
+                    prop_assert!(prev < e.key);
+                    prop_assert!(prev.time <= e.key.time);
+                }
+                last = Some(e.key);
+            }
+        }
+
+        /// Interleaved pushes and pops never pop an event earlier than one
+        /// already popped at the same or earlier push time.
+        #[test]
+        fn interleaved_monotone(ops in proptest::collection::vec((0u64..100, any::<bool>()), 1..200)) {
+            let mut q = EventQueue::new();
+            let mut horizon = SimTime::ZERO;
+            for (t, do_pop) in ops {
+                // Schedule only in the future relative to what we've popped,
+                // mirroring how the kernel uses the queue.
+                let at = horizon + crate::time::SimDuration::from_nanos(t);
+                q.push(at, EventKind::Wake(ProcessId(0)));
+                if do_pop {
+                    if let Some(e) = q.pop() {
+                        prop_assert!(e.key.time >= horizon);
+                        horizon = e.key.time;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! The simulation kernel: owns the event queue, the mailboxes, and the
+//! process threads, and drives everything in deterministic virtual time.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::event::{EventKind, EventQueue, Payload};
+use crate::mailbox::{Mailbox, MailboxId};
+use crate::process::{ProcessHandle, ProcessId, ProcessResult, Request, Response, SimShutdown};
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceLog};
+
+/// Why a simulation failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// A process panicked; contains the process name and panic message.
+    ProcessPanicked {
+        /// Name given to [`Simulation::spawn`].
+        name: String,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The event queue drained while processes were still blocked.
+    Deadlock {
+        /// `(process name, mailbox)` pairs that will never be woken.
+        blocked: Vec<(String, MailboxId)>,
+        /// Virtual time at which the simulation wedged.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ProcessPanicked { name, message } => {
+                write!(f, "simulated process `{name}` panicked: {message}")
+            }
+            SimError::Deadlock { blocked, at } => {
+                write!(f, "deadlock at {at}: ")?;
+                for (i, (name, mbox)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "`{name}` blocked on {mbox:?}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Aggregate statistics and outcome of a completed simulation.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Virtual time when the last process finished.
+    pub end_time: SimTime,
+    /// Number of events the kernel dispatched.
+    pub events_processed: u64,
+    /// Number of messages scheduled for delivery.
+    pub messages_sent: u64,
+    /// Number of messages that reached a mailbox.
+    pub messages_delivered: u64,
+    /// `(name, finish time)` per process, in spawn order.
+    pub finish_times: Vec<(String, SimTime)>,
+    /// Trace annotations, if tracing was enabled.
+    pub trace: Vec<TraceEvent>,
+}
+
+struct ProcInfo {
+    name: String,
+    resp_tx: Sender<Response>,
+    finished: bool,
+    blocked_on: Option<MailboxId>,
+    finish_time: Option<SimTime>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A discrete-event simulation under construction (and, during
+/// [`run`](Simulation::run), in flight).
+///
+/// # Example
+///
+/// ```
+/// use desim::{Simulation, SimDuration};
+///
+/// let mut sim = Simulation::new();
+/// let mbox = sim.create_mailbox();
+/// sim.spawn("producer", move |h| {
+///     h.advance(SimDuration::from_millis(5));
+///     h.send(mbox, SimDuration::from_millis(2), 42u32);
+/// });
+/// let got = sim.spawn("consumer", move |h| h.recv_as::<u32>(mbox));
+/// let report = sim.run().unwrap();
+/// assert_eq!(got.take(), Some(42));
+/// assert_eq!(report.end_time.as_nanos(), 7_000_000);
+/// ```
+pub struct Simulation {
+    procs: Vec<ProcInfo>,
+    mailboxes: Vec<Mailbox>,
+    queue: EventQueue,
+    req_tx: Sender<(ProcessId, Request)>,
+    req_rx: Receiver<(ProcessId, Request)>,
+    now: SimTime,
+    trace: TraceLog,
+    error: Option<SimError>,
+    messages_sent: u64,
+    messages_delivered: u64,
+    events_processed: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// An empty simulation with tracing disabled.
+    pub fn new() -> Self {
+        let (req_tx, req_rx) = channel();
+        Simulation {
+            procs: Vec::new(),
+            mailboxes: Vec::new(),
+            queue: EventQueue::new(),
+            req_tx,
+            req_rx,
+            now: SimTime::ZERO,
+            trace: TraceLog::disabled(),
+            error: None,
+            messages_sent: 0,
+            messages_delivered: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Enable recording of [`ProcessHandle::trace`] annotations into the
+    /// final [`SimReport`].
+    pub fn enable_tracing(&mut self) {
+        self.trace = TraceLog::enabled();
+    }
+
+    /// Allocate a mailbox before the simulation starts, so its id can be
+    /// shared with several processes.
+    pub fn create_mailbox(&mut self) -> MailboxId {
+        let id = MailboxId(self.mailboxes.len());
+        self.mailboxes.push(Mailbox::new());
+        id
+    }
+
+    /// Spawn a simulated process. The closure runs on its own OS thread but
+    /// executes only when the kernel grants it virtual time. Its return
+    /// value is retrievable from the returned [`ProcessResult`] after
+    /// [`run`](Self::run) completes.
+    pub fn spawn<R, F>(&mut self, name: impl Into<String>, f: F) -> ProcessResult<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ProcessHandle) -> R + Send + 'static,
+    {
+        let pid = ProcessId(self.procs.len());
+        let name = name.into();
+        let (resp_tx, resp_rx) = channel();
+        let req_tx = self.req_tx.clone();
+        let slot: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let slot_for_thread = Arc::clone(&slot);
+
+        let thread_name = format!("desim-{}-{}", pid.0, name);
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let mut handle = ProcessHandle::new(pid, req_tx.clone(), resp_rx);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    handle.wait_for_start();
+                    f(&mut handle)
+                }));
+                match outcome {
+                    Ok(r) => {
+                        *slot_for_thread.lock().expect("result mutex poisoned") = Some(r);
+                        let _ = req_tx.send((pid, Request::Finish));
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<SimShutdown>().is_some() {
+                            return; // kernel tore the simulation down; exit quietly
+                        }
+                        let message = panic_message(&*payload);
+                        let _ = req_tx.send((pid, Request::Panicked(message)));
+                    }
+                }
+            })
+            .expect("failed to spawn simulated process thread");
+
+        self.procs.push(ProcInfo {
+            name,
+            resp_tx,
+            finished: false,
+            blocked_on: None,
+            finish_time: None,
+            join: Some(join),
+        });
+        ProcessResult { slot, pid }
+    }
+
+    /// Run the simulation to completion.
+    ///
+    /// Returns the report once every process has finished, or an error if a
+    /// process panicked or the system deadlocked (every remaining process
+    /// blocked on a receive that can never be satisfied).
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        for pid in 0..self.procs.len() {
+            self.queue.push(SimTime::ZERO, EventKind::Wake(ProcessId(pid)));
+        }
+
+        while let Some(ev) = self.queue.pop() {
+            self.events_processed += 1;
+            self.now = ev.key.time;
+            match ev.kind {
+                EventKind::Wake(pid) => {
+                    if !self.procs[pid.0].finished {
+                        self.service(pid, Response::Resumed { now: self.now });
+                    }
+                }
+                EventKind::Deliver { mbox, msg } => {
+                    self.messages_delivered += 1;
+                    self.mailboxes[mbox.0].deliver(msg);
+                    if let Some(pid) = self.mailboxes[mbox.0].take_waiter() {
+                        let msg = self.mailboxes[mbox.0]
+                            .pop()
+                            .expect("waiter woken on empty mailbox");
+                        self.procs[pid.0].blocked_on = None;
+                        self.service(pid, Response::Message { now: self.now, msg: Some(msg) });
+                    }
+                }
+            }
+            if self.error.is_some() {
+                break;
+            }
+        }
+
+        if self.error.is_none() {
+            let blocked: Vec<(String, MailboxId)> = self
+                .procs
+                .iter()
+                .filter(|p| !p.finished)
+                .map(|p| {
+                    (
+                        p.name.clone(),
+                        p.blocked_on.expect("unfinished process not blocked after queue drain"),
+                    )
+                })
+                .collect();
+            if !blocked.is_empty() {
+                self.error = Some(SimError::Deadlock { blocked, at: self.now });
+            }
+        }
+
+        // Tear down: close every response channel so threads stuck inside a
+        // blocking call unwind via SimShutdown, then join everything.
+        let mut joins = Vec::new();
+        for p in &mut self.procs {
+            if let Some(j) = p.join.take() {
+                joins.push(j);
+            }
+        }
+        let finish_times: Vec<(String, SimTime)> = self
+            .procs
+            .iter()
+            .map(|p| (p.name.clone(), p.finish_time.unwrap_or(self.now)))
+            .collect();
+        let end_time = self.now;
+        let events_processed = self.events_processed;
+        let messages_sent = self.messages_sent;
+        let messages_delivered = self.messages_delivered;
+        let trace = self.trace.take();
+        let error = self.error.take();
+        drop(self); // drops resp_tx senders, releasing blocked threads
+        for j in joins {
+            let _ = j.join();
+        }
+
+        match error {
+            Some(e) => Err(e),
+            None => Ok(SimReport {
+                end_time,
+                events_processed,
+                messages_sent,
+                messages_delivered,
+                finish_times,
+                trace,
+            }),
+        }
+    }
+
+    /// Grant execution to `pid` with `first` as the answer to whatever it
+    /// was blocked on, then service its requests until it blocks again.
+    fn service(&mut self, pid: ProcessId, first: Response) {
+        if self.procs[pid.0].resp_tx.send(first).is_err() {
+            // The thread died without telling us; treat as a panic.
+            self.error = Some(SimError::ProcessPanicked {
+                name: self.procs[pid.0].name.clone(),
+                message: "process thread exited outside the protocol".into(),
+            });
+            self.procs[pid.0].finished = true;
+            return;
+        }
+        loop {
+            let (from, req) = self
+                .req_rx
+                .recv()
+                .expect("request channel closed while a process was running");
+            debug_assert_eq!(from, pid, "request from a process that was not granted time");
+            match req {
+                Request::Advance(d) => {
+                    self.queue.push(self.now + d, EventKind::Wake(pid));
+                    return;
+                }
+                Request::Send { mbox, delay, msg } => {
+                    self.messages_sent += 1;
+                    self.queue.push(self.now + delay, EventKind::Deliver { mbox, msg });
+                    self.reply(pid, Response::Resumed { now: self.now });
+                }
+                Request::TryRecv { mbox } => {
+                    let msg = self.mailboxes[mbox.0].pop();
+                    self.reply(pid, Response::Message { now: self.now, msg });
+                }
+                Request::Recv { mbox } => {
+                    if let Some(msg) = self.mailboxes[mbox.0].pop() {
+                        self.reply(pid, Response::Message { now: self.now, msg: Some(msg) });
+                    } else {
+                        self.mailboxes[mbox.0].add_waiter(pid);
+                        self.procs[pid.0].blocked_on = Some(mbox);
+                        return;
+                    }
+                }
+                Request::CreateMailbox => {
+                    let id = MailboxId(self.mailboxes.len());
+                    self.mailboxes.push(Mailbox::new());
+                    self.reply(pid, Response::Mailbox { now: self.now, id });
+                }
+                Request::Trace(label) => {
+                    self.trace.record(self.now, pid, label);
+                    self.reply(pid, Response::Resumed { now: self.now });
+                }
+                Request::Finish => {
+                    self.procs[pid.0].finished = true;
+                    self.procs[pid.0].finish_time = Some(self.now);
+                    return;
+                }
+                Request::Panicked(message) => {
+                    self.procs[pid.0].finished = true;
+                    self.error = Some(SimError::ProcessPanicked {
+                        name: self.procs[pid.0].name.clone(),
+                        message,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn reply(&mut self, pid: ProcessId, resp: Response) {
+        if self.procs[pid.0].resp_tx.send(resp).is_err() {
+            self.error = Some(SimError::ProcessPanicked {
+                name: self.procs[pid.0].name.clone(),
+                message: "process thread exited outside the protocol".into(),
+            });
+            self.procs[pid.0].finished = true;
+        }
+    }
+}
+
+/// Schedule a message delivery directly from outside any process (useful in
+/// tests to pre-load mailboxes). The message is delivered at `at`.
+pub fn preload_message<T: std::any::Any + Send>(
+    sim: &mut Simulation,
+    mbox: MailboxId,
+    at: SimTime,
+    msg: T,
+) {
+    sim.messages_sent += 1;
+    sim.queue.push(at, EventKind::Deliver { mbox, msg: Box::new(msg) as Payload });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

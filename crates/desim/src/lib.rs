@@ -1,0 +1,368 @@
+//! # desim — deterministic discrete-event simulation kernel
+//!
+//! A small process-oriented discrete-event simulator in the style of SimPy,
+//! built for reproducing distributed-systems experiments in *virtual time*.
+//! It underpins the reproduction of Govindan & Franklin's *"Speculative
+//! Computation: Overcoming Communication Delays in Parallel Algorithms"*
+//! (ICPP 1994): simulated "workstations" run real Rust closures, exchange
+//! messages through mailboxes with modelled delays, and burn virtual CPU time
+//! with [`ProcessHandle::advance`].
+//!
+//! ## Execution model
+//!
+//! * Each simulated process is an OS thread, but the kernel grants execution
+//!   to **exactly one** process at a time, resuming whichever process has the
+//!   earliest pending event. The simulation is therefore sequential and
+//!   **bit-for-bit deterministic** regardless of host scheduling — ties at
+//!   equal virtual times break by event insertion order.
+//! * Virtual time only moves when a process calls
+//!   [`advance`](ProcessHandle::advance) (modelling computation) or blocks in
+//!   [`recv`](ProcessHandle::recv) (modelling waiting for a message).
+//! * Messages are sent with an explicit delivery delay chosen by the caller —
+//!   latency *models* live above this crate (see the `netsim` crate).
+//!
+//! ## Example
+//!
+//! ```
+//! use desim::{Simulation, SimDuration};
+//!
+//! let mut sim = Simulation::new();
+//! let inbox = sim.create_mailbox();
+//!
+//! sim.spawn("sender", move |h| {
+//!     for i in 0..3u64 {
+//!         h.advance(SimDuration::from_millis(10)); // compute
+//!         h.send(inbox, SimDuration::from_millis(4), i); // 4ms network
+//!     }
+//! });
+//! let sum = sim.spawn("receiver", move |h| {
+//!     (0..3).map(|_| h.recv_as::<u64>(inbox)).sum::<u64>()
+//! });
+//!
+//! let report = sim.run().unwrap();
+//! assert_eq!(sum.take(), Some(3));
+//! // Last message: sent at t=30ms, delivered at t=34ms.
+//! assert_eq!(report.end_time.as_nanos(), 34_000_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod kernel;
+mod mailbox;
+mod process;
+pub mod rng;
+mod time;
+mod trace;
+
+pub use event::{EventKey, EventKind, EventQueue, Payload};
+pub use kernel::{preload_message, SimError, SimReport, Simulation};
+pub use mailbox::MailboxId;
+pub use process::{ProcessHandle, ProcessId, ProcessResult};
+pub use time::{SimDuration, SimTime};
+pub use trace::TraceEvent;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_simulation_completes() {
+        let sim = Simulation::new();
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.events_processed, 0);
+    }
+
+    #[test]
+    fn single_process_advances_time() {
+        let mut sim = Simulation::new();
+        let t = sim.spawn("p", |h| {
+            h.advance(SimDuration::from_millis(3));
+            h.advance(SimDuration::from_millis(4));
+            h.now()
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(t.take(), Some(SimTime::from_nanos(7_000_000)));
+        assert_eq!(report.end_time, SimTime::from_nanos(7_000_000));
+    }
+
+    #[test]
+    fn message_latency_is_respected() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("tx", move |h| {
+            h.send(mbox, SimDuration::from_millis(10), "hello");
+        });
+        let arrival = sim.spawn("rx", move |h| {
+            let _ = h.recv(mbox);
+            h.now()
+        });
+        sim.run().unwrap();
+        assert_eq!(arrival.take(), Some(SimTime::from_nanos(10_000_000)));
+    }
+
+    #[test]
+    fn try_recv_does_not_block_or_advance() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("tx", move |h| {
+            h.send(mbox, SimDuration::from_millis(5), 1u8);
+        });
+        let seen = sim.spawn("rx", move |h| {
+            let early = h.try_recv_as::<u8>(mbox); // nothing delivered yet
+            h.advance(SimDuration::from_millis(6));
+            let late = h.try_recv_as::<u8>(mbox); // delivered at 5ms
+            (early, late, h.now())
+        });
+        sim.run().unwrap();
+        let (early, late, now) = seen.take().unwrap();
+        assert_eq!(early, None);
+        assert_eq!(late, Some(1));
+        assert_eq!(now, SimTime::from_nanos(6_000_000));
+    }
+
+    #[test]
+    fn recv_wakes_at_delivery_time() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("tx", move |h| {
+            h.advance(SimDuration::from_millis(2));
+            h.send(mbox, SimDuration::from_millis(3), ());
+        });
+        let at = sim.spawn("rx", move |h| {
+            h.recv(mbox);
+            h.now()
+        });
+        sim.run().unwrap();
+        assert_eq!(at.take(), Some(SimTime::from_nanos(5_000_000)));
+    }
+
+    #[test]
+    fn fifo_between_same_pair() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("tx", move |h| {
+            for i in 0..10u32 {
+                h.send(mbox, SimDuration::from_millis(1), i);
+            }
+        });
+        let order = sim.spawn("rx", move |h| {
+            (0..10).map(|_| h.recv_as::<u32>(mbox)).collect::<Vec<_>>()
+        });
+        sim.run().unwrap();
+        assert_eq!(order.take().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn out_of_order_delivery_with_unequal_delays() {
+        // Second message sent later but with a smaller delay overtakes the
+        // first — exactly what a real network can do.
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("tx", move |h| {
+            h.send(mbox, SimDuration::from_millis(10), 1u32);
+            h.advance(SimDuration::from_millis(1));
+            h.send(mbox, SimDuration::from_millis(2), 2u32);
+        });
+        let order = sim.spawn("rx", move |h| {
+            let a = h.recv_as::<u32>(mbox);
+            let b = h.recv_as::<u32>(mbox);
+            (a, b)
+        });
+        sim.run().unwrap();
+        assert_eq!(order.take(), Some((2, 1)));
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = Simulation::new();
+        let a_box = sim.create_mailbox();
+        let b_box = sim.create_mailbox();
+        sim.spawn("a", move |h| {
+            for i in 0..5u64 {
+                h.send(b_box, SimDuration::from_millis(1), i);
+                let echo = h.recv_as::<u64>(a_box);
+                assert_eq!(echo, i * 2);
+            }
+        });
+        sim.spawn("b", move |h| {
+            for _ in 0..5 {
+                let v = h.recv_as::<u64>(b_box);
+                h.send(a_box, SimDuration::from_millis(1), v * 2);
+            }
+        });
+        let report = sim.run().unwrap();
+        // 5 round trips, 2ms each.
+        assert_eq!(report.end_time, SimTime::from_nanos(10_000_000));
+        assert_eq!(report.messages_delivered, 10);
+    }
+
+    #[test]
+    fn determinism_identical_reports() {
+        fn build_and_run() -> (u64, u64, SimTime, Vec<(String, SimTime)>) {
+            let mut sim = Simulation::new();
+            let boxes: Vec<_> = (0..4).map(|_| sim.create_mailbox()).collect();
+            for me in 0..4usize {
+                let boxes = boxes.clone();
+                sim.spawn(format!("p{me}"), move |h| {
+                    for round in 0..20u64 {
+                        for (k, b) in boxes.iter().enumerate() {
+                            if k != me {
+                                h.send(
+                                    *b,
+                                    SimDuration::from_micros(100 + (me as u64) * 7 + round),
+                                    (me, round),
+                                );
+                            }
+                        }
+                        h.advance(SimDuration::from_micros(50 + me as u64));
+                        for _ in 0..3 {
+                            let _ = h.recv(boxes[me]);
+                        }
+                    }
+                });
+            }
+            let r = sim.run().unwrap();
+            (r.events_processed, r.messages_delivered, r.end_time, r.finish_times)
+        }
+        assert_eq!(build_and_run(), build_and_run());
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("starved", move |h| {
+            h.recv(mbox);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].0, "starved");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn("bad", |h| {
+            h.advance(SimDuration::from_millis(1));
+            panic!("boom at {:?}", h.now());
+        });
+        // A healthy bystander that would otherwise block forever.
+        let mbox = sim.create_mailbox();
+        sim.spawn("bystander", move |h| {
+            h.recv(mbox);
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preloaded_messages_are_delivered() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        preload_message(&mut sim, mbox, SimTime::from_nanos(500), 9u8);
+        let got = sim.spawn("rx", move |h| (h.recv_as::<u8>(mbox), h.now()));
+        sim.run().unwrap();
+        assert_eq!(got.take(), Some((9, SimTime::from_nanos(500))));
+    }
+
+    #[test]
+    fn traces_are_recorded_when_enabled() {
+        let mut sim = Simulation::new();
+        sim.enable_tracing();
+        sim.spawn("p", |h| {
+            h.trace("start");
+            h.advance(SimDuration::from_millis(1));
+            h.trace("end");
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.trace.len(), 2);
+        assert_eq!(report.trace[0].label, "start");
+        assert_eq!(report.trace[1].time, SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn traces_absent_when_disabled() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", |h| h.trace("invisible"));
+        let report = sim.run().unwrap();
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn many_processes_all_finish() {
+        let mut sim = Simulation::new();
+        let n = 64;
+        let hub = sim.create_mailbox();
+        for i in 0..n {
+            sim.spawn(format!("w{i}"), move |h| {
+                h.advance(SimDuration::from_micros(i as u64 + 1));
+                h.send(hub, SimDuration::from_micros(10), i);
+            });
+        }
+        let total = sim.spawn("collector", move |h| {
+            (0..n).map(|_| h.recv_as::<usize>(hub)).sum::<usize>()
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(total.take(), Some(n * (n - 1) / 2));
+        assert_eq!(report.finish_times.len(), n + 1);
+    }
+
+    #[test]
+    fn mailbox_created_inside_process() {
+        let mut sim = Simulation::new();
+        // One process creates a mailbox at runtime and ships its id to the
+        // other through a pre-made control mailbox.
+        let ctl = sim.create_mailbox();
+        sim.spawn("owner", move |h| {
+            let mine = h.create_mailbox();
+            h.send(ctl, SimDuration::ZERO, mine);
+            let v = h.recv_as::<u16>(mine);
+            assert_eq!(v, 77);
+        });
+        sim.spawn("peer", move |h| {
+            let dest = h.recv_as::<MailboxId>(ctl);
+            h.send(dest, SimDuration::from_millis(1), 77u16);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn zero_delay_message_arrives_at_same_instant() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("tx", move |h| {
+            h.advance(SimDuration::from_millis(1));
+            h.send(mbox, SimDuration::ZERO, ());
+        });
+        let at = sim.spawn("rx", move |h| {
+            h.recv(mbox);
+            h.now()
+        });
+        sim.run().unwrap();
+        assert_eq!(at.take(), Some(SimTime::from_nanos(1_000_000)));
+    }
+
+    #[test]
+    fn result_take_is_none_before_finish() {
+        // If the simulation errors, results of unfinished processes are None.
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        let r = sim.spawn("starved", move |h| {
+            h.recv(mbox);
+            42u8
+        });
+        let _ = sim.run();
+        assert_eq!(r.take(), None);
+    }
+}

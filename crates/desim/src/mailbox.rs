@@ -1,0 +1,106 @@
+//! Mailboxes: the delivery endpoints for simulated messages.
+//!
+//! A mailbox is a FIFO queue of already-delivered payloads plus a FIFO queue
+//! of processes blocked waiting on it. Delivery order is the order in which
+//! `Deliver` events fire, which — because the event queue is deterministic —
+//! is itself deterministic.
+
+use std::collections::VecDeque;
+
+use crate::event::Payload;
+use crate::process::ProcessId;
+
+/// Identifier of a mailbox within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MailboxId(pub usize);
+
+/// Internal mailbox state owned by the kernel.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: VecDeque<Payload>,
+    waiters: VecDeque<ProcessId>,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a delivered payload.
+    pub fn deliver(&mut self, msg: Payload) {
+        self.queue.push_back(msg);
+    }
+
+    /// Pop the oldest delivered payload, if any.
+    pub fn pop(&mut self) -> Option<Payload> {
+        self.queue.pop_front()
+    }
+
+    /// Number of delivered-but-unreceived payloads.
+    #[allow(dead_code)] // part of the kernel-internal API, exercised in tests
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Register `pid` as blocked on this mailbox.
+    pub fn add_waiter(&mut self, pid: ProcessId) {
+        self.waiters.push_back(pid);
+    }
+
+    /// Pop the longest-waiting blocked process, if any.
+    pub fn take_waiter(&mut self) -> Option<ProcessId> {
+        self.waiters.pop_front()
+    }
+
+    /// True if at least one process is blocked on this mailbox.
+    #[allow(dead_code)] // part of the kernel-internal API, exercised in tests
+    pub fn has_waiters(&self) -> bool {
+        !self.waiters.is_empty()
+    }
+
+    /// The processes currently blocked on this mailbox (for diagnostics).
+    #[allow(dead_code)] // part of the kernel-internal API, exercised in tests
+    pub fn waiters(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.waiters.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let mut m = Mailbox::new();
+        m.deliver(Box::new(1u32));
+        m.deliver(Box::new(2u32));
+        m.deliver(Box::new(3u32));
+        assert_eq!(m.pending(), 3);
+        for want in 1u32..=3 {
+            let got = *m.pop().unwrap().downcast::<u32>().unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(m.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_waiters() {
+        let mut m = Mailbox::new();
+        assert!(!m.has_waiters());
+        m.add_waiter(ProcessId(7));
+        m.add_waiter(ProcessId(8));
+        assert!(m.has_waiters());
+        assert_eq!(m.take_waiter(), Some(ProcessId(7)));
+        assert_eq!(m.take_waiter(), Some(ProcessId(8)));
+        assert_eq!(m.take_waiter(), None);
+    }
+
+    #[test]
+    fn waiters_iterates_in_order() {
+        let mut m = Mailbox::new();
+        m.add_waiter(ProcessId(1));
+        m.add_waiter(ProcessId(2));
+        let ids: Vec<usize> = m.waiters().map(|p| p.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

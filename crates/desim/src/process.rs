@@ -1,0 +1,210 @@
+//! Simulated processes and their kernel handshake.
+//!
+//! Each simulated process runs on its own OS thread but the kernel grants
+//! execution to exactly one process at a time, so the simulation is
+//! sequential and deterministic regardless of OS scheduling. A process
+//! interacts with virtual time exclusively through its [`ProcessHandle`]:
+//! every handle call sends a [`Request`] to the kernel and blocks until the
+//! kernel answers with a [`Response`]. Blocking calls (`advance`, `recv`)
+//! suspend the process until the corresponding event fires.
+
+use std::any::Any;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use crate::event::Payload;
+use crate::mailbox::MailboxId;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a process within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(pub usize);
+
+/// A request from a process to the kernel.
+pub(crate) enum Request {
+    /// Let virtual time pass; models computation taking this long.
+    Advance(SimDuration),
+    /// Schedule a message for delivery `delay` from now. Non-blocking.
+    Send { mbox: MailboxId, delay: SimDuration, msg: Payload },
+    /// Block until a message is available in `mbox`, then take it.
+    Recv { mbox: MailboxId },
+    /// Take a message from `mbox` if one has been delivered. Non-blocking.
+    TryRecv { mbox: MailboxId },
+    /// Allocate a fresh mailbox.
+    CreateMailbox,
+    /// Record a trace annotation at the current virtual time.
+    Trace(String),
+    /// The process function returned normally.
+    Finish,
+    /// The process function panicked; the payload is its message.
+    Panicked(String),
+}
+
+/// A kernel answer to a [`Request`].
+pub(crate) enum Response {
+    /// Execution resumes; `now` is the current virtual time.
+    Resumed { now: SimTime },
+    /// Result of `Recv`/`TryRecv`.
+    Message { now: SimTime, msg: Option<Payload> },
+    /// Result of `CreateMailbox`.
+    Mailbox { now: SimTime, id: MailboxId },
+}
+
+/// Sentinel panic payload used to unwind process threads quietly when the
+/// simulation is torn down early (deadlock or another process panicking).
+pub(crate) struct SimShutdown;
+
+/// The view a simulated process has of the simulation kernel.
+///
+/// Obtained as the argument of the closure passed to
+/// [`Simulation::spawn`](crate::Simulation::spawn).
+pub struct ProcessHandle {
+    pid: ProcessId,
+    req_tx: Sender<(ProcessId, Request)>,
+    resp_rx: Receiver<Response>,
+    now: SimTime,
+}
+
+impl ProcessHandle {
+    pub(crate) fn new(
+        pid: ProcessId,
+        req_tx: Sender<(ProcessId, Request)>,
+        resp_rx: Receiver<Response>,
+    ) -> Self {
+        ProcessHandle { pid, req_tx, resp_rx, now: SimTime::ZERO }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Block this process's initial start until the kernel grants time zero.
+    pub(crate) fn wait_for_start(&mut self) {
+        match self.wait() {
+            Response::Resumed { now } => self.now = now,
+            _ => unreachable!("kernel start grant is always Resumed"),
+        }
+    }
+
+    fn call(&mut self, req: Request) -> Response {
+        if self.req_tx.send((self.pid, req)).is_err() {
+            // Kernel is gone: unwind quietly.
+            std::panic::panic_any(SimShutdown);
+        }
+        self.wait()
+    }
+
+    fn wait(&mut self) -> Response {
+        match self.resp_rx.recv() {
+            Ok(r) => r,
+            Err(_) => std::panic::panic_any(SimShutdown),
+        }
+    }
+
+    /// Spend `d` of virtual time computing. Returns the new current time.
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        match self.call(Request::Advance(d)) {
+            Response::Resumed { now } => {
+                self.now = now;
+                now
+            }
+            _ => unreachable!("Advance answered with non-Resumed"),
+        }
+    }
+
+    /// Schedule `msg` for delivery into `mbox` after `delay`. Non-blocking:
+    /// virtual time does not pass for the sender (model any send-side CPU
+    /// cost with [`advance`](Self::advance)).
+    pub fn send<T: Any + Send>(&mut self, mbox: MailboxId, delay: SimDuration, msg: T) {
+        match self.call(Request::Send { mbox, delay, msg: Box::new(msg) }) {
+            Response::Resumed { now } => self.now = now,
+            _ => unreachable!("Send answered with non-Resumed"),
+        }
+    }
+
+    /// Block until a message is available in `mbox` and take it. Virtual
+    /// time advances to the delivery instant of the message received.
+    pub fn recv(&mut self, mbox: MailboxId) -> Payload {
+        match self.call(Request::Recv { mbox }) {
+            Response::Message { now, msg } => {
+                self.now = now;
+                msg.expect("blocking recv resolved without a message")
+            }
+            _ => unreachable!("Recv answered with non-Message"),
+        }
+    }
+
+    /// Take a message from `mbox` if one has already been delivered.
+    /// Never blocks and never advances virtual time.
+    pub fn try_recv(&mut self, mbox: MailboxId) -> Option<Payload> {
+        match self.call(Request::TryRecv { mbox }) {
+            Response::Message { now, msg } => {
+                self.now = now;
+                msg
+            }
+            _ => unreachable!("TryRecv answered with non-Message"),
+        }
+    }
+
+    /// Blocking receive with a type downcast; panics if the payload is not a
+    /// `T` (which indicates a protocol bug in the caller).
+    pub fn recv_as<T: Any + Send>(&mut self, mbox: MailboxId) -> T {
+        *self
+            .recv(mbox)
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("message in {mbox:?} had unexpected type"))
+    }
+
+    /// Non-blocking receive with a type downcast.
+    pub fn try_recv_as<T: Any + Send>(&mut self, mbox: MailboxId) -> Option<T> {
+        self.try_recv(mbox).map(|p| {
+            *p.downcast::<T>()
+                .unwrap_or_else(|_| panic!("message in {mbox:?} had unexpected type"))
+        })
+    }
+
+    /// Allocate a fresh mailbox owned by no one in particular.
+    pub fn create_mailbox(&mut self) -> MailboxId {
+        match self.call(Request::CreateMailbox) {
+            Response::Mailbox { now, id } => {
+                self.now = now;
+                id
+            }
+            _ => unreachable!("CreateMailbox answered with non-Mailbox"),
+        }
+    }
+
+    /// Record a trace annotation at the current virtual time. A no-op unless
+    /// tracing was enabled on the [`Simulation`](crate::Simulation).
+    pub fn trace(&mut self, label: impl Into<String>) {
+        match self.call(Request::Trace(label.into())) {
+            Response::Resumed { now } => self.now = now,
+            _ => unreachable!("Trace answered with non-Resumed"),
+        }
+    }
+}
+
+/// Handle to retrieve a process's return value after the simulation ran.
+pub struct ProcessResult<R> {
+    pub(crate) slot: Arc<Mutex<Option<R>>>,
+    pub(crate) pid: ProcessId,
+}
+
+impl<R> ProcessResult<R> {
+    /// The process this result belongs to.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Take the return value. Returns `None` if the process never finished
+    /// (simulation error) or the value was already taken.
+    pub fn take(&self) -> Option<R> {
+        self.slot.lock().expect("result mutex poisoned").take()
+    }
+}

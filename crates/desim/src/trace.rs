@@ -1,0 +1,69 @@
+//! Optional trace recording: timestamped annotations emitted by processes.
+
+use crate::process::ProcessId;
+use crate::time::SimTime;
+
+/// One annotation recorded via [`ProcessHandle::trace`].
+///
+/// [`ProcessHandle::trace`]: crate::process::ProcessHandle::trace
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the annotation.
+    pub time: SimTime,
+    /// Process that emitted it.
+    pub pid: ProcessId,
+    /// Free-form label.
+    pub label: String,
+}
+
+/// Collector for trace events; disabled by default to keep runs cheap.
+pub(crate) enum TraceLog {
+    Disabled,
+    Enabled(Vec<TraceEvent>),
+}
+
+impl TraceLog {
+    pub fn disabled() -> Self {
+        TraceLog::Disabled
+    }
+
+    pub fn enabled() -> Self {
+        TraceLog::Enabled(Vec::new())
+    }
+
+    pub fn record(&mut self, time: SimTime, pid: ProcessId, label: String) {
+        if let TraceLog::Enabled(events) = self {
+            events.push(TraceEvent { time, pid, label });
+        }
+    }
+
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        match self {
+            TraceLog::Disabled => Vec::new(),
+            TraceLog::Enabled(events) => std::mem::take(events),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(SimTime::ZERO, ProcessId(0), "x".into());
+        assert!(log.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_keeps_order() {
+        let mut log = TraceLog::enabled();
+        log.record(SimTime::from_nanos(1), ProcessId(0), "a".into());
+        log.record(SimTime::from_nanos(2), ProcessId(1), "b".into());
+        let events = log.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].label, "a");
+        assert_eq!(events[1].pid, ProcessId(1));
+    }
+}

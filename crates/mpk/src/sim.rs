@@ -1,0 +1,315 @@
+//! Virtual-time transport backend: ranks are `desim` processes on a
+//! `netsim` cluster. This is the backend all paper experiments run on —
+//! deterministic, seedable, and fast (no real waiting).
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use desim::{MailboxId, ProcessHandle, SimError, SimReport, SimTime, Simulation};
+use netsim::{ClusterSpec, LoadModel, MachineSpec, MsgCtx, NetworkModel};
+use parking_lot::Mutex;
+
+use crate::transport::Transport;
+use crate::types::{Envelope, Rank, Tag, WireSize, HEADER_BYTES};
+
+struct SharedNet {
+    net: Box<dyn NetworkModel>,
+    load: Box<dyn LoadModel>,
+}
+
+/// A rank's endpoint on a simulated cluster.
+///
+/// Created by [`run_sim_cluster`]; lives only inside the per-rank closure.
+pub struct SimTransport<'a, 'h, M> {
+    h: &'a mut ProcessHandle,
+    rank: Rank,
+    size: usize,
+    machine: MachineSpec,
+    mailboxes: Vec<MailboxId>,
+    shared: Arc<Mutex<SharedNet>>,
+    _marker: PhantomData<fn() -> M>,
+    _lifetime: PhantomData<&'h ()>,
+}
+
+impl<M: Send + 'static> SimTransport<'_, '_, M> {
+    /// Record a trace annotation (visible in the [`SimReport`] if tracing
+    /// was enabled).
+    pub fn trace(&mut self, label: impl Into<String>) {
+        self.h.trace(label);
+    }
+
+    /// The capacity of the machine this rank runs on.
+    pub fn machine(&self) -> MachineSpec {
+        self.machine
+    }
+}
+
+impl<M: WireSize + Send + 'static> Transport for SimTransport<'_, '_, M> {
+    type Msg = M;
+
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, to: Rank, tag: Tag, msg: M) {
+        assert!(to.0 < self.size, "send to out-of-range rank {to}");
+        assert_ne!(to, self.rank, "self-sends are not modelled");
+        let bytes = msg.wire_size() + HEADER_BYTES;
+        let ctx = MsgCtx { src: self.rank.0, dst: to.0, bytes, now: self.h.now() };
+        let delay = self.shared.lock().net.delay(&ctx);
+        self.h.send(self.mailboxes[to.0], delay, Envelope { src: self.rank, tag, msg });
+    }
+
+    fn try_recv(&mut self) -> Option<Envelope<M>> {
+        self.h.try_recv_as::<Envelope<M>>(self.mailboxes[self.rank.0])
+    }
+
+    fn recv(&mut self) -> Envelope<M> {
+        self.h.recv_as::<Envelope<M>>(self.mailboxes[self.rank.0])
+    }
+
+    fn compute(&mut self, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        let factor = self.shared.lock().load.factor(self.rank.0, self.h.now());
+        self.h.advance(self.machine.ops_duration(ops).mul_f64(factor));
+    }
+
+    fn now(&self) -> SimTime {
+        self.h.now()
+    }
+}
+
+/// Run one closure per machine of `cluster` in deterministic virtual time.
+///
+/// Every rank executes `f`, distinguishing itself via
+/// [`Transport::rank`]. Returns each rank's result (rank order) plus the
+/// kernel's [`SimReport`].
+///
+/// # Example
+///
+/// ```
+/// use mpk::{run_sim_cluster, Transport, Tag, Rank};
+/// use netsim::{ClusterSpec, ConstantLatency, Unloaded};
+/// use desim::SimDuration;
+///
+/// let cluster = ClusterSpec::homogeneous(3, 50.0);
+/// let (sums, report) = run_sim_cluster::<u64, _, _>(
+///     &cluster,
+///     ConstantLatency(SimDuration::from_millis(1)),
+///     Unloaded,
+///     false,
+///     |t| {
+///         t.broadcast(Tag(0), t.rank().0 as u64);
+///         (0..t.size() - 1).map(|_| t.recv().msg).sum::<u64>()
+///     },
+/// )
+/// .unwrap();
+/// assert_eq!(sums, vec![3, 2, 1]); // each rank sums the others' ids
+/// assert!(report.end_time.as_nanos() > 0);
+/// ```
+pub fn run_sim_cluster<M, R, F>(
+    cluster: &ClusterSpec,
+    net: impl NetworkModel + 'static,
+    load: impl LoadModel + 'static,
+    trace: bool,
+    f: F,
+) -> Result<(Vec<R>, SimReport), SimError>
+where
+    M: WireSize + Send + 'static,
+    R: Send + 'static,
+    F: for<'a, 'h> Fn(&mut SimTransport<'a, 'h, M>) -> R + Send + Sync + 'static,
+{
+    let mut sim = Simulation::new();
+    if trace {
+        sim.enable_tracing();
+    }
+    let p = cluster.len();
+    let mailboxes: Vec<MailboxId> = (0..p).map(|_| sim.create_mailbox()).collect();
+    let shared = Arc::new(Mutex::new(SharedNet { net: Box::new(net), load: Box::new(load) }));
+    let f = Arc::new(f);
+
+    let results: Vec<_> = (0..p)
+        .map(|r| {
+            let mailboxes = mailboxes.clone();
+            let shared = Arc::clone(&shared);
+            let machine = cluster.machines()[r];
+            let f = Arc::clone(&f);
+            sim.spawn(format!("rank{r}"), move |h| {
+                let mut t = SimTransport {
+                    h,
+                    rank: Rank(r),
+                    size: p,
+                    machine,
+                    mailboxes,
+                    shared,
+                    _marker: PhantomData,
+                    _lifetime: PhantomData,
+                };
+                f(&mut t)
+            })
+        })
+        .collect();
+
+    let report = sim.run()?;
+    let outs = results
+        .iter()
+        .map(|pr| pr.take().expect("rank finished without a result"))
+        .collect();
+    Ok((outs, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+    use netsim::{ConstantLatency, SharedMedium, Unloaded};
+
+    #[test]
+    fn all_ranks_see_consistent_identity() {
+        let cluster = ClusterSpec::homogeneous(4, 10.0);
+        let (ids, _) = run_sim_cluster::<(), _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::ZERO),
+            Unloaded,
+            false,
+            |t| (t.rank().0, t.size()),
+        )
+        .unwrap();
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn compute_time_reflects_machine_speed() {
+        // Two machines, 100 and 10 MIPS; both do 1M ops.
+        let cluster = ClusterSpec::new(vec![MachineSpec::new(100.0), MachineSpec::new(10.0)]);
+        let (times, report) = run_sim_cluster::<(), _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::ZERO),
+            Unloaded,
+            false,
+            |t| {
+                t.compute(1_000_000);
+                t.now().as_nanos()
+            },
+        )
+        .unwrap();
+        assert_eq!(times[0], 10_000_000); // 10 ms on the fast machine
+        assert_eq!(times[1], 100_000_000); // 100 ms on the slow machine
+        assert_eq!(report.end_time.as_nanos(), 100_000_000);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let cluster = ClusterSpec::homogeneous(5, 10.0);
+        let (got, _) = run_sim_cluster::<u64, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            false,
+            |t| {
+                t.broadcast(Tag(7), 100 + t.rank().0 as u64);
+                let mut from: Vec<(usize, u64, u32)> = (0..t.size() - 1)
+                    .map(|_| {
+                        let e = t.recv();
+                        (e.src.0, e.msg, e.tag.0)
+                    })
+                    .collect();
+                from.sort();
+                from
+            },
+        )
+        .unwrap();
+        for (me, msgs) in got.iter().enumerate() {
+            let expected: Vec<(usize, u64, u32)> =
+                (0..5).filter(|k| *k != me).map(|k| (k, 100 + k as u64, 7)).collect();
+            assert_eq!(msgs, &expected);
+        }
+    }
+
+    #[test]
+    fn shared_medium_contention_affects_end_time() {
+        // All four ranks blast a 10 KB message at rank 0 at t=0; the bus
+        // serializes them. 1 MB/s → each takes ~10 ms of bus time.
+        let cluster = ClusterSpec::homogeneous(5, 10.0);
+        let run = |bw: f64| {
+            let (_, report) = run_sim_cluster::<Vec<u8>, _, _>(
+                &cluster,
+                SharedMedium::new(SimDuration::ZERO, bw),
+                Unloaded,
+                false,
+                |t| {
+                    if t.rank().0 == 0 {
+                        for _ in 0..4 {
+                            let _ = t.recv();
+                        }
+                    } else {
+                        t.send(Rank(0), Tag(0), vec![0u8; 10_000]);
+                    }
+                },
+            )
+            .unwrap();
+            report.end_time.as_secs_f64()
+        };
+        let slow = run(1e6);
+        let fast = run(1e8);
+        assert!(slow > 4.0 * 9e-3, "bus must serialize: {slow}");
+        assert!(fast < slow / 10.0, "faster bus must shrink the run");
+    }
+
+    #[test]
+    fn determinism_of_full_cluster_run() {
+        let run = || {
+            let cluster = ClusterSpec::paper_model_example();
+            let (outs, report) = run_sim_cluster::<(u64, f64), _, _>(
+                &cluster,
+                SharedMedium::new(SimDuration::from_micros(200), 1.25e6),
+                Unloaded,
+                false,
+                |t| {
+                    let mut acc = 0.0f64;
+                    for round in 0..5u64 {
+                        t.broadcast(Tag(0), (round, t.rank().0 as f64));
+                        for _ in 0..t.size() - 1 {
+                            acc += t.recv().msg.1;
+                        }
+                        t.compute(10_000);
+                    }
+                    (t.now().as_nanos(), acc)
+                },
+            )
+            .unwrap();
+            (outs, report.end_time)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rank_closure_error_propagates() {
+        let cluster = ClusterSpec::homogeneous(2, 10.0);
+        let res = run_sim_cluster::<(), _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::ZERO),
+            Unloaded,
+            false,
+            |t| {
+                if t.rank().0 == 1 {
+                    panic!("rank 1 exploded");
+                }
+                t.recv(); // rank 0 waits forever
+            },
+        );
+        match res {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "rank1");
+                assert!(message.contains("exploded"));
+            }
+            other => panic!("expected panic, got {:?}", other.map(|(r, _)| r)),
+        }
+    }
+}

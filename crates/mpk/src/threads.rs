@@ -1,0 +1,273 @@
+//! Real-thread transport backend: ranks are OS threads exchanging messages
+//! through in-process mailboxes with optionally injected latency.
+//!
+//! This is the "channel-based port" of the paper's PVM setting: it runs the
+//! same algorithms as the virtual-time backend on real concurrency. It is
+//! useful for demos and cross-backend agreement tests; quantitative
+//! experiments use [`run_sim_cluster`](crate::run_sim_cluster) instead,
+//! because wall-clock timing on a shared host is noisy.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use desim::SimTime;
+use parking_lot::{Condvar, Mutex};
+
+use crate::transport::Transport;
+use crate::types::{Envelope, Rank, Tag, WireSize, HEADER_BYTES};
+
+/// Configuration of a thread-backed cluster.
+#[derive(Clone, Debug)]
+pub struct ThreadClusterOptions {
+    /// Injected fixed latency per message.
+    pub latency: Duration,
+    /// Injected additional latency per payload byte.
+    pub per_byte: Duration,
+    /// Nominal speed for [`Transport::compute`], in million ops per second.
+    /// `compute(ops)` sleeps `ops / (mips · 1e6)` seconds.
+    pub mips: f64,
+}
+
+impl Default for ThreadClusterOptions {
+    fn default() -> Self {
+        ThreadClusterOptions { latency: Duration::ZERO, per_byte: Duration::ZERO, mips: 1000.0 }
+    }
+}
+
+struct Timed<M> {
+    visible_at: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Timed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.visible_at == other.visible_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Timed<M> {}
+impl<M> PartialOrd for Timed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Timed<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.visible_at, other.seq).cmp(&(self.visible_at, self.seq))
+    }
+}
+
+struct MailboxState<M> {
+    heap: BinaryHeap<Timed<M>>,
+    seq: u64,
+}
+
+struct ThreadMailbox<M> {
+    state: Mutex<MailboxState<M>>,
+    cv: Condvar,
+}
+
+impl<M> ThreadMailbox<M> {
+    fn new() -> Self {
+        ThreadMailbox {
+            state: Mutex::new(MailboxState { heap: BinaryHeap::new(), seq: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, visible_at: Instant, env: Envelope<M>) {
+        let mut st = self.state.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(Timed { visible_at, seq, env });
+        self.cv.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Envelope<M>> {
+        let mut st = self.state.lock();
+        match st.heap.peek() {
+            Some(t) if t.visible_at <= Instant::now() => Some(st.heap.pop().unwrap().env),
+            _ => None,
+        }
+    }
+
+    fn pop_blocking(&self) -> Envelope<M> {
+        let mut st = self.state.lock();
+        loop {
+            let now = Instant::now();
+            match st.heap.peek() {
+                Some(t) if t.visible_at <= now => return st.heap.pop().unwrap().env,
+                Some(t) => {
+                    let wait = t.visible_at - now;
+                    let _ = self.cv.wait_for(&mut st, wait);
+                }
+                None => self.cv.wait(&mut st),
+            }
+        }
+    }
+}
+
+/// A rank's endpoint on a thread-backed cluster.
+pub struct ThreadTransport<M> {
+    rank: Rank,
+    size: usize,
+    opts: ThreadClusterOptions,
+    mailboxes: Arc<Vec<ThreadMailbox<M>>>,
+    epoch: Instant,
+}
+
+impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
+    type Msg = M;
+
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, to: Rank, tag: Tag, msg: M) {
+        assert!(to.0 < self.size, "send to out-of-range rank {to}");
+        assert_ne!(to, self.rank, "self-sends are not modelled");
+        let bytes = msg.wire_size() + HEADER_BYTES;
+        let delay = self.opts.latency + self.opts.per_byte * bytes as u32;
+        let visible_at = Instant::now() + delay;
+        self.mailboxes[to.0].push(visible_at, Envelope { src: self.rank, tag, msg });
+    }
+
+    fn try_recv(&mut self) -> Option<Envelope<M>> {
+        self.mailboxes[self.rank.0].try_pop()
+    }
+
+    fn recv(&mut self) -> Envelope<M> {
+        self.mailboxes[self.rank.0].pop_blocking()
+    }
+
+    fn compute(&mut self, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        let secs = ops as f64 / (self.opts.mips * 1e6);
+        std::thread::sleep(Duration::from_secs_f64(secs));
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Run one closure per rank on `p` real OS threads.
+///
+/// Returns each rank's result in rank order. Panics in any rank propagate.
+pub fn run_thread_cluster<M, R, F>(p: usize, opts: ThreadClusterOptions, f: F) -> Vec<R>
+where
+    M: WireSize + Send + 'static,
+    R: Send,
+    F: Fn(&mut ThreadTransport<M>) -> R + Send + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let mailboxes: Arc<Vec<ThreadMailbox<M>>> =
+        Arc::new((0..p).map(|_| ThreadMailbox::new()).collect());
+    let epoch = Instant::now();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|r| {
+                let mailboxes = Arc::clone(&mailboxes);
+                let opts = opts.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let mut t =
+                        ThreadTransport { rank: Rank(r), size: p, opts, mailboxes, epoch };
+                    f(&mut t)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_size_are_correct() {
+        let ids = run_thread_cluster::<(), _, _>(3, ThreadClusterOptions::default(), |t| {
+            (t.rank().0, t.size())
+        });
+        assert_eq!(ids, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn messages_arrive_with_content_intact() {
+        let sums = run_thread_cluster::<u64, _, _>(4, ThreadClusterOptions::default(), |t| {
+            t.broadcast(Tag(0), 10 + t.rank().0 as u64);
+            (0..t.size() - 1).map(|_| t.recv().msg).sum::<u64>()
+        });
+        // Each rank receives the other three values out of {10,11,12,13}.
+        let total: u64 = 10 + 11 + 12 + 13;
+        for (me, s) in sums.iter().enumerate() {
+            assert_eq!(*s, total - (10 + me as u64));
+        }
+    }
+
+    #[test]
+    fn injected_latency_delays_visibility() {
+        let opts = ThreadClusterOptions {
+            latency: Duration::from_millis(30),
+            ..ThreadClusterOptions::default()
+        };
+        let outcomes = run_thread_cluster::<u8, _, _>(2, opts, |t| {
+            if t.rank().0 == 0 {
+                t.send(Rank(1), Tag(0), 1);
+                true
+            } else {
+                let early = t.try_recv().is_some();
+                let start = Instant::now();
+                let _ = t.recv();
+                let waited = start.elapsed();
+                !early && waited >= Duration::from_millis(15)
+            }
+        });
+        assert!(outcomes.iter().all(|ok| *ok), "latency was not observed");
+    }
+
+    #[test]
+    fn earliest_visible_message_pops_first() {
+        let mb = ThreadMailbox::<u8>::new();
+        let now = Instant::now();
+        mb.push(now + Duration::from_millis(5), Envelope { src: Rank(0), tag: Tag(0), msg: 2 });
+        mb.push(now, Envelope { src: Rank(0), tag: Tag(0), msg: 1 });
+        assert_eq!(mb.pop_blocking().msg, 1);
+        assert_eq!(mb.pop_blocking().msg, 2);
+    }
+
+    #[test]
+    fn try_pop_respects_visibility() {
+        let mb = ThreadMailbox::<u8>::new();
+        mb.push(
+            Instant::now() + Duration::from_secs(60),
+            Envelope { src: Rank(0), tag: Tag(0), msg: 9 },
+        );
+        assert!(mb.try_pop().is_none());
+    }
+
+    #[test]
+    fn compute_sleeps_roughly_the_right_time() {
+        let opts = ThreadClusterOptions { mips: 1.0, ..ThreadClusterOptions::default() };
+        let elapsed = run_thread_cluster::<(), _, _>(1, opts, |t| {
+            let start = Instant::now();
+            t.compute(20_000); // 20 ms at 1 MIPS
+            start.elapsed()
+        });
+        assert!(elapsed[0] >= Duration::from_millis(15), "slept only {:?}", elapsed[0]);
+    }
+}

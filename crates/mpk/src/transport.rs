@@ -1,0 +1,58 @@
+//! The [`Transport`] abstraction every algorithm in this workspace runs on.
+//!
+//! A transport gives a process its identity (`rank`/`size`), asynchronous
+//! sends, blocking and non-blocking receives, a way to *charge* computation
+//! (so cost models apply uniformly), and a clock. Algorithms written against
+//! `Transport` run unchanged on the deterministic virtual-time backend
+//! ([`SimTransport`](crate::SimTransport)) used for the paper's experiments
+//! and on the real-thread backend
+//! ([`ThreadTransport`](crate::ThreadTransport)).
+
+use desim::SimTime;
+
+use crate::types::{Envelope, Rank, Tag};
+
+/// A process's connection to its peers.
+pub trait Transport {
+    /// Message payload type.
+    type Msg: Send + 'static;
+
+    /// This process's rank, in `0..size`.
+    fn rank(&self) -> Rank;
+
+    /// Number of cooperating processes.
+    fn size(&self) -> usize;
+
+    /// Asynchronously send `msg` to `to`. Never blocks; delivery order
+    /// between a fixed (src, dst) pair with equal modelled delays is FIFO.
+    fn send(&mut self, to: Rank, tag: Tag, msg: Self::Msg);
+
+    /// Take a message if one has already arrived. Never blocks.
+    fn try_recv(&mut self) -> Option<Envelope<Self::Msg>>;
+
+    /// Block until a message arrives and take it.
+    fn recv(&mut self) -> Envelope<Self::Msg>;
+
+    /// Perform `ops` operations' worth of computation. On the simulated
+    /// backend this advances virtual time by `ops / M_i` (scaled by any
+    /// background-load model); on the thread backend it spins real time.
+    fn compute(&mut self, ops: u64);
+
+    /// Current time. Virtual on the simulated backend, wall-clock since
+    /// cluster start on the thread backend.
+    fn now(&self) -> SimTime;
+
+    /// Send `msg` to every other rank (requires `Msg: Clone`).
+    fn broadcast(&mut self, tag: Tag, msg: Self::Msg)
+    where
+        Self::Msg: Clone,
+    {
+        let me = self.rank();
+        let n = self.size();
+        for k in 0..n {
+            if k != me.0 {
+                self.send(Rank(k), tag, msg.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! The N-body partition as a [`SpeculativeApp`] — the paper's §5 case study.
+//!
+//! Each rank owns a contiguous slice of the particle array (allocated
+//! proportionally to machine capacity) and broadcasts its particles'
+//! positions and velocities every timestep. While a peer's message is in
+//! flight the rank speculates the remote positions with the paper's eq. 10
+//! (`r*(t) = r(t−1) + v(t−1)·Δt`), computes forces with them, and on
+//! arrival applies the eq. 11 acceptance test
+//! (`‖r* − r‖ / ‖r_a − r_b‖ ≤ θ`), incrementally recomputing the force
+//! contributions of only the offending particles.
+
+use std::ops::Range;
+
+use mpk::{Rank, WireSize};
+use speccore::{CheckOutcome, History, SpeculativeApp};
+
+use crate::forces::{
+    accel_from, accumulate_partition, accumulate_self, OPS_PER_CHECK, OPS_PER_PAIR,
+    OPS_PER_SPECULATE, OPS_PER_UPDATE,
+};
+use crate::particle::{NBodyConfig, Particle};
+use crate::vec3::{Vec3, ZERO3};
+
+/// One partition's broadcast snapshot: positions and velocities
+/// (the paper: "each processor sends the current position and velocity of
+/// all its particles to all other processors").
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionShared {
+    /// Positions of the partition's particles, partition-local order.
+    pub pos: Vec<Vec3>,
+    /// Velocities, same order.
+    pub vel: Vec<Vec3>,
+}
+
+impl WireSize for PartitionShared {
+    fn wire_size(&self) -> usize {
+        self.pos.wire_size() + self.vel.wire_size()
+    }
+}
+
+/// Which speculation function to use (the paper studies eq. 10 = `Linear`;
+/// `Quadratic` is its "higher order derivatives" future-work variant,
+/// `Hold` the trivial baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SpeculationOrder {
+    /// Predict the last received position unchanged.
+    Hold,
+    /// Eq. 10: extrapolate positions one (or `ahead`) velocity steps.
+    #[default]
+    Linear,
+    /// Estimate acceleration from the last two velocity samples and
+    /// extrapolate both position and velocity with it.
+    Quadratic,
+}
+
+/// One rank's partition of the N-body system.
+pub struct NBodyApp {
+    cfg: NBodyConfig,
+    order: SpeculationOrder,
+    me: usize,
+    ranges: Vec<Range<usize>>,
+    /// Masses of *all* particles (static data, distributed at startup).
+    masses: Vec<f64>,
+    /// My particles' state.
+    pos: Vec<Vec3>,
+    vel: Vec<Vec3>,
+    /// Per-iteration acceleration accumulator.
+    acc: Vec<Vec3>,
+    /// My positions at force-accumulation time, kept so corrections can
+    /// retract/reapply contributions exactly.
+    pos_at_compute: Vec<Vec3>,
+}
+
+impl NBodyApp {
+    /// Build rank `me`'s partition from the full initial particle set and
+    /// the global partition layout.
+    pub fn new(
+        all: &[Particle],
+        ranges: Vec<Range<usize>>,
+        me: usize,
+        cfg: NBodyConfig,
+        order: SpeculationOrder,
+    ) -> Self {
+        assert!(me < ranges.len(), "rank out of range");
+        assert_eq!(
+            ranges.iter().map(|r| r.len()).sum::<usize>(),
+            all.len(),
+            "ranges must cover all particles"
+        );
+        let mine = ranges[me].clone();
+        let n_mine = mine.len();
+        NBodyApp {
+            cfg,
+            order,
+            me,
+            masses: all.iter().map(|p| p.mass).collect(),
+            pos: all[mine.clone()].iter().map(|p| p.pos).collect(),
+            vel: all[mine].iter().map(|p| p.vel).collect(),
+            acc: vec![ZERO3; n_mine],
+            pos_at_compute: vec![ZERO3; n_mine],
+            ranges,
+        }
+    }
+
+    /// Number of particles this rank owns.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True if the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// This rank's particles as full [`Particle`] values.
+    pub fn particles(&self) -> Vec<Particle> {
+        let mass = &self.masses[self.ranges[self.me].clone()];
+        self.pos
+            .iter()
+            .zip(&self.vel)
+            .zip(mass)
+            .map(|((&pos, &vel), &mass)| Particle { mass, pos, vel })
+            .collect()
+    }
+
+    /// The global index range of this rank's particles.
+    pub fn range(&self) -> Range<usize> {
+        self.ranges[self.me].clone()
+    }
+
+    fn masses_of(&self, rank: usize) -> &[f64] {
+        &self.masses[self.ranges[rank].clone()]
+    }
+
+    /// Centroid of my partition, the cheap stand-in for the per-pair
+    /// denominator of eq. 11 (keeps checking at the paper's ~24 ops per
+    /// particle instead of another O(N_i·N_k) pass).
+    fn centroid(&self) -> Vec3 {
+        if self.pos.is_empty() {
+            return ZERO3;
+        }
+        self.pos.iter().fold(ZERO3, |a, &p| a + p) / self.pos.len() as f64
+    }
+}
+
+impl SpeculativeApp for NBodyApp {
+    type Shared = PartitionShared;
+    type Checkpoint = (Vec<Vec3>, Vec<Vec3>);
+
+    fn shared(&self) -> PartitionShared {
+        PartitionShared { pos: self.pos.clone(), vel: self.vel.clone() }
+    }
+
+    fn begin_iteration(&mut self) -> u64 {
+        self.acc.fill(ZERO3);
+        self.pos_at_compute.clone_from(&self.pos);
+        let mine = self.ranges[self.me].clone();
+        accumulate_self(
+            &self.pos,
+            &self.masses[mine],
+            &mut self.acc,
+            self.cfg.g,
+            self.cfg.softening,
+        )
+    }
+
+    fn absorb(&mut self, from: Rank, x: &PartitionShared) -> u64 {
+        debug_assert_eq!(x.pos.len(), self.ranges[from.0].len());
+        let src_range = self.ranges[from.0].clone();
+        accumulate_partition(
+            &self.pos,
+            &mut self.acc,
+            &x.pos,
+            &self.masses[src_range],
+            self.cfg.g,
+            self.cfg.softening,
+        )
+    }
+
+    fn finish_iteration(&mut self) -> u64 {
+        let dt = self.cfg.dt;
+        for ((p, v), a) in self.pos.iter_mut().zip(&mut self.vel).zip(&self.acc) {
+            *v += *a * dt;
+            *p += *v * dt;
+        }
+        OPS_PER_UPDATE * self.pos.len() as u64
+    }
+
+    fn speculate(
+        &self,
+        _from: Rank,
+        hist: &History<PartitionShared>,
+        ahead: u32,
+    ) -> Option<(PartitionShared, u64)> {
+        let latest = hist.latest()?;
+        let n = latest.pos.len() as u64;
+        let h = self.cfg.dt * ahead as f64;
+        match self.order {
+            SpeculationOrder::Hold => Some((latest.clone(), n)),
+            SpeculationOrder::Linear => {
+                // Eq. 10: r* = r + v·Δt (velocity held constant).
+                let pos = latest
+                    .pos
+                    .iter()
+                    .zip(&latest.vel)
+                    .map(|(&r, &v)| r + v * h)
+                    .collect();
+                Some((
+                    PartitionShared { pos, vel: latest.vel.clone() },
+                    OPS_PER_SPECULATE * n,
+                ))
+            }
+            SpeculationOrder::Quadratic => {
+                let Some((prev_iter, prev)) = hist.nth_back(1) else {
+                    // Not enough history for an acceleration estimate;
+                    // degrade to eq. 10.
+                    let pos = latest
+                        .pos
+                        .iter()
+                        .zip(&latest.vel)
+                        .map(|(&r, &v)| r + v * h)
+                        .collect();
+                    return Some((
+                        PartitionShared { pos, vel: latest.vel.clone() },
+                        OPS_PER_SPECULATE * n,
+                    ));
+                };
+                let latest_iter = hist.latest_iter().expect("non-empty");
+                let span = (latest_iter - prev_iter) as f64 * self.cfg.dt;
+                let mut pos = Vec::with_capacity(latest.pos.len());
+                let mut vel = Vec::with_capacity(latest.vel.len());
+                for i in 0..latest.pos.len() {
+                    let a_est = (latest.vel[i] - prev.vel[i]) / span;
+                    let v = latest.vel[i] + a_est * h;
+                    pos.push(latest.pos[i] + latest.vel[i] * h + a_est * (0.5 * h * h));
+                    vel.push(v);
+                }
+                Some((PartitionShared { pos, vel }, 2 * OPS_PER_SPECULATE * n))
+            }
+        }
+    }
+
+    fn check(
+        &self,
+        _from: Rank,
+        actual: &PartitionShared,
+        speculated: &PartitionShared,
+    ) -> CheckOutcome {
+        let centroid = self.centroid();
+        let n = actual.pos.len();
+        let mut max_error: f64 = 0.0;
+        let mut max_accepted: f64 = 0.0;
+        let mut bad = 0u64;
+        for i in 0..n {
+            let err_abs = speculated.pos[i].distance(actual.pos[i]);
+            // Eq. 11 with the local centroid standing in for particle b.
+            let denom = actual.pos[i].distance(centroid).max(self.cfg.softening);
+            let err = err_abs / denom;
+            max_error = max_error.max(err);
+            if err > self.cfg.theta {
+                bad += 1;
+            } else {
+                max_accepted = max_accepted.max(err);
+            }
+        }
+        CheckOutcome {
+            accept: bad == 0,
+            max_error,
+            max_accepted_error: max_accepted,
+            checked_units: n as u64,
+            bad_units: bad,
+            ops: OPS_PER_CHECK * n as u64,
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // i couples actual/speculated/masses
+    fn correct(
+        &mut self,
+        from: Rank,
+        speculated: &PartitionShared,
+        actual: &PartitionShared,
+    ) -> u64 {
+        // Re-derive which particles exceeded the threshold (same test as
+        // `check`), then retract their speculated force contribution and
+        // apply the actual one. Forces are linear in per-source terms, and
+        // with semi-implicit Euler a force delta δ moves v by δ·Δt and x by
+        // δ·Δt², so the post-integration state can be fixed in place — the
+        // paper's `correct(X_j(t+1))`.
+        let centroid = self.centroid();
+        let dt = self.cfg.dt;
+        let masses = self.masses_of(from.0).to_vec();
+        let mut ops = 0u64;
+        for i in 0..actual.pos.len() {
+            let err_abs = speculated.pos[i].distance(actual.pos[i]);
+            let denom = actual.pos[i].distance(centroid).max(self.cfg.softening);
+            if err_abs / denom <= self.cfg.theta {
+                continue;
+            }
+            for b in 0..self.pos.len() {
+                let target = self.pos_at_compute[b];
+                let delta = accel_from(target, actual.pos[i], masses[i], self.cfg.g, self.cfg.softening)
+                    - accel_from(
+                        target,
+                        speculated.pos[i],
+                        masses[i],
+                        self.cfg.g,
+                        self.cfg.softening,
+                    );
+                self.vel[b] += delta * dt;
+                self.pos[b] += delta * (dt * dt);
+            }
+            ops += 2 * OPS_PER_PAIR * self.pos.len() as u64;
+        }
+        ops
+    }
+
+    #[allow(clippy::needless_range_loop)] // i couples actual/speculated/masses
+    fn correct_deep(
+        &mut self,
+        from: Rank,
+        speculated: &PartitionShared,
+        actual: &PartitionShared,
+        depth: u64,
+    ) -> Option<u64> {
+        // First-order propagation of the force correction through the
+        // `depth` iterations already executed on top: a velocity error
+        // δ·Δt present for (depth + 1) integration steps displaced
+        // positions by δ·Δt²·(depth + 1). The residual (the slightly wrong
+        // forces used in the interim iterations) is second-order in a
+        // θ-bounded quantity — the same accept-small-errors trade the
+        // paper makes throughout.
+        let centroid = self.centroid();
+        let dt = self.cfg.dt;
+        let steps = (depth + 1) as f64;
+        let masses = self.masses_of(from.0).to_vec();
+        let mut ops = 0u64;
+        for i in 0..actual.pos.len() {
+            let err_abs = speculated.pos[i].distance(actual.pos[i]);
+            let denom = actual.pos[i].distance(centroid).max(self.cfg.softening);
+            if err_abs / denom <= self.cfg.theta {
+                continue;
+            }
+            for b in 0..self.pos.len() {
+                let target = self.pos_at_compute[b];
+                let delta = accel_from(target, actual.pos[i], masses[i], self.cfg.g, self.cfg.softening)
+                    - accel_from(
+                        target,
+                        speculated.pos[i],
+                        masses[i],
+                        self.cfg.g,
+                        self.cfg.softening,
+                    );
+                self.vel[b] += delta * dt;
+                self.pos[b] += delta * (dt * dt * steps);
+            }
+            ops += 2 * OPS_PER_PAIR * self.pos.len() as u64;
+        }
+        Some(ops)
+    }
+
+    fn checkpoint(&self) -> (Vec<Vec3>, Vec<Vec3>) {
+        (self.pos.clone(), self.vel.clone())
+    }
+
+    fn restore(&mut self, c: &(Vec<Vec3>, Vec<Vec3>)) {
+        self.pos.clone_from(&c.0);
+        self.vel.clone_from(&c.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::{rotating_disk, uniform_cloud};
+    use crate::partition::partition_proportional;
+
+    fn hist_of(shares: &[PartitionShared]) -> History<PartitionShared> {
+        let mut h = History::new(4);
+        for (i, s) in shares.iter().enumerate() {
+            h.record(i as u64, s.clone());
+        }
+        h
+    }
+
+    fn share(pos: Vec<Vec3>, vel: Vec<Vec3>) -> PartitionShared {
+        PartitionShared { pos, vel }
+    }
+
+    fn make_app(n: usize, p: usize, me: usize, theta: f64) -> NBodyApp {
+        let particles = uniform_cloud(n, 1);
+        let ranges = partition_proportional(n, &vec![1.0; p]);
+        NBodyApp::new(
+            &particles,
+            ranges,
+            me,
+            NBodyConfig::default().with_theta(theta),
+            SpeculationOrder::Linear,
+        )
+    }
+
+    #[test]
+    fn construction_slices_the_partition() {
+        let app = make_app(30, 3, 1, 0.01);
+        assert_eq!(app.len(), 10);
+        assert_eq!(app.range(), 10..20);
+        assert_eq!(app.particles().len(), 10);
+    }
+
+    #[test]
+    fn linear_speculation_is_eq_10() {
+        let app = make_app(10, 2, 0, 0.01);
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        let r = Vec3::new(0.1, 0.2, 0.3);
+        let h = hist_of(&[share(vec![r], vec![v])]);
+        let (spec, ops) = app.speculate(Rank(1), &h, 1).unwrap();
+        let dt = NBodyConfig::default().dt;
+        assert_eq!(spec.pos[0], r + v * dt);
+        assert_eq!(spec.vel[0], v);
+        assert_eq!(ops, OPS_PER_SPECULATE);
+    }
+
+    #[test]
+    fn speculation_scales_with_ahead() {
+        let app = make_app(10, 2, 0, 0.01);
+        let v = Vec3::new(1.0, 0.0, 0.0);
+        let r = ZERO3;
+        let h = hist_of(&[share(vec![r], vec![v])]);
+        let dt = NBodyConfig::default().dt;
+        let (s1, _) = app.speculate(Rank(1), &h, 1).unwrap();
+        let (s3, _) = app.speculate(Rank(1), &h, 3).unwrap();
+        assert_eq!(s1.pos[0].x, dt);
+        assert_eq!(s3.pos[0].x, 3.0 * dt);
+    }
+
+    #[test]
+    fn quadratic_speculation_uses_acceleration() {
+        let particles = uniform_cloud(10, 1);
+        let ranges = partition_proportional(10, &[1.0, 1.0]);
+        let app = NBodyApp::new(
+            &particles,
+            ranges,
+            0,
+            NBodyConfig::default(),
+            SpeculationOrder::Quadratic,
+        );
+        let dt = NBodyConfig::default().dt;
+        // Velocity grew from 1 to 2 over one step → a = 1/dt.
+        let h = hist_of(&[
+            share(vec![ZERO3], vec![Vec3::new(1.0, 0.0, 0.0)]),
+            share(vec![Vec3::new(dt, 0.0, 0.0)], vec![Vec3::new(2.0, 0.0, 0.0)]),
+        ]);
+        let (spec, _) = app.speculate(Rank(1), &h, 1).unwrap();
+        // v* = 2 + (1/dt)·dt = 3; r* = dt + 2·dt + ½·(1/dt)·dt² = 3.5·dt.
+        assert!((spec.vel[0].x - 3.0).abs() < 1e-12);
+        assert!((spec.pos[0].x - 3.5 * dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_cannot_speculate() {
+        let app = make_app(10, 2, 0, 0.01);
+        let h: History<PartitionShared> = History::new(4);
+        assert!(app.speculate(Rank(1), &h, 1).is_none());
+    }
+
+    #[test]
+    fn check_accepts_exact_speculation() {
+        let app = make_app(10, 2, 0, 0.01);
+        let s = share(vec![Vec3::new(5.0, 0.0, 0.0)], vec![ZERO3]);
+        let out = app.check(Rank(1), &s, &s.clone());
+        assert!(out.accept);
+        assert_eq!(out.max_error, 0.0);
+        assert_eq!(out.bad_units, 0);
+        assert_eq!(out.checked_units, 1);
+    }
+
+    #[test]
+    fn check_rejects_large_displacement() {
+        let app = make_app(10, 2, 0, 0.01);
+        let actual = share(vec![Vec3::new(5.0, 0.0, 0.0)], vec![ZERO3]);
+        let spec = share(vec![Vec3::new(6.0, 0.0, 0.0)], vec![ZERO3]);
+        let out = app.check(Rank(1), &actual, &spec);
+        assert!(!out.accept);
+        assert_eq!(out.bad_units, 1);
+        assert!(out.max_error > 0.01);
+    }
+
+    #[test]
+    fn check_error_scales_with_distance() {
+        // Eq. 11: the same absolute displacement matters less for a farther
+        // particle.
+        let app = make_app(10, 2, 0, 0.01);
+        let near_actual = share(vec![Vec3::new(1.0, 0.0, 0.0)], vec![ZERO3]);
+        let near_spec = share(vec![Vec3::new(1.01, 0.0, 0.0)], vec![ZERO3]);
+        let far_actual = share(vec![Vec3::new(100.0, 0.0, 0.0)], vec![ZERO3]);
+        let far_spec = share(vec![Vec3::new(100.01, 0.0, 0.0)], vec![ZERO3]);
+        let near = app.check(Rank(1), &near_actual, &near_spec);
+        let far = app.check(Rank(1), &far_actual, &far_spec);
+        assert!(near.max_error > far.max_error);
+    }
+
+    #[test]
+    fn correction_repairs_a_misspeculated_iteration() {
+        // Run one iteration twice from identical state: once with the
+        // actual remote value, once with a bad speculation followed by
+        // correct(). Results must agree to FP noise.
+        let cfg = NBodyConfig::default().with_theta(0.0);
+        let particles = uniform_cloud(20, 2);
+        let ranges = partition_proportional(20, &[1.0, 1.0]);
+        let remote_actual = share(
+            particles[10..].iter().map(|p| p.pos).collect(),
+            particles[10..].iter().map(|p| p.vel).collect(),
+        );
+        let mut remote_spec = remote_actual.clone();
+        for p in &mut remote_spec.pos {
+            *p += Vec3::new(0.05, -0.02, 0.01);
+        }
+
+        let mut golden =
+            NBodyApp::new(&particles, ranges.clone(), 0, cfg, SpeculationOrder::Linear);
+        golden.begin_iteration();
+        golden.absorb(Rank(1), &remote_actual);
+        golden.finish_iteration();
+
+        let mut fixed = NBodyApp::new(&particles, ranges, 0, cfg, SpeculationOrder::Linear);
+        fixed.begin_iteration();
+        fixed.absorb(Rank(1), &remote_spec);
+        fixed.finish_iteration();
+        let ops = fixed.correct(Rank(1), &remote_spec, &remote_actual);
+        assert!(ops > 0);
+
+        for (a, b) in golden.pos.iter().zip(&fixed.pos) {
+            assert!(a.distance(*b) < 1e-12, "correction left position residue");
+        }
+        for (a, b) in golden.vel.iter().zip(&fixed.vel) {
+            assert!(a.distance(*b) < 1e-12, "correction left velocity residue");
+        }
+    }
+
+    #[test]
+    fn correction_skips_acceptable_particles() {
+        // θ large: nothing exceeds the bound, so correct() is a no-op.
+        let cfg = NBodyConfig::default().with_theta(1e6);
+        let particles = uniform_cloud(20, 2);
+        let ranges = partition_proportional(20, &[1.0, 1.0]);
+        let mut app = NBodyApp::new(&particles, ranges, 0, cfg, SpeculationOrder::Linear);
+        app.begin_iteration();
+        let actual = share(
+            particles[10..].iter().map(|p| p.pos).collect(),
+            particles[10..].iter().map(|p| p.vel).collect(),
+        );
+        let mut spec = actual.clone();
+        spec.pos[0] += Vec3::new(0.001, 0.0, 0.0);
+        app.absorb(Rank(1), &spec);
+        app.finish_iteration();
+        let before = app.pos.clone();
+        let ops = app.correct(Rank(1), &spec, &actual);
+        assert_eq!(ops, 0);
+        assert_eq!(app.pos, before);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips() {
+        let mut app = make_app(12, 2, 0, 0.01);
+        let c = app.checkpoint();
+        let actual = share(vec![Vec3::new(1.0, 1.0, 1.0); 6], vec![ZERO3; 6]);
+        app.begin_iteration();
+        app.absorb(Rank(1), &actual);
+        app.finish_iteration();
+        assert_ne!(app.pos, c.0);
+        app.restore(&c);
+        assert_eq!(app.pos, c.0);
+        assert_eq!(app.vel, c.1);
+    }
+
+    #[test]
+    fn disk_speculation_is_accurate() {
+        // On near-circular orbits, eq. 10 should predict within a small
+        // fraction of the inter-particle scale over one dt.
+        let particles = rotating_disk(40, 7);
+        let ranges = partition_proportional(40, &[1.0, 1.0]);
+        let cfg = NBodyConfig { g: 1.0, softening: 0.02, dt: 1e-3, theta: 0.01 };
+        let app = NBodyApp::new(&particles, ranges.clone(), 0, cfg, SpeculationOrder::Linear);
+
+        // Evolve the real system one step to get the "actual" message.
+        let mut world = particles.clone();
+        crate::integrate::step_natural(&mut world, &cfg);
+        let remote_now = share(
+            particles[ranges[1].clone()].iter().map(|p| p.pos).collect(),
+            particles[ranges[1].clone()].iter().map(|p| p.vel).collect(),
+        );
+        let remote_next = share(
+            world[ranges[1].clone()].iter().map(|p| p.pos).collect(),
+            world[ranges[1].clone()].iter().map(|p| p.vel).collect(),
+        );
+        let h = hist_of(&[remote_now]);
+        let (spec, _) = app.speculate(Rank(1), &h, 1).unwrap();
+        let out = app.check(Rank(1), &remote_next, &spec);
+        assert!(
+            out.accept,
+            "disk speculation should pass θ=0.01, max err {}",
+            out.max_error
+        );
+    }
+
+    #[test]
+    fn wire_size_counts_both_vectors() {
+        let s = share(vec![ZERO3; 10], vec![ZERO3; 10]);
+        assert_eq!(s.wire_size(), 2 * (8 + 240));
+    }
+}

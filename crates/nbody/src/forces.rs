@@ -1,0 +1,235 @@
+//! Pairwise gravitational forces — the O(N²) kernel of the paper's §5.
+//!
+//! The paper counts "about 70 floating point operations" to compute the
+//! force between a pair of particles, 12 to speculate a position, 24 to
+//! check one; those constants parameterize the cost model so the simulated
+//! timings keep the paper's compute/speculate/check ratios.
+
+use crate::vec3::Vec3;
+
+/// Paper's cost of one pairwise force evaluation, in operations.
+pub const OPS_PER_PAIR: u64 = 70;
+/// Paper's cost of speculating one particle's position.
+pub const OPS_PER_SPECULATE: u64 = 12;
+/// Paper's cost of checking one particle's speculation error.
+pub const OPS_PER_CHECK: u64 = 24;
+/// Cost of one integration update (velocity + position) per particle.
+pub const OPS_PER_UPDATE: u64 = 12;
+
+/// Acceleration exerted on a particle at `on_pos` by a source of mass
+/// `src_mass` at `src_pos`, with Plummer softening `eps`:
+/// `a = G · m · (r_src − r_on) / (|r|² + ε²)^{3/2}`.
+#[inline]
+pub fn accel_from(on_pos: Vec3, src_pos: Vec3, src_mass: f64, g: f64, eps: f64) -> Vec3 {
+    let d = src_pos - on_pos;
+    let dist_sq = d.norm_sq() + eps * eps;
+    let inv = 1.0 / (dist_sq * dist_sq.sqrt());
+    d * (g * src_mass * inv)
+}
+
+/// Accumulate into `acc` the accelerations that every source in
+/// `(src_pos, src_mass)` exerts on every target in `targets`. Returns the
+/// modelled operation count (`OPS_PER_PAIR` per pair).
+pub fn accumulate_partition(
+    targets: &[Vec3],
+    acc: &mut [Vec3],
+    src_pos: &[Vec3],
+    src_mass: &[f64],
+    g: f64,
+    eps: f64,
+) -> u64 {
+    debug_assert_eq!(targets.len(), acc.len());
+    debug_assert_eq!(src_pos.len(), src_mass.len());
+    for (b, &pb) in targets.iter().enumerate() {
+        let mut a = acc[b];
+        for (j, &pa) in src_pos.iter().enumerate() {
+            a += accel_from(pb, pa, src_mass[j], g, eps);
+        }
+        acc[b] = a;
+    }
+    (targets.len() as u64) * (src_pos.len() as u64) * OPS_PER_PAIR
+}
+
+/// Accumulate intra-partition accelerations (each particle on every other
+/// of the same partition), skipping self-interaction. Returns the op count.
+pub fn accumulate_self(
+    pos: &[Vec3],
+    mass: &[f64],
+    acc: &mut [Vec3],
+    g: f64,
+    eps: f64,
+) -> u64 {
+    debug_assert_eq!(pos.len(), mass.len());
+    debug_assert_eq!(pos.len(), acc.len());
+    let n = pos.len();
+    for b in 0..n {
+        let mut a = acc[b];
+        for j in 0..n {
+            if j != b {
+                a += accel_from(pos[b], pos[j], mass[j], g, eps);
+            }
+        }
+        acc[b] = a;
+    }
+    (n as u64) * (n.saturating_sub(1) as u64) * OPS_PER_PAIR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::ZERO3;
+
+    const G: f64 = 1.0;
+
+    #[test]
+    fn accel_points_toward_source() {
+        let a = accel_from(ZERO3, Vec3::new(2.0, 0.0, 0.0), 1.0, G, 0.0);
+        assert!(a.x > 0.0);
+        assert_eq!(a.y, 0.0);
+        assert_eq!(a.z, 0.0);
+    }
+
+    #[test]
+    fn accel_magnitude_matches_inverse_square() {
+        // Unsoftened: |a| = G·m/r².
+        let a = accel_from(ZERO3, Vec3::new(2.0, 0.0, 0.0), 3.0, G, 0.0);
+        assert!((a.norm() - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softening_caps_close_encounters() {
+        let near = accel_from(ZERO3, Vec3::new(1e-9, 0.0, 0.0), 1.0, G, 0.05);
+        assert!(near.is_finite());
+        assert!(near.norm() < 1.0, "softened force must stay bounded");
+    }
+
+    #[test]
+    fn newton_third_law_symmetry() {
+        // Accel scaled by masses gives equal and opposite forces.
+        let p1 = Vec3::new(0.3, -1.0, 2.0);
+        let p2 = Vec3::new(-0.7, 0.4, 0.9);
+        let (m1, m2) = (2.0, 5.0);
+        let f12 = accel_from(p1, p2, m2, G, 0.01) * m1;
+        let f21 = accel_from(p2, p1, m1, G, 0.01) * m2;
+        assert!((f12 + f21).norm() < 1e-12 * f12.norm().max(1.0));
+    }
+
+    #[test]
+    fn accumulate_partition_sums_all_sources() {
+        let targets = vec![ZERO3];
+        let mut acc = vec![ZERO3];
+        let src = vec![Vec3::new(1.0, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)];
+        let mass = vec![1.0, 1.0];
+        let ops = accumulate_partition(&targets, &mut acc, &src, &mass, G, 0.0);
+        // Symmetric sources cancel.
+        assert!(acc[0].norm() < 1e-15);
+        assert_eq!(ops, 2 * OPS_PER_PAIR);
+    }
+
+    #[test]
+    fn accumulate_self_skips_self_interaction() {
+        let pos = vec![ZERO3, Vec3::new(1.0, 0.0, 0.0)];
+        let mass = vec![1.0, 1.0];
+        let mut acc = vec![ZERO3; 2];
+        let ops = accumulate_self(&pos, &mass, &mut acc, G, 0.0);
+        assert!((acc[0].x - 1.0).abs() < 1e-12);
+        assert!((acc[1].x + 1.0).abs() < 1e-12);
+        assert_eq!(ops, 2 * OPS_PER_PAIR);
+    }
+
+    #[test]
+    fn single_particle_feels_nothing() {
+        let pos = vec![ZERO3];
+        let mass = vec![1.0];
+        let mut acc = vec![ZERO3];
+        let ops = accumulate_self(&pos, &mass, &mut acc, G, 0.0);
+        assert_eq!(acc[0], ZERO3);
+        assert_eq!(ops, 0);
+    }
+
+    #[test]
+    fn partition_accumulation_equals_manual_loop() {
+        let targets: Vec<Vec3> =
+            (0..4).map(|i| Vec3::new(i as f64 * 0.3, 0.1, -0.2)).collect();
+        let src: Vec<Vec3> =
+            (0..3).map(|i| Vec3::new(-1.0, i as f64 * 0.5, 0.7)).collect();
+        let mass = vec![0.5, 1.5, 2.5];
+        let mut acc = vec![ZERO3; 4];
+        accumulate_partition(&targets, &mut acc, &src, &mass, G, 0.02);
+        for (b, &pb) in targets.iter().enumerate() {
+            let mut manual = ZERO3;
+            for (j, &pa) in src.iter().enumerate() {
+                manual += accel_from(pb, pa, mass[j], G, 0.02);
+            }
+            assert_eq!(acc[b], manual);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::vec3::{Vec3, ZERO3};
+    use proptest::prelude::*;
+
+    fn vec3() -> impl Strategy<Value = Vec3> {
+        (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0)
+            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        /// Newton's third law holds for arbitrary pairs: m1·a12 = −m2·a21.
+        #[test]
+        fn pairwise_forces_are_antisymmetric(
+            p1 in vec3(),
+            p2 in vec3(),
+            m1 in 0.01f64..100.0,
+            m2 in 0.01f64..100.0,
+            eps in 0.001f64..0.5,
+        ) {
+            let f12 = accel_from(p1, p2, m2, 1.0, eps) * m1;
+            let f21 = accel_from(p2, p1, m1, 1.0, eps) * m2;
+            let scale = f12.norm().max(1e-12);
+            prop_assert!((f12 + f21).norm() <= 1e-9 * scale);
+        }
+
+        /// Softened forces are bounded: |a| ≤ G·m/(2ε²)·(3√3/... ) — we use
+        /// the simpler bound G·m/ε² which dominates the softened kernel's
+        /// true maximum.
+        #[test]
+        fn softened_accel_is_bounded(
+            p1 in vec3(),
+            p2 in vec3(),
+            m in 0.01f64..100.0,
+            eps in 0.01f64..1.0,
+        ) {
+            let a = accel_from(p1, p2, m, 1.0, eps);
+            prop_assert!(a.is_finite());
+            prop_assert!(a.norm() <= m / (eps * eps) + 1e-9);
+        }
+
+        /// Accumulating sources one partition at a time equals accumulating
+        /// them all at once (associativity of the partition decomposition,
+        /// up to FP noise).
+        #[test]
+        fn partition_split_is_consistent(
+            srcs in proptest::collection::vec((vec3(), 0.1f64..5.0), 2..12),
+            target in vec3(),
+            split in 1usize..11,
+        ) {
+            let split = split.min(srcs.len() - 1);
+            let pos: Vec<Vec3> = srcs.iter().map(|(p, _)| *p).collect();
+            let mass: Vec<f64> = srcs.iter().map(|(_, m)| *m).collect();
+
+            let mut whole = vec![ZERO3];
+            accumulate_partition(&[target], &mut whole, &pos, &mass, 1.0, 0.05);
+
+            let mut parts = vec![ZERO3];
+            accumulate_partition(&[target], &mut parts, &pos[..split], &mass[..split], 1.0, 0.05);
+            accumulate_partition(&[target], &mut parts, &pos[split..], &mass[split..], 1.0, 0.05);
+
+            let scale = whole[0].norm().max(1e-12);
+            prop_assert!((whole[0] - parts[0]).norm() <= 1e-9 * scale);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The application-side contract of the speculative driver.
+//!
+//! A synchronous iterative algorithm in the paper's model (§2) evaluates
+//! `X(t+1) = F(X(t), X(t-1), …)` with `X` partitioned across processors;
+//! each processor contributes its partition's update and consumes every
+//! other partition's values. [`SpeculativeApp`] decomposes one iteration
+//! into *absorbing* each peer partition's contribution plus a local
+//! *finish* step, which is what lets the driver substitute speculated
+//! values per peer and correct or re-execute afterwards.
+//!
+//! Every mutating method returns its cost in abstract *operations*; the
+//! driver charges them through [`Transport::compute`], so the same code
+//! is timed by the virtual-time backend and spun by the thread backend.
+//!
+//! [`Transport::compute`]: mpk::Transport::compute
+
+use mpk::Rank;
+
+use crate::history::History;
+
+/// Result of comparing a speculated partition value with the actual one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckOutcome {
+    /// True if the speculation is acceptable as-is (no correction needed).
+    /// Typically `max_error <= θ` for an app-defined threshold θ.
+    pub accept: bool,
+    /// Largest per-unit error observed (the paper's eq. 11 metric for
+    /// N-body).
+    pub max_error: f64,
+    /// Largest error among units that *passed* the threshold — the error
+    /// the computation silently absorbs even when corrections run
+    /// (Table 3's "max error in force" column).
+    pub max_accepted_error: f64,
+    /// Number of fine-grained units (e.g. particles) compared.
+    pub checked_units: u64,
+    /// Units whose error exceeded the threshold (to be recomputed).
+    pub bad_units: u64,
+    /// Cost of the comparison, in operations (`f_check` per unit).
+    pub ops: u64,
+}
+
+/// A partitioned synchronous iterative algorithm, speculation-ready.
+///
+/// The driver calls, per iteration `t`:
+/// 1. [`begin_iteration`](Self::begin_iteration) once;
+/// 2. [`absorb`](Self::absorb) once per peer, passing either the received
+///    `X_k(t)` or a value obtained from [`speculate`](Self::speculate);
+/// 3. [`finish_iteration`](Self::finish_iteration) once — after which
+///    [`shared`](Self::shared) must return `X_j(t+1)`;
+/// 4. for inputs that were speculated, [`check`](Self::check) when the
+///    actual arrives, and on rejection either
+///    [`correct`](Self::correct) (incremental fix-up) or a checkpoint
+///    rollback followed by re-execution.
+pub trait SpeculativeApp {
+    /// The partition snapshot broadcast every iteration (`X_j(t)`).
+    type Shared: Clone + Send + 'static;
+    /// Opaque state snapshot used for forward-window rollback.
+    type Checkpoint;
+
+    /// Current value of this rank's partition, to broadcast.
+    fn shared(&self) -> Self::Shared;
+
+    /// Start a new iteration; returns setup cost in operations.
+    fn begin_iteration(&mut self) -> u64;
+
+    /// Incorporate partition `from`'s values into the iteration in
+    /// progress; returns the cost in operations (`f_comp` work).
+    fn absorb(&mut self, from: Rank, x: &Self::Shared) -> u64;
+
+    /// Complete the iteration (local state update); returns its cost.
+    /// After this, [`shared`](Self::shared) reflects the new iteration.
+    fn finish_iteration(&mut self) -> u64;
+
+    /// Predict partition `from`'s value `ahead` iterations past the newest
+    /// entry of `hist` (`ahead ≥ 1`). Returns the prediction and its cost
+    /// (`f_spec` work), or `None` if the history is insufficient.
+    fn speculate(
+        &self,
+        from: Rank,
+        hist: &History<Self::Shared>,
+        ahead: u32,
+    ) -> Option<(Self::Shared, u64)>;
+
+    /// Compare a speculated input with the actual value that has now
+    /// arrived. The app owns the error metric and threshold.
+    fn check(&self, from: Rank, actual: &Self::Shared, speculated: &Self::Shared) -> CheckOutcome;
+
+    /// Incrementally repair the current iteration's result after `from`'s
+    /// speculated input was rejected: retract the contribution computed
+    /// from `speculated` and apply the one from `actual` (only for the
+    /// units that exceeded the threshold, matching the paper's selective
+    /// recomputation). Returns the cost in operations.
+    ///
+    /// Only invoked when this is the sole unconfirmed iteration; deeper
+    /// speculation consults [`correct_deep`](Self::correct_deep) and rolls
+    /// back if it declines.
+    fn correct(&mut self, from: Rank, speculated: &Self::Shared, actual: &Self::Shared) -> u64;
+
+    /// Repair a misspeculated input of the *oldest* unconfirmed iteration
+    /// when `depth` further iterations have already been executed on top
+    /// of it. Returns the cost if the app can propagate the correction
+    /// through those iterations (typically a first-order update, accepting
+    /// a second-order residual — the paper's bounded-error philosophy), or
+    /// `None` to request a checkpoint rollback and exact re-execution.
+    ///
+    /// The default declines, which is always sound.
+    fn correct_deep(
+        &mut self,
+        from: Rank,
+        speculated: &Self::Shared,
+        actual: &Self::Shared,
+        depth: u64,
+    ) -> Option<u64> {
+        let _ = (from, speculated, actual, depth);
+        None
+    }
+
+    /// Snapshot the state needed to re-execute from the current point.
+    fn checkpoint(&self) -> Self::Checkpoint;
+
+    /// Restore a snapshot taken by [`checkpoint`](Self::checkpoint).
+    fn restore(&mut self, c: &Self::Checkpoint);
+}

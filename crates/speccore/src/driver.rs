@@ -1,0 +1,884 @@
+//! The synchronous-iterative execution drivers.
+//!
+//! [`run_baseline`] implements the paper's Figure 1: broadcast the
+//! partition, block for every peer's values, compute. [`run_speculative`]
+//! implements Figure 3 generalized to any forward window: missing inputs are
+//! speculated from history, computation proceeds immediately, and arriving
+//! actuals either validate the speculation (error ≤ θ), trigger an
+//! incremental correction, or — when deeper speculation consumed the
+//! corrupted state — roll execution back to the last confirmed checkpoint.
+//!
+//! ## Send-on-confirm semantics
+//!
+//! A rank broadcasts `X_j(t)` only once iteration `t-1` is *confirmed*
+//! (every input it used was actual or validated). This matches Figure 3,
+//! where the values sent at the top of an iteration were already corrected,
+//! and keeps the protocol sound for FW ≥ 2: nothing tentative ever crosses
+//! the network, so a misspeculation never cascades to other ranks. Forward
+//! speculation still masks delays because by the time a late message
+//! arrives and validates, the next iterations are already computed and
+//! their broadcasts leave back-to-back (the paper's Figure 4c behaviour).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use desim::SimDuration;
+use mpk::{Envelope, Rank, Tag, Transport, WireSize};
+
+use crate::app::SpeculativeApp;
+use crate::config::{CorrectionMode, SpecConfig};
+use crate::history::History;
+use crate::stats::{IterationLog, RunStats};
+
+/// The message every rank broadcasts each iteration: its partition snapshot
+/// stamped with the iteration it belongs to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterMsg<S> {
+    /// Which iteration's `X_j` this is.
+    pub iter: u64,
+    /// The partition values.
+    pub data: S,
+}
+
+impl<S: WireSize> WireSize for IterMsg<S> {
+    fn wire_size(&self) -> usize {
+        8 + self.data.wire_size()
+    }
+}
+
+/// Tag used for iteration data messages.
+pub const DATA_TAG: Tag = Tag(1);
+
+enum InputSlot<S> {
+    /// Received actual value was used.
+    Actual,
+    /// Speculated, later validated or corrected.
+    Validated,
+    /// Speculated with this value; awaiting the actual.
+    Speculated(S),
+}
+
+struct ExecRecord<S, C> {
+    iter: u64,
+    /// App state snapshot taken before executing this iteration.
+    pre: C,
+    /// `X_j(iter + 1)`, extracted right after execution (kept up to date
+    /// through incremental corrections).
+    produced: S,
+    /// Input provenance per rank (own rank marked `Validated`).
+    inputs: Vec<InputSlot<S>>,
+}
+
+/// Run the non-speculative baseline (the paper's Figure 1) for
+/// `total_iters` iterations.
+pub fn run_baseline<T, A>(transport: &mut T, app: &mut A, total_iters: u64) -> RunStats
+where
+    A: SpeculativeApp,
+    T: Transport<Msg = IterMsg<A::Shared>>,
+{
+    run_speculative(transport, app, total_iters, SpecConfig::baseline())
+}
+
+/// Run the speculative driver (the paper's Figure 3, generalized over
+/// forward windows) for `total_iters` iterations.
+#[allow(clippy::needless_range_loop)] // rank indices couple several per-rank arrays
+pub fn run_speculative<T, A>(
+    transport: &mut T,
+    app: &mut A,
+    total_iters: u64,
+    mut config: SpecConfig,
+) -> RunStats
+where
+    A: SpeculativeApp,
+    T: Transport<Msg = IterMsg<A::Shared>>,
+{
+    let me = transport.rank();
+    let p = transport.size();
+    let start = transport.now();
+    let mut stats = RunStats::new(me);
+
+    // Actual values received, keyed by iteration then sender.
+    let mut inbox: BTreeMap<u64, HashMap<usize, A::Shared>> = BTreeMap::new();
+    // Per-peer history of actuals (the backward window).
+    let mut history: Vec<History<A::Shared>> =
+        (0..p).map(|_| History::new(config.backward_window.max(1))).collect();
+    // Executed-but-unconfirmed iterations, oldest first.
+    let mut exec_q: VecDeque<ExecRecord<A::Shared, A::Checkpoint>> = VecDeque::new();
+
+    let mut t_conf: u64 = 0; // next iteration to confirm
+    let mut t_exec: u64 = 0; // next iteration to execute
+    let mut waited_since_confirm = SimDuration::ZERO;
+    // Per-iteration timing records awaiting confirmation (only when the
+    // log is enabled).
+    let mut log_pending: HashMap<u64, IterationLog> = HashMap::new();
+    // Snapshots for adaptive-window feedback.
+    let mut checked_at_confirm = 0u64;
+    let mut missed_at_confirm = 0u64;
+
+    if total_iters == 0 {
+        stats.total_time = transport.now() - start;
+        return stats;
+    }
+
+    broadcast(transport, &mut stats, p, me, 0, app.shared());
+
+    'main: while t_conf < total_iters {
+        // Fold in everything that has arrived.
+        while let Some(env) = transport.try_recv() {
+            stash(env, t_conf, &mut inbox, &mut history, &mut stats);
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 1: validate and confirm the oldest unconfirmed iteration.
+        // ------------------------------------------------------------------
+        if !exec_q.is_empty() {
+            let front_iter = exec_q[0].iter;
+            let mut rollback = false;
+            for k in 0..p {
+                let spec = match &exec_q[0].inputs[k] {
+                    InputSlot::Speculated(s) => s.clone(),
+                    _ => continue,
+                };
+                let Some(actual) =
+                    inbox.get(&front_iter).and_then(|m| m.get(&k)).cloned()
+                else {
+                    continue;
+                };
+                let t0 = transport.now();
+                let outcome = app.check(Rank(k), &actual, &spec);
+                transport.compute(outcome.ops);
+                stats.phases.check += transport.now() - t0;
+                stats.checked_partitions += 1;
+                stats.checked_units += outcome.checked_units;
+                stats.bad_units += outcome.bad_units;
+
+                stats.max_accepted_error =
+                    stats.max_accepted_error.max(outcome.max_accepted_error);
+                if outcome.accept {
+                    stats.accepted_partitions += 1;
+                    exec_q[0].inputs[k] = InputSlot::Validated;
+                } else {
+                    stats.misspeculated_partitions += 1;
+                    if config.correction == CorrectionMode::Incremental {
+                        let depth = exec_q.len() as u64 - 1;
+                        let t0 = transport.now();
+                        let ops = if depth == 0 {
+                            // Fix the single in-flight iteration in place:
+                            // the paper's `correct(X_j(t+1))`.
+                            let ops = app.correct(Rank(k), &spec, &actual);
+                            exec_q[0].produced = app.shared();
+                            Some(ops)
+                        } else {
+                            // Iterations were already computed on top; let
+                            // the app propagate the correction forward if
+                            // it can (first-order, bounded residual).
+                            app.correct_deep(Rank(k), &spec, &actual, depth)
+                        };
+                        match ops {
+                            Some(ops) => {
+                                transport.compute(ops);
+                                stats.phases.correct += transport.now() - t0;
+                                stats.corrections += 1;
+                                exec_q[0].inputs[k] = InputSlot::Validated;
+                                if depth > 0 {
+                                    // The live state changed; refresh the
+                                    // newest pending broadcast. (Interim
+                                    // records keep a bounded θ-order
+                                    // residual — the paper's accepted-
+                                    // error philosophy.)
+                                    let last = exec_q.len() - 1;
+                                    exec_q[last].produced = app.shared();
+                                }
+                            }
+                            None => {
+                                rollback = true;
+                                break;
+                            }
+                        }
+                    } else {
+                        // Exact recomputation requested: roll back to the
+                        // pre-state of the oldest record and re-execute
+                        // with the actuals now in the inbox.
+                        rollback = true;
+                        break;
+                    }
+                }
+            }
+
+            if rollback {
+                app.restore(&exec_q[0].pre);
+                t_exec = front_iter;
+                exec_q.clear();
+                stats.rollbacks += 1;
+                continue 'main;
+            }
+
+            let resolved = exec_q[0]
+                .inputs
+                .iter()
+                .all(|s| matches!(s, InputSlot::Actual | InputSlot::Validated));
+            if resolved {
+                let rec = exec_q.pop_front().expect("non-empty queue");
+                t_conf = rec.iter + 1;
+                stats.iterations += 1;
+                if config.collect_log {
+                    if let Some(mut entry) = log_pending.remove(&rec.iter) {
+                        entry.confirmed_at = transport.now();
+                        stats.iteration_log.push(entry);
+                    }
+                }
+                config.window.on_confirm(
+                    stats.misspeculated_partitions - missed_at_confirm,
+                    stats.checked_partitions - checked_at_confirm,
+                    waited_since_confirm,
+                );
+                missed_at_confirm = stats.misspeculated_partitions;
+                checked_at_confirm = stats.checked_partitions;
+                waited_since_confirm = SimDuration::ZERO;
+                if t_conf < total_iters {
+                    broadcast(transport, &mut stats, p, me, t_conf, rec.produced);
+                }
+                // Everything below t_conf is fully consumed.
+                inbox = inbox.split_off(&t_conf);
+                continue 'main;
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 2: execute the next iteration if the window allows it.
+        // ------------------------------------------------------------------
+        let window = config.window.current();
+        let depth = t_exec - t_conf;
+        if t_exec < total_iters && depth < u64::from(window.max(1)) {
+            let empty = HashMap::new();
+            let avail = inbox.get(&t_exec).unwrap_or(&empty);
+            let missing: Vec<usize> =
+                (0..p).filter(|k| *k != me.0 && !avail.contains_key(k)).collect();
+
+            // Pre-compute speculations (read-only on the app) so we can
+            // abandon the attempt without side effects if any peer is
+            // unpredictable (e.g. empty history at iteration 0).
+            let mut speculations: Vec<(usize, A::Shared, u64)> = Vec::new();
+            let mut speculable = window >= 1;
+            if speculable {
+                for &k in &missing {
+                    let ahead = history[k]
+                        .latest_iter()
+                        .map(|li| t_exec.saturating_sub(li).max(1) as u32);
+                    match ahead.and_then(|a| app.speculate(Rank(k), &history[k], a)) {
+                        Some((sv, ops)) => speculations.push((k, sv, ops)),
+                        None => {
+                            speculable = false;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if missing.is_empty() || speculable {
+                stats.executions += 1;
+                stats.max_depth_used = stats.max_depth_used.max(depth + 1);
+                let exec_start = transport.now();
+                let pre = app.checkpoint();
+                let mut inputs: Vec<InputSlot<A::Shared>> =
+                    (0..p).map(|_| InputSlot::Validated).collect();
+
+                let mut comp_ops = app.begin_iteration();
+                let mut spec_ops = 0u64;
+                for k in 0..p {
+                    if k == me.0 {
+                        continue;
+                    }
+                    if let Some(actual) = avail.get(&k) {
+                        comp_ops += app.absorb(Rank(k), actual);
+                        inputs[k] = InputSlot::Actual;
+                    } else {
+                        let (_, sv, ops) = speculations
+                            .iter()
+                            .find(|(kk, _, _)| *kk == k)
+                            .expect("speculation prepared for every missing peer");
+                        spec_ops += ops;
+                        comp_ops += app.absorb(Rank(k), sv);
+                        stats.speculated_partitions += 1;
+                        inputs[k] = InputSlot::Speculated(sv.clone());
+                    }
+                }
+                comp_ops += app.finish_iteration();
+
+                if spec_ops > 0 {
+                    let t0 = transport.now();
+                    transport.compute(spec_ops);
+                    stats.phases.speculate += transport.now() - t0;
+                }
+                let t0 = transport.now();
+                transport.compute(comp_ops);
+                stats.phases.compute += transport.now() - t0;
+
+                if config.collect_log {
+                    let rerun = log_pending.contains_key(&t_exec);
+                    let entry = log_pending.entry(t_exec).or_insert(IterationLog {
+                        iter: t_exec,
+                        exec_start,
+                        exec_end: exec_start,
+                        confirmed_at: exec_start,
+                        speculated_inputs: 0,
+                        re_executions: 0,
+                    });
+                    if rerun {
+                        entry.re_executions += 1;
+                    }
+                    entry.exec_start = exec_start;
+                    entry.exec_end = transport.now();
+                    entry.speculated_inputs = inputs
+                        .iter()
+                        .filter(|s| matches!(s, InputSlot::Speculated(_)))
+                        .count() as u32;
+                }
+
+                exec_q.push_back(ExecRecord {
+                    iter: t_exec,
+                    pre,
+                    produced: app.shared(),
+                    inputs,
+                });
+                t_exec += 1;
+                continue 'main;
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 3: nothing to compute — block for the next message.
+        // ------------------------------------------------------------------
+        let t0 = transport.now();
+        let env = transport.recv();
+        let waited = transport.now() - t0;
+        stats.phases.comm_wait += waited;
+        waited_since_confirm += waited;
+        stash(env, t_conf, &mut inbox, &mut history, &mut stats);
+    }
+
+    stats.total_time = transport.now() - start;
+    stats
+}
+
+fn broadcast<T, S>(
+    transport: &mut T,
+    stats: &mut RunStats,
+    p: usize,
+    me: Rank,
+    iter: u64,
+    data: S,
+) where
+    S: Clone + Send + 'static,
+    T: Transport<Msg = IterMsg<S>>,
+{
+    for k in 0..p {
+        if k != me.0 {
+            transport.send(Rank(k), DATA_TAG, IterMsg { iter, data: data.clone() });
+            stats.messages_sent += 1;
+        }
+    }
+}
+
+fn stash<S: Clone>(
+    env: Envelope<IterMsg<S>>,
+    t_conf: u64,
+    inbox: &mut BTreeMap<u64, HashMap<usize, S>>,
+    history: &mut [History<S>],
+    stats: &mut RunStats,
+) {
+    stats.messages_received += 1;
+    let IterMsg { iter, data } = env.msg;
+    history[env.src.0].record(iter, data.clone());
+    if iter >= t_conf {
+        inbox.entry(iter).or_default().insert(env.src.0, data);
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::CheckOutcome;
+    use crate::config::WindowPolicy;
+    use desim::SimDuration;
+    use mpk::run_sim_cluster;
+    use netsim::{ClusterSpec, ConstantLatency, ScriptedDelays, Unloaded};
+
+    /// A linear toy app: each rank owns one scalar; every iteration
+    /// `x_j ← a·x_j + b·Σ_{k≠j} x_k`. Linearity makes incremental
+    /// correction exact, and smooth trajectories make linear extrapolation
+    /// a good speculator.
+    #[derive(Clone)]
+    struct Toy {
+        #[allow(dead_code)] // identifies the rank in debug dumps
+        me: usize,
+        x: f64,
+        pending: f64,
+        theta: f64,
+        a: f64,
+        b: f64,
+    }
+
+    impl Toy {
+        fn new(me: usize, p: usize, theta: f64) -> Self {
+            Toy {
+                me,
+                x: 1.0 + me as f64,
+                pending: 0.0,
+                theta,
+                a: 0.6,
+                b: 0.3 / p as f64,
+            }
+        }
+    }
+
+    impl SpeculativeApp for Toy {
+        type Shared = f64;
+        type Checkpoint = f64;
+
+        fn shared(&self) -> f64 {
+            self.x
+        }
+        fn begin_iteration(&mut self) -> u64 {
+            self.pending = self.a * self.x;
+            1
+        }
+        fn absorb(&mut self, _from: Rank, x: &f64) -> u64 {
+            self.pending += self.b * x;
+            100
+        }
+        fn finish_iteration(&mut self) -> u64 {
+            self.x = self.pending;
+            1
+        }
+        fn speculate(&self, _from: Rank, hist: &History<f64>, ahead: u32) -> Option<(f64, u64)> {
+            let (i1, &v1) = hist.nth_back(0)?;
+            match hist.nth_back(1) {
+                Some((i0, &v0)) => {
+                    let slope = (v1 - v0) / (i1 - i0) as f64;
+                    Some((v1 + slope * ahead as f64, 2))
+                }
+                None => Some((v1, 1)),
+            }
+        }
+        fn check(&self, _from: Rank, actual: &f64, speculated: &f64) -> CheckOutcome {
+            let err = (actual - speculated).abs() / actual.abs().max(1e-12);
+            let accept = err <= self.theta;
+            CheckOutcome {
+                accept,
+                max_error: err,
+                max_accepted_error: if accept { err } else { 0.0 },
+                checked_units: 1,
+                bad_units: u64::from(!accept),
+                ops: 2,
+            }
+        }
+        fn correct(&mut self, _from: Rank, speculated: &f64, actual: &f64) -> u64 {
+            // Exact for a linear absorb.
+            self.x += self.b * (actual - speculated);
+            100
+        }
+        fn checkpoint(&self) -> f64 {
+            self.x
+        }
+        fn restore(&mut self, c: &f64) {
+            self.x = *c;
+        }
+    }
+
+    /// Sequential reference for the toy recurrence.
+    fn toy_reference(p: usize, iters: u64) -> Vec<f64> {
+        let a = 0.6;
+        let b = 0.3 / p as f64;
+        let mut x: Vec<f64> = (0..p).map(|m| 1.0 + m as f64).collect();
+        for _ in 0..iters {
+            // Accumulate in exactly the driver's order (begin, then absorb
+            // k = 0..p ascending) so results are bit-comparable.
+            let next: Vec<f64> = (0..p)
+                .map(|j| {
+                    let mut pending = a * x[j];
+                    for (k, v) in x.iter().enumerate() {
+                        if k != j {
+                            pending += b * v;
+                        }
+                    }
+                    pending
+                })
+                .collect();
+            x = next;
+        }
+        x
+    }
+
+    fn run_toy(
+        p: usize,
+        iters: u64,
+        theta: f64,
+        config: SpecConfig,
+        latency_ms: u64,
+    ) -> (Vec<(f64, RunStats)>, SimDuration) {
+        let cluster = ClusterSpec::homogeneous(p, 100.0);
+        let (out, report) = run_sim_cluster::<IterMsg<f64>, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(latency_ms)),
+            Unloaded,
+            false,
+            move |t| {
+                let mut app = Toy::new(t.rank().0, t.size(), theta);
+                let stats = run_speculative(t, &mut app, iters, config.clone());
+                (app.x, stats)
+            },
+        )
+        .unwrap();
+        (out, report.end_time.duration_since(desim::SimTime::ZERO))
+    }
+
+    /// Entry point for the property tests below: run the toy app with an
+    /// arbitrary configuration.
+    pub fn run_any_config(
+        p: usize,
+        iters: u64,
+        theta: f64,
+        config: SpecConfig,
+        latency_ms: u64,
+    ) -> (Vec<(f64, RunStats)>, SimDuration) {
+        run_toy(p, iters, theta, config, latency_ms)
+    }
+
+    #[test]
+    fn baseline_matches_sequential_reference() {
+        let p = 4;
+        let iters = 10;
+        let (out, _) = run_toy(p, iters, 0.0, SpecConfig::baseline(), 1);
+        let reference = toy_reference(p, iters);
+        for (j, (x, stats)) in out.iter().enumerate() {
+            assert_eq!(*x, reference[j], "rank {j} diverged from reference");
+            assert_eq!(stats.iterations, iters);
+            assert_eq!(stats.speculated_partitions, 0);
+            assert_eq!(stats.rollbacks, 0);
+            assert_eq!(stats.messages_sent, (p as u64 - 1) * iters);
+        }
+    }
+
+    #[test]
+    fn theta_zero_recompute_is_bit_exact_with_baseline() {
+        let p = 5;
+        let iters = 12;
+        let cfg = SpecConfig::speculative(1).with_correction(CorrectionMode::Recompute);
+        let (out, _) = run_toy(p, iters, 0.0, cfg, 3);
+        let reference = toy_reference(p, iters);
+        for (j, (x, stats)) in out.iter().enumerate() {
+            assert_eq!(*x, reference[j], "rank {j}: θ=0 + recompute must be exact");
+            assert_eq!(stats.iterations, iters);
+        }
+    }
+
+    #[test]
+    fn theta_zero_fw2_recompute_is_bit_exact_with_baseline() {
+        let p = 3;
+        let iters = 15;
+        let cfg = SpecConfig::speculative(2).with_correction(CorrectionMode::Recompute);
+        let (out, _) = run_toy(p, iters, 0.0, cfg, 5);
+        let reference = toy_reference(p, iters);
+        for (j, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, reference[j], "rank {j}: FW=2 θ=0 must be exact");
+        }
+    }
+
+    #[test]
+    fn incremental_correction_with_theta_zero_is_close_to_reference() {
+        // Incremental correction is algebraically exact for the linear toy
+        // but floating-point non-associative; expect tiny drift only.
+        let p = 4;
+        let iters = 10;
+        let cfg = SpecConfig::speculative(1); // Incremental
+        let (out, _) = run_toy(p, iters, 0.0, cfg, 3);
+        let reference = toy_reference(p, iters);
+        for (j, (x, _)) in out.iter().enumerate() {
+            assert!((x - reference[j]).abs() < 1e-9, "rank {j} drifted: {x}");
+        }
+    }
+
+    #[test]
+    fn loose_threshold_accepts_speculations() {
+        let (out, _) = run_toy(4, 10, 1e9, SpecConfig::speculative(1), 3);
+        for (_, stats) in &out {
+            assert!(stats.speculated_partitions > 0, "must have speculated");
+            assert_eq!(stats.misspeculated_partitions, 0);
+            assert_eq!(stats.corrections, 0);
+            assert_eq!(stats.rollbacks, 0);
+            assert_eq!(stats.checked_partitions, stats.accepted_partitions);
+        }
+    }
+
+    #[test]
+    fn speculation_masks_latency() {
+        // With latency comparable to compute time, FW=1 must beat FW=0.
+        let iters = 20;
+        let (_, t_base) = run_toy(4, iters, 0.05, SpecConfig::baseline(), 2);
+        let (out, t_spec) = run_toy(4, iters, 0.05, SpecConfig::speculative(1), 2);
+        assert!(
+            t_spec < t_base,
+            "speculation should mask latency: spec {t_spec} vs base {t_base}"
+        );
+        assert!(out.iter().any(|(_, s)| s.speculated_partitions > 0));
+    }
+
+    #[test]
+    fn forward_window_two_masks_transient_delay() {
+        // Scripted: the 3rd message from rank 0 to rank 1 is hugely delayed
+        // (the paper's Figure 4 scenario). FW=2 should absorb it better
+        // than FW=1. The machines are slow enough that one iteration's
+        // compute (~20 ms) is comparable to the transient delay (40 ms) —
+        // the regime where a deeper window pays off (Fig. 4c).
+        let iters = 12;
+        let run = |fw: u32| {
+            let cluster = ClusterSpec::homogeneous(3, 0.01);
+            let net = ScriptedDelays::new(
+                ConstantLatency(SimDuration::from_millis(1)),
+                vec![(0, 1, 3, SimDuration::from_millis(40))],
+            );
+            let cfg = SpecConfig::speculative(fw);
+            let (_, report) = run_sim_cluster::<IterMsg<f64>, _, _>(
+                &cluster,
+                net,
+                Unloaded,
+                false,
+                move |t| {
+                    let mut app = Toy::new(t.rank().0, t.size(), 0.5);
+                    run_speculative(t, &mut app, iters, cfg.clone());
+                },
+            )
+            .unwrap();
+            report.end_time
+        };
+        let t1 = run(1);
+        let t2 = run(2);
+        assert!(t2 < t1, "FW=2 ({t2}) should beat FW=1 ({t1}) under a transient delay");
+    }
+
+    #[test]
+    fn tight_threshold_triggers_corrections() {
+        // θ tiny but nonzero: speculations get rejected, corrections happen,
+        // and the run still completes with near-reference results.
+        let p = 4;
+        let iters = 10;
+        let (out, _) = run_toy(p, iters, 1e-12, SpecConfig::speculative(1), 3);
+        let total_misses: u64 = out.iter().map(|(_, s)| s.misspeculated_partitions).sum();
+        let total_corrections: u64 = out.iter().map(|(_, s)| s.corrections).sum();
+        assert!(total_misses > 0, "tiny θ must reject some speculations");
+        assert_eq!(total_misses, total_corrections, "FW=1 misses must be corrected in place");
+        let reference = toy_reference(p, iters);
+        for (j, (x, _)) in out.iter().enumerate() {
+            assert!((x - reference[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recompute_mode_rolls_back_instead_of_correcting() {
+        let p = 4;
+        let iters = 10;
+        let cfg = SpecConfig::speculative(1).with_correction(CorrectionMode::Recompute);
+        let (out, _) = run_toy(p, iters, 1e-12, cfg, 3);
+        let total_rollbacks: u64 = out.iter().map(|(_, s)| s.rollbacks).sum();
+        let total_corrections: u64 = out.iter().map(|(_, s)| s.corrections).sum();
+        assert!(total_rollbacks > 0);
+        assert_eq!(total_corrections, 0);
+    }
+
+    #[test]
+    fn single_rank_needs_no_messages() {
+        let (out, _) = run_toy(1, 7, 0.01, SpecConfig::speculative(2), 1);
+        let (x, stats) = &out[0];
+        assert_eq!(stats.iterations, 7);
+        assert_eq!(stats.messages_sent, 0);
+        assert_eq!(stats.speculated_partitions, 0);
+        assert_eq!(*x, toy_reference(1, 7)[0]);
+    }
+
+    #[test]
+    fn zero_iterations_is_a_no_op() {
+        let (out, end) = run_toy(3, 0, 0.01, SpecConfig::speculative(1), 1);
+        for (x, stats) in &out {
+            assert_eq!(stats.iterations, 0);
+            assert_eq!(stats.messages_sent, 0);
+            assert_eq!(*x, toy_reference(3, 0)[out.iter().position(|(y, _)| y == x).unwrap()]);
+        }
+        assert_eq!(end, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_window_completes_and_deepens_under_latency() {
+        let cluster = ClusterSpec::homogeneous(4, 100.0);
+        let cfg = SpecConfig {
+            window: WindowPolicy::adaptive(1, 3),
+            backward_window: 2,
+            correction: CorrectionMode::Incremental,
+            collect_log: false,
+        };
+        let iters = 40;
+        let (out, _) = run_sim_cluster::<IterMsg<f64>, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(10)),
+            Unloaded,
+            false,
+            move |t| {
+                let mut app = Toy::new(t.rank().0, t.size(), 0.5);
+                run_speculative(t, &mut app, iters, cfg.clone())
+            },
+        )
+        .unwrap();
+        for stats in &out {
+            assert_eq!(stats.iterations, iters);
+            assert!(
+                stats.max_depth_used >= 2,
+                "adaptive window should deepen under heavy latency, got {}",
+                stats.max_depth_used
+            );
+        }
+    }
+
+    #[test]
+    fn phase_times_account_for_total() {
+        // compute + wait + speculate + check + correct should equal the
+        // rank's total time (the driver does no unaccounted virtual work).
+        let (out, _) = run_toy(4, 10, 0.05, SpecConfig::speculative(1), 2);
+        for (_, stats) in &out {
+            let sum = stats.phases.total();
+            assert_eq!(sum, stats.total_time, "phases must partition total time");
+        }
+    }
+
+    #[test]
+    fn stats_message_counts() {
+        let p = 5;
+        let iters = 8;
+        let (out, _) = run_toy(p, iters, 0.05, SpecConfig::speculative(1), 2);
+        for (_, stats) in &out {
+            assert_eq!(stats.messages_sent, (p as u64 - 1) * iters);
+            assert!(stats.messages_received <= (p as u64 - 1) * iters);
+        }
+    }
+
+    #[test]
+    fn iteration_log_records_every_iteration_in_order() {
+        let p = 3;
+        let iters = 9;
+        let cluster = ClusterSpec::homogeneous(p, 100.0);
+        let cfg = SpecConfig::speculative(1).with_iteration_log();
+        let (out, _) = run_sim_cluster::<IterMsg<f64>, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(2)),
+            Unloaded,
+            false,
+            move |t| {
+                let mut app = Toy::new(t.rank().0, t.size(), 0.5);
+                run_speculative(t, &mut app, iters, cfg.clone())
+            },
+        )
+        .unwrap();
+        for stats in &out {
+            assert_eq!(stats.iteration_log.len() as u64, iters);
+            for (i, l) in stats.iteration_log.iter().enumerate() {
+                assert_eq!(l.iter, i as u64, "log must be in confirmation order");
+                assert!(l.exec_start <= l.exec_end);
+                assert!(l.exec_end <= l.confirmed_at);
+            }
+            // Iteration 0 cannot be speculated (no history); later ones
+            // should be under this latency.
+            assert_eq!(stats.iteration_log[0].speculated_inputs, 0);
+            assert!(stats
+                .iteration_log
+                .iter()
+                .skip(1)
+                .any(|l| l.speculated_inputs > 0));
+        }
+    }
+
+    #[test]
+    fn iteration_log_absent_by_default() {
+        let (out, _) = run_toy(3, 5, 0.5, SpecConfig::speculative(1), 2);
+        for (_, stats) in &out {
+            assert!(stats.iteration_log.is_empty());
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (out, end) = run_toy(4, 15, 0.01, SpecConfig::speculative(2), 3);
+            let xs: Vec<f64> = out.iter().map(|(x, _)| *x).collect();
+            let specs: Vec<u64> = out.iter().map(|(_, s)| s.speculated_partitions).collect();
+            (xs, specs, end)
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::run_any_config;
+    use crate::config::{CorrectionMode, SpecConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// For arbitrary small configurations, every rank completes all
+        /// iterations, phase times partition total time, message counts
+        /// match the protocol, and counters are internally consistent.
+        #[test]
+        fn driver_invariants_hold(
+            p in 1usize..6,
+            iters in 0u64..12,
+            fw in 0u32..4,
+            theta in prop_oneof![Just(0.0), Just(1e-6), Just(0.05), Just(1e9)],
+            latency_ms in 0u64..8,
+            recompute in any::<bool>(),
+        ) {
+            let mode = if recompute {
+                CorrectionMode::Recompute
+            } else {
+                CorrectionMode::Incremental
+            };
+            let cfg = if fw == 0 {
+                SpecConfig::baseline().with_correction(mode)
+            } else {
+                SpecConfig::speculative(fw).with_correction(mode)
+            };
+            let (out, _) = run_any_config(p, iters, theta, cfg, latency_ms);
+            for (x, stats) in &out {
+                prop_assert!(x.is_finite());
+                prop_assert_eq!(stats.iterations, iters);
+                prop_assert_eq!(stats.phases.total(), stats.total_time);
+                prop_assert_eq!(stats.messages_sent, (p as u64 - 1) * iters);
+                prop_assert!(stats.messages_received <= (p as u64 - 1) * iters);
+                prop_assert!(stats.accepted_partitions + stats.misspeculated_partitions
+                    == stats.checked_partitions);
+                prop_assert!(stats.checked_partitions <= stats.speculated_partitions);
+                prop_assert!(stats.bad_units <= stats.checked_units);
+                prop_assert!(stats.max_depth_used <= u64::from(fw.max(1)));
+                prop_assert!(stats.executions >= stats.iterations);
+            }
+        }
+
+        /// θ = +∞ accepts everything: no misspeculations, corrections, or
+        /// rollbacks, ever.
+        #[test]
+        fn infinite_theta_never_corrects(
+            p in 2usize..5,
+            iters in 1u64..10,
+            fw in 1u32..4,
+            latency_ms in 1u64..6,
+        ) {
+            let (out, _) =
+                run_any_config(p, iters, 1e18, SpecConfig::speculative(fw), latency_ms);
+            for (_, stats) in &out {
+                prop_assert_eq!(stats.misspeculated_partitions, 0);
+                prop_assert_eq!(stats.corrections, 0);
+                prop_assert_eq!(stats.rollbacks, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Execution statistics matching the paper's measurement methodology.
+//!
+//! Table 2 of the paper breaks each iteration into computation,
+//! communication(-wait), speculation and check time; Table 3 and the model's
+//! `k` need counts of speculated and misspeculated variables. [`RunStats`]
+//! collects exactly those, per rank; [`ClusterStats`] aggregates them.
+
+use desim::{SimDuration, SimTime};
+use mpk::Rank;
+
+/// One confirmed iteration's timing record (collected only when
+/// [`SpecConfig::with_iteration_log`] is set — it costs memory, not
+/// virtual time).
+///
+/// [`SpecConfig::with_iteration_log`]: crate::SpecConfig::with_iteration_log
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationLog {
+    /// Iteration number.
+    pub iter: u64,
+    /// When the (final) execution of this iteration started.
+    pub exec_start: SimTime,
+    /// When its computation finished.
+    pub exec_end: SimTime,
+    /// When every input was validated and the iteration committed.
+    pub confirmed_at: SimTime,
+    /// Peer inputs that were speculated in the final execution.
+    pub speculated_inputs: u32,
+    /// Extra executions this iteration needed (rollback re-runs).
+    pub re_executions: u32,
+}
+
+/// Virtual time spent in each phase of the speculative driver.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Useful computation (absorbing inputs, finishing iterations),
+    /// including re-execution after rollbacks.
+    pub compute: SimDuration,
+    /// Time blocked waiting for messages.
+    pub comm_wait: SimDuration,
+    /// Time producing speculated values (the paper's `f_spec` cost).
+    pub speculate: SimDuration,
+    /// Time comparing speculated with actual values (`f_check`).
+    pub check: SimDuration,
+    /// Time spent in incremental corrections of misspeculated inputs.
+    pub correct: SimDuration,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases (equals total time when accounting is exhaustive).
+    pub fn total(&self) -> SimDuration {
+        self.compute + self.comm_wait + self.speculate + self.check + self.correct
+    }
+}
+
+/// Everything one rank measured during a run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// The rank these statistics belong to.
+    pub rank: Rank,
+    /// Number of confirmed iterations.
+    pub iterations: u64,
+    /// Per-phase virtual time.
+    pub phases: PhaseBreakdown,
+    /// Virtual time from start to this rank's finish.
+    pub total_time: SimDuration,
+    /// Partition values absorbed from speculated inputs.
+    pub speculated_partitions: u64,
+    /// Partition values validated against a later actual.
+    pub checked_partitions: u64,
+    /// Partition checks that passed the error threshold.
+    pub accepted_partitions: u64,
+    /// Partition checks that failed (triggered correction or rollback).
+    pub misspeculated_partitions: u64,
+    /// Finer-grained units checked (e.g. particles), app-defined.
+    pub checked_units: u64,
+    /// Finer-grained units beyond the threshold (recomputed).
+    pub bad_units: u64,
+    /// Incremental corrections applied.
+    pub corrections: u64,
+    /// Checkpoint rollbacks (forward-window misspeculations).
+    pub rollbacks: u64,
+    /// Iterations executed, including speculative re-executions.
+    pub executions: u64,
+    /// Messages sent by this rank.
+    pub messages_sent: u64,
+    /// Messages received by this rank.
+    pub messages_received: u64,
+    /// Largest forward window actually used.
+    pub max_depth_used: u64,
+    /// Largest error among *accepted* speculations — the residual error
+    /// the run silently absorbed (drives the paper's Table 3 "max error
+    /// in force" column).
+    pub max_accepted_error: f64,
+    /// Per-iteration timing records (empty unless the config enabled the
+    /// iteration log).
+    pub iteration_log: Vec<IterationLog>,
+}
+
+impl RunStats {
+    /// Fresh zeroed statistics for `rank`.
+    pub fn new(rank: Rank) -> Self {
+        RunStats {
+            rank,
+            iterations: 0,
+            phases: PhaseBreakdown::default(),
+            total_time: SimDuration::ZERO,
+            speculated_partitions: 0,
+            checked_partitions: 0,
+            accepted_partitions: 0,
+            misspeculated_partitions: 0,
+            checked_units: 0,
+            bad_units: 0,
+            corrections: 0,
+            rollbacks: 0,
+            executions: 0,
+            messages_sent: 0,
+            messages_received: 0,
+            max_depth_used: 0,
+            max_accepted_error: 0.0,
+            iteration_log: Vec::new(),
+        }
+    }
+
+    /// The paper's `k`: fraction of checked units that had to be recomputed
+    /// because of speculation error. `0` when nothing was checked.
+    pub fn recomputation_fraction(&self) -> f64 {
+        if self.checked_units == 0 {
+            0.0
+        } else {
+            self.bad_units as f64 / self.checked_units as f64
+        }
+    }
+
+    /// Fraction of partition-level checks that were rejected.
+    pub fn partition_miss_rate(&self) -> f64 {
+        if self.checked_partitions == 0 {
+            0.0
+        } else {
+            self.misspeculated_partitions as f64 / self.checked_partitions as f64
+        }
+    }
+
+    /// Average per-iteration phase times (Table 2 reports per-iteration
+    /// seconds). Returns zeroes for a zero-iteration run.
+    pub fn per_iteration(&self) -> PhaseBreakdown {
+        if self.iterations == 0 {
+            return PhaseBreakdown::default();
+        }
+        let n = self.iterations;
+        PhaseBreakdown {
+            compute: self.phases.compute / n,
+            comm_wait: self.phases.comm_wait / n,
+            speculate: self.phases.speculate / n,
+            check: self.phases.check / n,
+            correct: self.phases.correct / n,
+        }
+    }
+}
+
+/// Statistics of every rank of one run, with cluster-level summaries.
+#[derive(Clone, Debug)]
+pub struct ClusterStats {
+    /// Per-rank statistics, rank order.
+    pub per_rank: Vec<RunStats>,
+}
+
+impl ClusterStats {
+    /// Wrap per-rank stats.
+    pub fn new(per_rank: Vec<RunStats>) -> Self {
+        assert!(!per_rank.is_empty());
+        ClusterStats { per_rank }
+    }
+
+    /// The run's makespan: the slowest rank's total time (eq. 9's `max`).
+    pub fn makespan(&self) -> SimDuration {
+        self.per_rank.iter().map(|r| r.total_time).max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Cluster-wide recomputation fraction `k`.
+    pub fn recomputation_fraction(&self) -> f64 {
+        let checked: u64 = self.per_rank.iter().map(|r| r.checked_units).sum();
+        let bad: u64 = self.per_rank.iter().map(|r| r.bad_units).sum();
+        if checked == 0 {
+            0.0
+        } else {
+            bad as f64 / checked as f64
+        }
+    }
+
+    /// Mean per-iteration phase breakdown across ranks (the aggregation the
+    /// paper's Table 2 reports).
+    pub fn mean_per_iteration(&self) -> PhaseBreakdown {
+        let n = self.per_rank.len() as u64;
+        let mut acc = PhaseBreakdown::default();
+        for r in &self.per_rank {
+            let pi = r.per_iteration();
+            acc.compute += pi.compute;
+            acc.comm_wait += pi.comm_wait;
+            acc.speculate += pi.speculate;
+            acc.check += pi.check;
+            acc.correct += pi.correct;
+        }
+        PhaseBreakdown {
+            compute: acc.compute / n,
+            comm_wait: acc.comm_wait / n,
+            speculate: acc.speculate / n,
+            check: acc.check / n,
+            correct: acc.correct / n,
+        }
+    }
+
+    /// Total rollbacks across ranks.
+    pub fn total_rollbacks(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.rollbacks).sum()
+    }
+
+    /// Largest error among accepted speculations, across ranks.
+    pub fn max_accepted_error(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.max_accepted_error).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_of_empty_stats_are_zero() {
+        let s = RunStats::new(Rank(0));
+        assert_eq!(s.recomputation_fraction(), 0.0);
+        assert_eq!(s.partition_miss_rate(), 0.0);
+        assert_eq!(s.per_iteration(), PhaseBreakdown::default());
+    }
+
+    #[test]
+    fn recomputation_fraction_counts_units() {
+        let mut s = RunStats::new(Rank(0));
+        s.checked_units = 200;
+        s.bad_units = 4;
+        assert!((s.recomputation_fraction() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_iteration_divides_by_iterations() {
+        let mut s = RunStats::new(Rank(0));
+        s.iterations = 4;
+        s.phases.compute = SimDuration::from_millis(40);
+        s.phases.comm_wait = SimDuration::from_millis(8);
+        let pi = s.per_iteration();
+        assert_eq!(pi.compute, SimDuration::from_millis(10));
+        assert_eq!(pi.comm_wait, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn makespan_is_max_over_ranks() {
+        let mut a = RunStats::new(Rank(0));
+        a.total_time = SimDuration::from_millis(5);
+        let mut b = RunStats::new(Rank(1));
+        b.total_time = SimDuration::from_millis(9);
+        let c = ClusterStats::new(vec![a, b]);
+        assert_eq!(c.makespan(), SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn phase_total_sums_components() {
+        let p = PhaseBreakdown {
+            compute: SimDuration::from_millis(1),
+            comm_wait: SimDuration::from_millis(2),
+            speculate: SimDuration::from_millis(3),
+            check: SimDuration::from_millis(4),
+            correct: SimDuration::from_millis(5),
+        };
+        assert_eq!(p.total(), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn cluster_recomputation_fraction_pools_units() {
+        let mut a = RunStats::new(Rank(0));
+        a.checked_units = 100;
+        a.bad_units = 10;
+        let mut b = RunStats::new(Rank(1));
+        b.checked_units = 300;
+        b.bad_units = 0;
+        let c = ClusterStats::new(vec![a, b]);
+        assert!((c.recomputation_fraction() - 0.025).abs() < 1e-12);
+    }
+}

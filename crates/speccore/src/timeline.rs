@@ -1,0 +1,121 @@
+//! ASCII timelines in the style of the paper's Figures 2 and 4: per-rank
+//! execution bars over virtual time, showing how speculation overlaps
+//! computation with communication.
+//!
+//! Rendering needs per-iteration records, so the run must have been
+//! configured with [`SpecConfig::with_iteration_log`].
+//!
+//! [`SpecConfig::with_iteration_log`]: crate::SpecConfig::with_iteration_log
+
+use crate::stats::RunStats;
+
+/// Render one row per rank. Each confirmed iteration paints its compute
+/// span with its iteration digit (`0`–`9`, cycling); speculative
+/// executions (any speculated input) paint `*` over the span's first cell,
+/// waits show as `·`, and the commit instant as `|`.
+///
+/// `width` is the number of character cells for the full time axis.
+pub fn render(stats: &[RunStats], width: usize) -> String {
+    assert!(width >= 10, "timeline needs at least 10 columns");
+    let horizon = stats
+        .iter()
+        .flat_map(|r| r.iteration_log.iter())
+        .map(|l| l.confirmed_at.as_nanos())
+        .max()
+        .unwrap_or(0);
+    if horizon == 0 {
+        return String::from("(no iteration log — run with SpecConfig::with_iteration_log)\n");
+    }
+
+    let cell = |ns: u64| ((ns as u128 * (width as u128 - 1)) / horizon as u128) as usize;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time 0 {:·>w$} {:.4}s\n",
+        "",
+        horizon as f64 * 1e-9,
+        w = width.saturating_sub(10)
+    ));
+    for r in stats {
+        let mut row = vec!['·'; width];
+        for l in &r.iteration_log {
+            let a = cell(l.exec_start.as_nanos());
+            let b = cell(l.exec_end.as_nanos()).max(a);
+            let digit = char::from_digit((l.iter % 10) as u32, 10).unwrap_or('?');
+            for c in row.iter_mut().take(b + 1).skip(a) {
+                *c = digit;
+            }
+            if l.speculated_inputs > 0 {
+                row[a] = '*';
+            }
+            let commit = cell(l.confirmed_at.as_nanos());
+            if row[commit] == '·' {
+                row[commit] = '|';
+            }
+        }
+        out.push_str(&format!("{:<5} ", format!("{}", r.rank)));
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("legend: digit = computing that iteration, * = used speculated inputs,\n        · = waiting, | = commit while idle\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IterationLog;
+    use desim::SimTime;
+    use mpk::Rank;
+
+    fn log(iter: u64, start: u64, end: u64, conf: u64, spec: u32) -> IterationLog {
+        IterationLog {
+            iter,
+            exec_start: SimTime::from_nanos(start),
+            exec_end: SimTime::from_nanos(end),
+            confirmed_at: SimTime::from_nanos(conf),
+            speculated_inputs: spec,
+            re_executions: 0,
+        }
+    }
+
+    #[test]
+    fn empty_log_renders_hint() {
+        let stats = vec![RunStats::new(Rank(0))];
+        let s = render(&stats, 40);
+        assert!(s.contains("no iteration log"));
+    }
+
+    #[test]
+    fn bars_cover_compute_spans() {
+        let mut r = RunStats::new(Rank(0));
+        r.iteration_log.push(log(0, 0, 500, 500, 0));
+        r.iteration_log.push(log(1, 500, 1000, 1000, 2));
+        let s = render(&[r], 42);
+        // Iteration digits present; speculation marked.
+        assert!(s.contains('0'));
+        assert!(s.contains('1'));
+        assert!(s.contains('*'));
+        assert!(s.contains("legend"));
+    }
+
+    #[test]
+    fn rows_align_per_rank() {
+        let mut a = RunStats::new(Rank(0));
+        a.iteration_log.push(log(0, 0, 100, 100, 0));
+        let mut b = RunStats::new(Rank(1));
+        b.iteration_log.push(log(0, 0, 200, 200, 0));
+        let s = render(&[a, b], 30);
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with('P')).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("P1"));
+        assert!(rows[1].starts_with("P2"));
+        assert_eq!(rows[0].chars().count(), rows[1].chars().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn rejects_tiny_width() {
+        render(&[RunStats::new(Rank(0))], 3);
+    }
+}

@@ -1,0 +1,328 @@
+//! 1-D Jacobi heat diffusion — the PDE-style synchronous iterative
+//! algorithm the paper's §2 cites ("solution of partial differential
+//! equations") — with speculative halo exchange.
+//!
+//! The rod is split into contiguous strips, one per rank. Each iteration a
+//! rank needs only its neighbours' boundary cells, so the broadcast payload
+//! is two scalars; non-neighbour messages are absorbed as no-ops. The
+//! update is linear in the halo values, so misspeculated boundaries can be
+//! corrected in place exactly.
+
+use std::ops::Range;
+
+use mpk::{Rank, WireSize};
+use speccore::{speculator, CheckOutcome, History, SpeculativeApp};
+
+/// The two boundary cells a rank exposes to its neighbours.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Halo {
+    /// Value of the strip's leftmost cell.
+    pub left: f64,
+    /// Value of the strip's rightmost cell.
+    pub right: f64,
+}
+
+impl WireSize for Halo {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+/// Parameters of the diffusion problem.
+#[derive(Clone, Copy, Debug)]
+pub struct HeatConfig {
+    /// Diffusion coefficient β per step (stability needs β ≤ 0.5).
+    pub beta: f64,
+    /// Relative error threshold θ for speculated halo values.
+    pub theta: f64,
+    /// Operations charged per owned cell per iteration.
+    pub ops_per_cell: u64,
+    /// Fixed boundary temperatures at the rod's two ends (Dirichlet).
+    pub ends: (f64, f64),
+}
+
+impl Default for HeatConfig {
+    fn default() -> Self {
+        HeatConfig { beta: 0.25, theta: 0.01, ops_per_cell: 10, ends: (1.0, 0.0) }
+    }
+}
+
+/// One rank's strip of the rod.
+pub struct HeatApp {
+    cfg: HeatConfig,
+    me: usize,
+    p: usize,
+    u: Vec<f64>,
+    /// Halo values used by the iteration in progress.
+    left_in: f64,
+    right_in: f64,
+    /// Previous values of my boundary-adjacent cells, for exact correction.
+    edge_before: (f64, f64),
+}
+
+impl HeatApp {
+    /// Build rank `me`'s strip. The initial temperature profile is a spike
+    /// in the middle of the rod.
+    pub fn new(n_total: usize, ranges: &[Range<usize>], me: usize, cfg: HeatConfig) -> Self {
+        let range = ranges[me].clone();
+        assert!(!range.is_empty(), "heat strips must be non-empty");
+        let u = range
+            .clone()
+            .map(|i| if i == n_total / 2 { 1.0 } else { 0.0 })
+            .collect();
+        HeatApp {
+            cfg,
+            me,
+            p: ranges.len(),
+            u,
+            left_in: 0.0,
+            right_in: 0.0,
+            edge_before: (0.0, 0.0),
+        }
+    }
+
+    /// The strip's current temperatures.
+    pub fn cells(&self) -> &[f64] {
+        &self.u
+    }
+
+    fn is_left_neighbor(&self, k: usize) -> bool {
+        self.me > 0 && k == self.me - 1
+    }
+
+    fn is_right_neighbor(&self, k: usize) -> bool {
+        k == self.me + 1 && k < self.p
+    }
+}
+
+impl SpeculativeApp for HeatApp {
+    type Shared = Halo;
+    type Checkpoint = Vec<f64>;
+
+    fn shared(&self) -> Halo {
+        Halo { left: self.u[0], right: *self.u.last().expect("non-empty strip") }
+    }
+
+    fn begin_iteration(&mut self) -> u64 {
+        // Dirichlet ends for the outermost strips; interior defaults are
+        // overwritten by absorb().
+        self.left_in = if self.me == 0 { self.cfg.ends.0 } else { 0.0 };
+        self.right_in = if self.me == self.p - 1 { self.cfg.ends.1 } else { 0.0 };
+        1
+    }
+
+    fn absorb(&mut self, from: Rank, halo: &Halo) -> u64 {
+        if self.is_left_neighbor(from.0) {
+            self.left_in = halo.right;
+            1
+        } else if self.is_right_neighbor(from.0) {
+            self.right_in = halo.left;
+            1
+        } else {
+            0 // non-neighbour partitions do not couple in one step
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // stencil needs i-1/i/i+1 with halos
+    fn finish_iteration(&mut self) -> u64 {
+        let n = self.u.len();
+        let beta = self.cfg.beta;
+        self.edge_before = (self.u[0], self.u[n - 1]);
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            let left = if i == 0 { self.left_in } else { self.u[i - 1] };
+            let right = if i == n - 1 { self.right_in } else { self.u[i + 1] };
+            next[i] = self.u[i] + beta * (left - 2.0 * self.u[i] + right);
+        }
+        self.u = next;
+        self.cfg.ops_per_cell * n as u64
+    }
+
+    fn speculate(&self, _from: Rank, hist: &History<Halo>, ahead: u32) -> Option<(Halo, u64)> {
+        // Extrapolate each boundary linearly from its history.
+        let mut lh = History::new(hist.capacity());
+        let mut rh = History::new(hist.capacity());
+        let mut entries: Vec<(u64, Halo)> = hist.recent().map(|(i, h)| (i, *h)).collect();
+        entries.reverse();
+        for (i, h) in entries {
+            lh.record(i, h.left);
+            rh.record(i, h.right);
+        }
+        let left = speculator::extrapolate_linear(&lh, ahead)?;
+        let right = speculator::extrapolate_linear(&rh, ahead)?;
+        Some((Halo { left, right }, 4))
+    }
+
+    fn check(&self, from: Rank, actual: &Halo, speculated: &Halo) -> CheckOutcome {
+        // Only the side we consumed matters. Temperatures can be near
+        // zero, so use an absolute-plus-relative error.
+        let err_of = |a: f64, s: f64| (a - s).abs() / a.abs().max(0.1);
+        let err = if self.is_left_neighbor(from.0) {
+            err_of(actual.right, speculated.right)
+        } else if self.is_right_neighbor(from.0) {
+            err_of(actual.left, speculated.left)
+        } else {
+            0.0
+        };
+        let accept = err <= self.cfg.theta;
+        CheckOutcome {
+            accept,
+            max_error: err,
+            max_accepted_error: if accept { err } else { 0.0 },
+            checked_units: 1,
+            bad_units: u64::from(!accept),
+            ops: 4,
+        }
+    }
+
+    fn correct(&mut self, from: Rank, speculated: &Halo, actual: &Halo) -> u64 {
+        // Each halo value enters exactly one cell's update, linearly:
+        // u_edge gains β·(actual − speculated).
+        let beta = self.cfg.beta;
+        if self.is_left_neighbor(from.0) {
+            self.u[0] += beta * (actual.right - speculated.right);
+        } else if self.is_right_neighbor(from.0) {
+            let n = self.u.len();
+            self.u[n - 1] += beta * (actual.left - speculated.left);
+        }
+        2
+    }
+
+    fn checkpoint(&self) -> Vec<f64> {
+        self.u.clone()
+    }
+
+    fn restore(&mut self, c: &Vec<f64>) {
+        self.u.clone_from(c);
+    }
+}
+
+/// Sequential reference for the whole rod.
+pub fn heat_reference(n: usize, cfg: HeatConfig, iters: u64) -> Vec<f64> {
+    let mut u: Vec<f64> = (0..n).map(|i| if i == n / 2 { 1.0 } else { 0.0 }).collect();
+    for _ in 0..iters {
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            let left = if i == 0 { cfg.ends.0 } else { u[i - 1] };
+            let right = if i == n - 1 { cfg.ends.1 } else { u[i + 1] };
+            next[i] = u[i] + cfg.beta * (left - 2.0 * u[i] + right);
+        }
+        u = next;
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn even_ranges(n: usize, p: usize) -> Vec<Range<usize>> {
+        (0..p).map(|i| i * n / p..(i + 1) * n / p).collect()
+    }
+
+    /// Drive the apps by hand, exchanging halos synchronously.
+    fn run_parallel_by_hand(n: usize, p: usize, iters: u64) -> Vec<f64> {
+        let ranges = even_ranges(n, p);
+        let cfg = HeatConfig::default();
+        let mut apps: Vec<HeatApp> =
+            (0..p).map(|me| HeatApp::new(n, &ranges, me, cfg)).collect();
+        for _ in 0..iters {
+            let halos: Vec<Halo> = apps.iter().map(|a| a.shared()).collect();
+            for (me, app) in apps.iter_mut().enumerate() {
+                app.begin_iteration();
+                for (k, halo) in halos.iter().enumerate() {
+                    if k != me {
+                        app.absorb(Rank(k), halo);
+                    }
+                }
+                app.finish_iteration();
+            }
+        }
+        apps.iter().flat_map(|a| a.cells().iter().copied()).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let n = 60;
+        let got = run_parallel_by_hand(n, 4, 50);
+        let want = heat_reference(n, HeatConfig::default(), 50);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g, w, "hand-driven parallel heat diverged");
+        }
+    }
+
+    #[test]
+    fn heat_diffuses_and_stays_bounded() {
+        let u = heat_reference(100, HeatConfig::default(), 2000);
+        // Profile must interpolate between the Dirichlet ends (1.0 → 0.0)
+        // and stay within them.
+        for v in &u {
+            assert!((-1e-9..=1.0 + 1e-9).contains(v), "temperature {v} out of bounds");
+        }
+        assert!(u[0] > u[99], "heat must flow from the hot end to the cold end");
+    }
+
+    #[test]
+    fn correction_is_exact() {
+        let n = 30;
+        let ranges = even_ranges(n, 3);
+        let cfg = HeatConfig::default();
+        let actual = Halo { left: 0.4, right: 0.7 };
+        let spec = Halo { left: 0.1, right: 0.2 };
+
+        let mut golden = HeatApp::new(n, &ranges, 1, cfg);
+        golden.begin_iteration();
+        golden.absorb(Rank(0), &actual);
+        golden.absorb(Rank(2), &Halo { left: 0.0, right: 0.0 });
+        golden.finish_iteration();
+
+        let mut fixed = HeatApp::new(n, &ranges, 1, cfg);
+        fixed.begin_iteration();
+        fixed.absorb(Rank(0), &spec);
+        fixed.absorb(Rank(2), &Halo { left: 0.0, right: 0.0 });
+        fixed.finish_iteration();
+        fixed.correct(Rank(0), &spec, &actual);
+
+        for (a, b) in golden.cells().iter().zip(fixed.cells()) {
+            assert!((a - b).abs() < 1e-15, "correction residue {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn non_neighbors_do_not_couple() {
+        let n = 30;
+        let ranges = even_ranges(n, 3);
+        let mut app = HeatApp::new(n, &ranges, 0, HeatConfig::default());
+        app.begin_iteration();
+        // Rank 2 is not adjacent to rank 0.
+        let cost = app.absorb(Rank(2), &Halo { left: 99.0, right: 99.0 });
+        assert_eq!(cost, 0);
+        let before = app.cells().to_vec();
+        app.absorb(Rank(1), &Halo { left: 0.0, right: 0.0 });
+        app.finish_iteration();
+        let _ = before;
+        let out = app.check(Rank(2), &Halo { left: 0.0, right: 0.0 }, &Halo { left: 5.0, right: 5.0 });
+        assert!(out.accept, "unused halos are always acceptable");
+    }
+
+    #[test]
+    fn speculation_extrapolates_halo_trends() {
+        let ranges = even_ranges(30, 3);
+        let app = HeatApp::new(30, &ranges, 1, HeatConfig::default());
+        let mut h = History::new(3);
+        h.record(0, Halo { left: 0.0, right: 1.0 });
+        h.record(1, Halo { left: 0.1, right: 0.9 });
+        let (spec, _) = app.speculate(Rank(0), &h, 1).unwrap();
+        assert!((spec.left - 0.2).abs() < 1e-12);
+        assert!((spec.right - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirichlet_ends_hold() {
+        // With a long run the ends approach the boundary conditions.
+        let cfg = HeatConfig::default();
+        let u = heat_reference(50, cfg, 20_000);
+        assert!((u[0] - cfg.ends.0).abs() < 0.1);
+        assert!((u[49] - cfg.ends.1).abs() < 0.1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Interactive exploration of the §4 performance model: when does
+//! speculation pay?
+//!
+//! ```text
+//! cargo run --release --example model_explorer -- [k%] [comm_ratio]
+//! ```
+//!
+//! `k%` is the recomputation percentage (default 2); `comm_ratio` scales
+//! communication time relative to the paper's example (default 1.0).
+
+use speculative_computation::prelude::*;
+
+fn main() {
+    let k: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .map(|pct: f64| pct / 100.0)
+        .unwrap_or(0.02);
+    let comm_ratio: f64 =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    let mut params = ModelParams::paper_example().with_k(k);
+    if let CommModel::QuadraticInP { coef } = params.comm {
+        params.comm = CommModel::QuadraticInP { coef: coef * comm_ratio };
+    }
+
+    println!(
+        "§4 model, k = {:.1}%, communication scaled ×{comm_ratio}\n",
+        100.0 * k
+    );
+    println!("  p | no-spec |    spec |     max | spec gain");
+    println!("----+---------+---------+---------+----------");
+    for p in 1..=16 {
+        let ns = params.speedup_nospec(p);
+        let s = params.speedup_spec(p);
+        println!(
+            "{:>3} | {:>7.2} | {:>7.2} | {:>7.2} | {:>+8.1}%",
+            p,
+            ns,
+            s,
+            params.speedup_max(p),
+            100.0 * (s / ns - 1.0)
+        );
+    }
+
+    // Where does speculation stop paying as k grows (the paper's Fig. 6)?
+    println!("\nbreak-even recomputation fraction at p = 8:");
+    let base = params.speedup_nospec(8);
+    let mut k_scan = 0.0;
+    while k_scan < 1.0 {
+        if params.with_k(k_scan).speedup_spec(8) < base {
+            println!("  speculation loses beyond k ≈ {:.1}%", 100.0 * k_scan);
+            break;
+        }
+        k_scan += 0.005;
+    }
+    if k_scan >= 1.0 {
+        println!("  speculation wins for every k in [0, 1] at this communication cost");
+    }
+}

@@ -1,0 +1,84 @@
+//! The paper's §5 case study as a CLI: parallel O(N²) N-body simulation on
+//! a simulated heterogeneous workstation network, with and without
+//! speculative computation.
+//!
+//! ```text
+//! cargo run --release --example nbody_cluster -- [n] [p] [fw] [theta] [iters]
+//! # e.g. the paper's configuration:
+//! cargo run --release --example nbody_cluster -- 1000 16 1 0.01 10
+//! ```
+
+use speculative_computation::prelude::*;
+
+fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n: usize = arg(1, 1000);
+    let p: usize = arg(2, 16);
+    let fw: u32 = arg(3, 1);
+    let theta: f64 = arg(4, 0.01);
+    let iters: u64 = arg(5, 10);
+
+    println!("N-body: {n} particles, {p} machines, FW = {fw}, θ = {theta}, {iters} steps");
+
+    // The paper's testbed shape: 120 MIPS down to 10 MIPS, shared Ethernet.
+    let cluster = ClusterSpec::paper_testbed().fastest(p);
+    let net = Jitter::new(SharedMedium::new(SimDuration::from_micros(500), 13.6e6), 0.3, 7);
+    let particles = centered_cloud(n, 42);
+
+    let mut cfg = ParallelRunConfig::new(iters, fw);
+    cfg.nbody = NBodyConfig { g: 1.0, softening: 0.01, dt: 1e-2, theta };
+
+    let before_energy = nbody::integrate::total_energy(&particles, &cfg.nbody);
+
+    let result = run_parallel(&particles, &cluster, net, Unloaded, cfg.clone())
+        .expect("simulation failed");
+
+    let after_energy = nbody::integrate::total_energy(&result.particles, &cfg.nbody);
+    let ph = result.stats.mean_per_iteration();
+
+    println!("\nvirtual run time: {:.4} s  ({:.4} s/iteration)", result.elapsed_secs(),
+        result.elapsed_secs() / iters as f64);
+    println!("per-iteration phases (mean over ranks):");
+    println!("  computation   {:.4} s", ph.compute.as_secs_f64() + ph.correct.as_secs_f64());
+    println!("  communication {:.4} s", ph.comm_wait.as_secs_f64());
+    println!("  speculation   {:.5} s", ph.speculate.as_secs_f64());
+    println!("  checking      {:.5} s", ph.check.as_secs_f64());
+
+    let spec: u64 = result.stats.per_rank.iter().map(|r| r.speculated_partitions).sum();
+    let miss: u64 = result.stats.per_rank.iter().map(|r| r.misspeculated_partitions).sum();
+    let rollbacks = result.stats.total_rollbacks();
+    println!("\nspeculated partition messages: {spec}   rejected: {miss}   rollbacks: {rollbacks}");
+    println!("recomputation fraction k = {:.2}%", 100.0 * result.stats.recomputation_fraction());
+    println!(
+        "max accepted speculation error = {:.4} (θ = {theta})",
+        result.stats.max_accepted_error()
+    );
+
+    println!("\nphysics sanity: energy {before_energy:.4} -> {after_energy:.4} (drift {:.2}%)",
+        100.0 * ((after_energy - before_energy) / before_energy.abs()));
+
+    // Compare against the no-speculation baseline for the same inputs.
+    if fw > 0 {
+        let mut base_cfg = cfg;
+        base_cfg.spec = SpecConfig::baseline();
+        let base = run_parallel(
+            &particles,
+            &cluster,
+            Jitter::new(SharedMedium::new(SimDuration::from_micros(500), 13.6e6), 0.3, 7),
+            Unloaded,
+            base_cfg,
+        )
+        .expect("baseline failed");
+        println!(
+            "\nbaseline (FW = 0) took {:.4} s — speculation gained {:+.1}%",
+            base.elapsed_secs(),
+            100.0 * (base.elapsed_secs() / result.elapsed_secs() - 1.0)
+        );
+    }
+}

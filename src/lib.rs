@@ -1,0 +1,86 @@
+//! # speculative-computation
+//!
+//! A from-scratch Rust reproduction of **Govindan & Franklin,
+//! "Speculative Computation: Overcoming Communication Delays in Parallel
+//! Algorithms"** (WUCS-94-3 / ICPP 1994).
+//!
+//! Synchronous iterative algorithms exchange every partition's values every
+//! iteration; on a slow network the processors spend much of their time
+//! waiting. The paper's technique: *speculate* the contents of messages
+//! that have not arrived (extrapolating from recent history), compute with
+//! the speculated values, and when the real message lands either accept the
+//! result (error ≤ θ), correct it incrementally, or recompute — thereby
+//! overlapping communication with useful computation.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`desim`] | Deterministic discrete-event simulation kernel (virtual time, coroutine processes, mailboxes) |
+//! | [`netsim`] | Heterogeneous machines (`M_i`), shared-medium/jitter/transient network models, background load |
+//! | [`mpk`] | PVM-style message-passing `Transport` with virtual-time and real-thread backends |
+//! | [`speccore`] | **The paper's contribution**: the speculative driver (Figures 1 & 3, forward/backward windows, θ checks, corrections, rollback, adaptive window) |
+//! | [`nbody`] | The §5 case study: O(N²) N-body with eq. 10 speculation and eq. 11 checking (plus Barnes–Hut) |
+//! | [`perfmodel`] | The §4 empirical performance model (eqs. 3–9, Figures 5/6/9) |
+//! | [`workloads`] | More synchronous iterative apps: §4 synthetic, Jacobi heat, PageRank |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use speculative_computation::prelude::*;
+//!
+//! // Four equal machines on a 5 ms-latency network.
+//! let cluster = ClusterSpec::homogeneous(4, 1.0);
+//! let particles = uniform_cloud(64, 7);
+//!
+//! let run = |fw: u32| {
+//!     run_parallel(
+//!         &particles,
+//!         &cluster,
+//!         ConstantLatency(SimDuration::from_millis(5)),
+//!         Unloaded,
+//!         ParallelRunConfig::new(5, fw),
+//!     )
+//!     .unwrap()
+//!     .elapsed_secs()
+//! };
+//!
+//! let baseline = run(0); // Figure 1: block on every message
+//! let speculative = run(1); // Figure 3: speculate, check, correct
+//! assert!(speculative < baseline);
+//! ```
+
+pub use desim;
+pub use mpk;
+pub use nbody;
+pub use netsim;
+pub use perfmodel;
+pub use speccore;
+pub use workloads;
+
+/// The names most programs need, re-exported flat.
+pub mod prelude {
+    pub use desim::{SimDuration, SimTime, Simulation};
+    pub use mpk::{
+        run_sim_cluster, run_thread_cluster, Envelope, Rank, Tag, ThreadClusterOptions,
+        Transport, WireSize,
+    };
+    pub use nbody::{
+        binary_pair, centered_cloud, colliding_clouds, rotating_disk, run_parallel,
+        uniform_cloud, NBodyApp, NBodyConfig, ParallelRunConfig, SpeculationOrder, Vec3,
+    };
+    pub use netsim::{
+        ClusterSpec, ConstantLatency, Jitter, LinkLatency, MachineSpec, NetworkModel,
+        RandomSpikes, ScriptedDelays, SharedMedium, TransientDelays, Unloaded,
+    };
+    pub use perfmodel::{CommModel, ModelParams};
+    pub use speccore::{
+        run_baseline, run_speculative, CheckOutcome, ClusterStats, CorrectionMode, History,
+        IterMsg, IterationLog, PhaseBreakdown, RunStats, SpecConfig, SpeculativeApp,
+        WindowPolicy,
+    };
+    pub use workloads::{
+        Graph, Heat2dApp, Heat2dConfig, HeatApp, HeatConfig, JacobiApp, JacobiConfig,
+        LinearSystem, PageRankApp, PageRankConfig, RowHalo, SyntheticApp, SyntheticConfig,
+    };
+}

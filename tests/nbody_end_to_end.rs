@@ -1,0 +1,183 @@
+//! End-to-end N-body correctness across the whole stack:
+//! desim → netsim → mpk → speccore → nbody.
+
+use speculative_computation::prelude::*;
+
+fn base_cfg(iters: u64, fw: u32) -> ParallelRunConfig {
+    let mut cfg = ParallelRunConfig::new(iters, fw);
+    cfg.nbody = NBodyConfig::default();
+    cfg
+}
+
+fn reference(particles: &[Particle], caps: &[f64], cfg: &NBodyConfig, iters: u64) -> Vec<Particle> {
+    let ranges = nbody::partition_proportional(particles.len(), caps);
+    let mut ps = particles.to_vec();
+    for _ in 0..iters {
+        nbody::integrate::step_partition_order(&mut ps, &ranges, cfg);
+    }
+    ps
+}
+
+use nbody::Particle;
+
+#[test]
+fn baseline_heterogeneous_matches_reference_bitwise() {
+    let particles = uniform_cloud(60, 11);
+    let cluster = ClusterSpec::linear_ramp(5, 50.0, 10.0);
+    let iters = 6;
+    let result = run_parallel(
+        &particles,
+        &cluster,
+        SharedMedium::new(SimDuration::from_millis(1), 1e6),
+        Unloaded,
+        base_cfg(iters, 0),
+    )
+    .unwrap();
+    let want = reference(&particles, &cluster.capacities(), &NBodyConfig::default(), iters);
+    for (g, w) in result.particles.iter().zip(&want) {
+        assert_eq!(g.pos, w.pos);
+        assert_eq!(g.vel, w.vel);
+    }
+}
+
+#[test]
+fn speculative_exactness_under_every_window() {
+    // θ = 0 with recompute correction must equal the baseline bitwise for
+    // FW = 1, 2, 3 — the core soundness property of the whole pipeline.
+    let particles = uniform_cloud(36, 3);
+    let cluster = ClusterSpec::homogeneous(3, 10.0);
+    let iters = 5;
+    let want = reference(
+        &particles,
+        &cluster.capacities(),
+        &NBodyConfig::default().with_theta(0.0),
+        iters,
+    );
+    for fw in 1..=3u32 {
+        let mut cfg = base_cfg(iters, fw);
+        cfg.nbody = cfg.nbody.with_theta(0.0);
+        cfg.spec = cfg.spec.with_correction(CorrectionMode::Recompute);
+        let result = run_parallel(
+            &particles,
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(3)),
+            Unloaded,
+            cfg,
+        )
+        .unwrap();
+        for (g, w) in result.particles.iter().zip(&want) {
+            assert_eq!(g.pos, w.pos, "FW={fw} diverged from the baseline");
+        }
+        let specs: u64 =
+            result.stats.per_rank.iter().map(|r| r.speculated_partitions).sum();
+        assert!(specs > 0, "FW={fw} never speculated — test proves nothing");
+    }
+}
+
+#[test]
+fn accepted_error_is_bounded_by_theta_metric() {
+    // With a loose θ the trajectories may drift, but the recorded accepted
+    // error must never exceed θ and the physics must stay finite.
+    let particles = centered_cloud(50, 5);
+    let cluster = ClusterSpec::homogeneous(4, 10.0);
+    let theta = 0.05;
+    let mut cfg = base_cfg(8, 1);
+    cfg.nbody = NBodyConfig { g: 1.0, softening: 0.01, dt: 1e-2, theta };
+    let result = run_parallel(
+        &particles,
+        &cluster,
+        ConstantLatency(SimDuration::from_millis(2)),
+        Unloaded,
+        cfg,
+    )
+    .unwrap();
+    let max_acc = result.stats.max_accepted_error();
+    assert!(max_acc <= theta + 1e-12, "accepted error {max_acc} above θ");
+    for p in &result.particles {
+        assert!(p.pos.is_finite() && p.vel.is_finite());
+    }
+}
+
+#[test]
+fn momentum_is_conserved_in_parallel_baseline() {
+    let particles = uniform_cloud(48, 9);
+    let cluster = ClusterSpec::homogeneous(4, 10.0);
+    let p0 = nbody::integrate::momentum(&particles);
+    let result = run_parallel(
+        &particles,
+        &cluster,
+        ConstantLatency(SimDuration::from_millis(1)),
+        Unloaded,
+        base_cfg(10, 0),
+    )
+    .unwrap();
+    let p1 = nbody::integrate::momentum(&result.particles);
+    assert!((p1 - p0).norm() < 1e-12, "parallel run broke momentum conservation");
+}
+
+#[test]
+fn partition_sizes_follow_machine_speeds() {
+    let cluster = ClusterSpec::linear_ramp(4, 40.0, 10.0);
+    let ranges = nbody::partition_proportional(100, &cluster.capacities());
+    // 40:30:20:10 over 100 particles.
+    assert_eq!(ranges.iter().map(|r| r.len()).collect::<Vec<_>>(), vec![40, 30, 20, 10]);
+}
+
+#[test]
+fn speculation_orders_all_complete_and_quadratic_is_most_accurate() {
+    let particles = rotating_disk(60, 13);
+    let cluster = ClusterSpec::homogeneous(3, 10.0);
+    let mut worst_err = Vec::new();
+    for order in [SpeculationOrder::Hold, SpeculationOrder::Linear, SpeculationOrder::Quadratic] {
+        let mut cfg = base_cfg(8, 1);
+        cfg.nbody = NBodyConfig { g: 1.0, softening: 0.02, dt: 1e-3, theta: 1e9 };
+        cfg.order = order;
+        let result = run_parallel(
+            &particles,
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(2)),
+            Unloaded,
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(result.stats.per_rank[0].iterations, 8);
+        worst_err.push(result.stats.max_accepted_error());
+    }
+    // On smooth orbits: Hold is worst, Quadratic at least as good as Linear.
+    assert!(worst_err[0] > worst_err[1], "velocity extrapolation must beat hold");
+    assert!(
+        worst_err[2] <= worst_err[1] * 1.5,
+        "quadratic should not be much worse than linear: {worst_err:?}"
+    );
+}
+
+#[test]
+fn deep_correction_stays_close_to_exact_recompute() {
+    // Incremental (first-order) deep correction vs exact rollback
+    // recomputation: trajectories must agree to the θ-order bound.
+    let particles = centered_cloud(40, 21);
+    let cluster = ClusterSpec::homogeneous(4, 10.0);
+    let run = |mode: CorrectionMode| {
+        let mut cfg = base_cfg(8, 2);
+        cfg.nbody = NBodyConfig { g: 1.0, softening: 0.01, dt: 1e-2, theta: 1e-3 };
+        cfg.spec = cfg.spec.with_correction(mode);
+        run_parallel(
+            &particles,
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(4)),
+            Unloaded,
+            cfg,
+        )
+        .unwrap()
+    };
+    let exact = run(CorrectionMode::Recompute);
+    let approx = run(CorrectionMode::Incremental);
+    let corrections: u64 =
+        approx.stats.per_rank.iter().map(|r| r.corrections).sum();
+    assert!(corrections > 0, "no deep corrections exercised");
+    let mut max_gap: f64 = 0.0;
+    for (a, b) in exact.particles.iter().zip(&approx.particles) {
+        max_gap = max_gap.max(a.pos.distance(b.pos));
+    }
+    assert!(max_gap < 5e-2, "deep correction drifted {max_gap} from exact");
+}

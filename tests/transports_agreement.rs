@@ -1,0 +1,118 @@
+//! The virtual-time and real-thread backends run the same speculative
+//! algorithm and must produce the same *results* (timing differs by
+//! construction).
+
+use speculative_computation::prelude::*;
+
+fn even_ranges(n: usize, p: usize) -> Vec<std::ops::Range<usize>> {
+    (0..p).map(|i| i * n / p..(i + 1) * n / p).collect()
+}
+
+/// Run the synthetic workload with exact semantics (θ = 0 + recompute) on
+/// any transport and return the final values.
+fn run_exact<T: Transport<Msg = IterMsg<Vec<f64>>>>(
+    t: &mut T,
+    n: usize,
+    iters: u64,
+) -> Vec<f64> {
+    let ranges = even_ranges(n, t.size());
+    let scfg = SyntheticConfig { theta: 0.0, jump_prob: 0.1, seed: 5, ..Default::default() };
+    let mut app = SyntheticApp::new(n, &ranges, t.rank().0, scfg);
+    let cfg = SpecConfig::speculative(1).with_correction(CorrectionMode::Recompute);
+    run_speculative(t, &mut app, iters, cfg);
+    app.values().to_vec()
+}
+
+#[test]
+fn sim_and_thread_backends_agree_exactly() {
+    let n = 32;
+    let p = 4;
+    let iters = 8;
+
+    let cluster = ClusterSpec::homogeneous(p, 1000.0);
+    let (sim_out, _) = run_sim_cluster::<IterMsg<Vec<f64>>, _, _>(
+        &cluster,
+        ConstantLatency(SimDuration::from_micros(100)),
+        Unloaded,
+        false,
+        move |t| run_exact(t, n, iters),
+    )
+    .unwrap();
+
+    let thread_out = run_thread_cluster::<IterMsg<Vec<f64>>, _, _>(
+        p,
+        ThreadClusterOptions {
+            latency: std::time::Duration::from_micros(200),
+            ..Default::default()
+        },
+        move |t| run_exact(t, n, iters),
+    );
+
+    assert_eq!(sim_out, thread_out, "backends must agree bit-for-bit under θ=0+recompute");
+}
+
+#[test]
+fn thread_backend_handles_speculation_under_real_latency() {
+    // With a visible injected latency the thread backend must actually
+    // speculate (not merely fall through to the actual-input path).
+    let n = 24;
+    let p = 3;
+    let stats = run_thread_cluster::<IterMsg<Vec<f64>>, _, _>(
+        p,
+        ThreadClusterOptions {
+            latency: std::time::Duration::from_millis(5),
+            mips: 5000.0,
+            ..Default::default()
+        },
+        move |t| {
+            let ranges = even_ranges(n, t.size());
+            let mut app = SyntheticApp::new(
+                n,
+                &ranges,
+                t.rank().0,
+                SyntheticConfig { theta: 0.5, ..Default::default() },
+            );
+            run_speculative(t, &mut app, 10, SpecConfig::speculative(1))
+        },
+    );
+    let total_spec: u64 = stats.iter().map(|s| s.speculated_partitions).sum();
+    assert!(total_spec > 0, "thread backend never speculated under 5 ms latency");
+    for s in &stats {
+        assert_eq!(s.iterations, 10);
+    }
+}
+
+#[test]
+fn thread_backend_baseline_equals_sim_baseline() {
+    let n = 30;
+    let p = 3;
+    let iters = 6;
+    let cluster = ClusterSpec::homogeneous(p, 1000.0);
+    let (sim_out, _) = run_sim_cluster::<IterMsg<Vec<f64>>, _, _>(
+        &cluster,
+        ConstantLatency(SimDuration::from_micros(50)),
+        Unloaded,
+        false,
+        move |t| {
+            let ranges = even_ranges(n, t.size());
+            let mut app =
+                SyntheticApp::new(n, &ranges, t.rank().0, SyntheticConfig::default());
+            run_baseline(t, &mut app, iters);
+            app.values().to_vec()
+        },
+    )
+    .unwrap();
+
+    let thread_out = run_thread_cluster::<IterMsg<Vec<f64>>, _, _>(
+        p,
+        ThreadClusterOptions::default(),
+        move |t| {
+            let ranges = even_ranges(n, t.size());
+            let mut app =
+                SyntheticApp::new(n, &ranges, t.rank().0, SyntheticConfig::default());
+            run_baseline(t, &mut app, iters);
+            app.values().to_vec()
+        },
+    );
+    assert_eq!(sim_out, thread_out);
+}
