@@ -20,7 +20,12 @@ use speccore::{CorrectionMode, SpecConfig, WindowPolicy};
 fn scale() -> Scale {
     match std::env::var("SPEC_BENCH_SCALE").as_deref() {
         Ok("quick") => Scale::quick(),
-        _ => Scale { n_particles: 500, iterations: 8, p_values: vec![8], seed: 42 },
+        _ => Scale {
+            n_particles: 500,
+            iterations: 8,
+            p_values: vec![8],
+            seed: 42,
+        },
     }
 }
 
@@ -90,7 +95,12 @@ fn main() {
             " {fw} | {:>7.4} | {:>9} | {}",
             r.elapsed_secs(),
             r.stats.total_rollbacks(),
-            r.stats.per_rank.iter().map(|x| x.max_depth_used).max().unwrap_or(0)
+            r.stats
+                .per_rank
+                .iter()
+                .map(|x| x.max_depth_used)
+                .max()
+                .unwrap_or(0)
         );
     }
 
@@ -114,7 +124,12 @@ fn main() {
         println!(
             "{name:<12} | {:>7.4} | {}",
             r.elapsed_secs(),
-            r.stats.per_rank.iter().map(|x| x.max_depth_used).max().unwrap_or(0)
+            r.stats
+                .per_rank
+                .iter()
+                .map(|x| x.max_depth_used)
+                .max()
+                .unwrap_or(0)
         );
     }
 

@@ -80,5 +80,10 @@ fn bench_cluster_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_context_switch, bench_cluster_round);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_context_switch,
+    bench_cluster_round
+);
 criterion_main!(benches);

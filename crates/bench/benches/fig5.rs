@@ -1,5 +1,9 @@
-//! Regenerates the paper's Figure 5 (model speedups vs processor count).
+//! Regenerates the paper's Figure 5 (model speedups vs processor count):
+//! prints the text rendering and writes the `BENCH_fig5.json` artifact.
 fn main() {
     let rows = spec_bench::experiments::fig5();
     println!("{}", spec_bench::render::fig5(&rows));
+    let doc = spec_bench::artifact::fig5_json(&rows);
+    let path = spec_bench::artifact::write("fig5", &doc).expect("writing BENCH_fig5.json");
+    println!("wrote {}", path.display());
 }

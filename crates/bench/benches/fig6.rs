@@ -1,5 +1,9 @@
-//! Regenerates the paper's Figure 6 (model speedup vs recomputation %).
+//! Regenerates the paper's Figure 6 (model speedup vs recomputation %):
+//! prints the text rendering and writes the `BENCH_fig6.json` artifact.
 fn main() {
     let rows = spec_bench::experiments::fig6();
     println!("{}", spec_bench::render::fig6(&rows));
+    let doc = spec_bench::artifact::fig6_json(&rows);
+    let path = spec_bench::artifact::write("fig6", &doc).expect("writing BENCH_fig6.json");
+    println!("wrote {}", path.display());
 }

@@ -1,7 +1,16 @@
 //! Regenerates the paper's Figure 8 (measured N-body speedups vs p).
 //! Scale selected by SPEC_BENCH_SCALE (paper|quick, default paper).
+//!
+//! Besides the text rendering, writes `BENCH_fig8.json`: the raw sweep
+//! data plus a full telemetry run report (per-rank phase totals, message
+//! counters, span histograms) of the flagship configuration.
 fn main() {
     let scale = spec_bench::Scale::from_env();
-    let rows = spec_bench::experiments::fig8(&scale);
+    let data = spec_bench::experiments::fig8_data(&scale);
+    let rows = spec_bench::experiments::fig8_rows(&data, &scale);
     println!("{}", spec_bench::render::fig8(&rows));
+    let report = spec_bench::experiments::fig8_run_report(&scale);
+    let doc = spec_bench::artifact::fig8_json(&data, &report);
+    let path = spec_bench::artifact::write("fig8", &doc).expect("writing BENCH_fig8.json");
+    println!("wrote {}", path.display());
 }

@@ -7,9 +7,7 @@ use std::hint::black_box;
 
 use mpk::Rank;
 use nbody::barnes_hut::{BhConfig, Octree};
-use nbody::{
-    partition_proportional, uniform_cloud, NBodyApp, NBodyConfig, SpeculationOrder,
-};
+use nbody::{partition_proportional, uniform_cloud, NBodyApp, NBodyConfig, SpeculationOrder};
 use speccore::{History, SpeculativeApp};
 
 fn bench_force_kernel(c: &mut Criterion) {

@@ -1,7 +1,11 @@
-//! Regenerates the paper's Table 2 (per-iteration phase times).
+//! Regenerates the paper's Table 2 (per-iteration phase times):
+//! prints the text rendering and writes the `BENCH_table2.json` artifact.
 fn main() {
     let scale = spec_bench::Scale::from_env();
     let p = scale.p_values.iter().copied().max().unwrap_or(16).max(2);
     let rows = spec_bench::experiments::table2(&scale);
     println!("{}", spec_bench::render::table2(&rows, p));
+    let doc = spec_bench::artifact::table2_json(&rows);
+    let path = spec_bench::artifact::write("table2", &doc).expect("writing BENCH_table2.json");
+    println!("wrote {}", path.display());
 }

@@ -1,6 +1,10 @@
-//! Regenerates the paper's Table 3 (θ sweep: recomputations vs accepted error).
+//! Regenerates the paper's Table 3 (θ sweep: recomputations vs accepted error):
+//! prints the text rendering and writes the `BENCH_table3.json` artifact.
 fn main() {
     let scale = spec_bench::Scale::from_env();
     let rows = spec_bench::experiments::table3(&scale);
     println!("{}", spec_bench::render::table3(&rows));
+    let doc = spec_bench::artifact::table3_json(&rows);
+    let path = spec_bench::artifact::write("table3", &doc).expect("writing BENCH_table3.json");
+    println!("wrote {}", path.display());
 }

@@ -15,7 +15,11 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
-    let scale = if quick { Scale::quick() } else { Scale::from_env() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::from_env()
+    };
     let all = which.contains(&"all");
 
     println!(

@@ -49,7 +49,12 @@ pub fn testbed_network(seed: u64, n_particles: usize) -> impl NetworkModel + 'st
 /// errors spanning the paper's θ sweep (otherwise every θ accepts
 /// everything and Table 3 degenerates).
 pub fn experiment_nbody_config() -> NBodyConfig {
-    NBodyConfig { g: 1.0, softening: 0.01, dt: 1e-2, theta: 0.01 }
+    NBodyConfig {
+        g: 1.0,
+        softening: 0.01,
+        dt: 1e-2,
+        theta: 0.01,
+    }
 }
 
 fn run_case(
@@ -212,6 +217,30 @@ pub fn fig8(scale: &Scale) -> Vec<Fig8Row> {
     fig8_rows(&fig8_data(scale), scale)
 }
 
+/// Re-run the flagship Figure 8 configuration (largest `p`, FW = 1) with
+/// structured telemetry enabled and digest it into an [`obs::RunReport`]:
+/// per-rank phase totals, message counters, span histograms. This is the
+/// machine-readable run report embedded in `BENCH_fig8.json`.
+pub fn fig8_run_report(scale: &Scale) -> obs::RunReport {
+    let cluster = ClusterSpec::paper_testbed();
+    let particles = centered_cloud(scale.n_particles, scale.seed);
+    let p = scale.p_values.iter().copied().max().unwrap_or(16).max(2);
+    let sub = cluster.fastest(p);
+    let mut cfg = ParallelRunConfig::new(scale.iterations, 1).with_trace();
+    cfg.nbody = experiment_nbody_config();
+    cfg.spec = cfg.spec.with_correction(CorrectionMode::Incremental);
+    let result = run_parallel(
+        &particles,
+        &sub,
+        testbed_network(derive_seed(scale.seed, p as u64), particles.len()),
+        Unloaded,
+        cfg,
+    )
+    .expect("traced fig8 run failed");
+    let traces = result.traces.as_deref().expect("collect_trace was set");
+    obs::RunReport::from_traces(format!("fig8_p{p}_fw1"), traces)
+}
+
 // ---------------------------------------------------------------------------
 // Table 2: phase breakdown at the largest processor count
 // ---------------------------------------------------------------------------
@@ -326,8 +355,7 @@ pub struct Fig9Row {
 /// waits, and `k` from the measured FW = 1 recomputation fractions.
 pub fn calibrated_model(scale: &Scale, data: &Fig8Data) -> ModelParams {
     let n = scale.n_particles as f64;
-    let capacities: Vec<f64> =
-        data.cluster.capacities().iter().map(|m| m * 1e6).collect();
+    let capacities: Vec<f64> = data.cluster.capacities().iter().map(|m| m * 1e6).collect();
 
     let max_p = *scale.p_values.iter().max().expect("non-empty sweep");
     let mut t_comm = vec![0.0; max_p];
@@ -336,8 +364,12 @@ pub fn calibrated_model(scale: &Scale, data: &Fig8Data) -> ModelParams {
             t_comm[p - 1] = data.run(p, 0).comm_wait_per_iter;
         }
     }
-    let ks: Vec<f64> =
-        scale.p_values.iter().filter(|&&p| p >= 2).map(|&p| data.run(p, 1).k).collect();
+    let ks: Vec<f64> = scale
+        .p_values
+        .iter()
+        .filter(|&&p| p >= 2)
+        .map(|&p| data.run(p, 1).k)
+        .collect();
     let k = ks.iter().sum::<f64>() / ks.len().max(1) as f64;
 
     ModelParams {
@@ -379,7 +411,12 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> Scale {
-        Scale { n_particles: 60, iterations: 4, p_values: vec![1, 2, 4], seed: 7 }
+        Scale {
+            n_particles: 60,
+            iterations: 4,
+            p_values: vec![1, 2, 4],
+            seed: 7,
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod experiments;
 pub mod render;
 
@@ -50,7 +51,12 @@ impl Scale {
 
     /// A small configuration for debug builds and CI.
     pub fn quick() -> Self {
-        Scale { n_particles: 200, iterations: 6, p_values: vec![1, 2, 4, 8, 16], seed: 42 }
+        Scale {
+            n_particles: 200,
+            iterations: 6,
+            p_values: vec![1, 2, 4, 8, 16],
+            seed: 42,
+        }
     }
 
     /// Pick from the `SPEC_BENCH_SCALE` environment variable

@@ -121,8 +121,12 @@ pub fn table3(rows: &[Table3Row]) -> String {
 pub fn fig9(rows: &[Fig9Row]) -> String {
     let mut out = String::new();
     out.push_str("Figure 9 — model predictions vs measured speedups\n");
-    out.push_str("  p | meas no-spec | model no-spec | meas spec | model spec | err%(ns) | err%(s)\n");
-    out.push_str("----+--------------+---------------+-----------+------------+----------+--------\n");
+    out.push_str(
+        "  p | meas no-spec | model no-spec | meas spec | model spec | err%(ns) | err%(s)\n",
+    );
+    out.push_str(
+        "----+--------------+---------------+-----------+------------+----------+--------\n",
+    );
     let mut worst: f64 = 0.0;
     for r in rows {
         let e0 = 100.0 * (r.model_nospec - r.measured_nospec).abs() / r.measured_nospec;
@@ -166,7 +170,11 @@ mod tests {
         let s = table2(&rows, 16);
         assert!(s.contains("Table 2"));
         assert!(s.contains("paper"));
-        let t3 = table3(&[Table3Row { theta: 0.01, incorrect_pct: 2.0, max_force_error_pct: 2.0 }]);
+        let t3 = table3(&[Table3Row {
+            theta: 0.01,
+            incorrect_pct: 2.0,
+            max_force_error_pct: 2.0,
+        }]);
         assert!(t3.contains("0.010"));
     }
 }

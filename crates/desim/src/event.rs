@@ -79,7 +79,10 @@ impl EventQueue {
 
     /// Schedule `kind` to fire at `time`. Returns the assigned key.
     pub fn push(&mut self, time: SimTime, kind: EventKind) -> EventKey {
-        let key = EventKey { time, seq: self.next_seq };
+        let key = EventKey {
+            time,
+            seq: self.next_seq,
+        };
         self.next_seq += 1;
         self.heap.push(Event { key, kind });
         key

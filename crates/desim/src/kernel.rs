@@ -2,9 +2,12 @@
 //! process threads, and drives everything in deterministic virtual time.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+use obs::{Gauge, Recorder};
 
 use crate::event::{EventKind, EventQueue, Payload};
 use crate::mailbox::{Mailbox, MailboxId};
@@ -106,11 +109,18 @@ pub struct Simulation {
     req_rx: Receiver<(ProcessId, Request)>,
     now: SimTime,
     trace: TraceLog,
+    tracing_enabled: Arc<AtomicBool>,
+    recorder: Option<Box<dyn Recorder>>,
     error: Option<SimError>,
     messages_sent: u64,
     messages_delivered: u64,
     events_processed: u64,
 }
+
+/// How often (in dispatched events) the kernel samples its event-heap size
+/// into an attached [`Recorder`]. Sampling every event would dominate small
+/// traces; every 256th keeps the series cheap but still shows the shape.
+const HEAP_SAMPLE_INTERVAL: u64 = 256;
 
 impl Default for Simulation {
     fn default() -> Self {
@@ -130,6 +140,8 @@ impl Simulation {
             req_rx,
             now: SimTime::ZERO,
             trace: TraceLog::disabled(),
+            tracing_enabled: Arc::new(AtomicBool::new(false)),
+            recorder: None,
             error: None,
             messages_sent: 0,
             messages_delivered: 0,
@@ -141,6 +153,16 @@ impl Simulation {
     /// final [`SimReport`].
     pub fn enable_tracing(&mut self) {
         self.trace = TraceLog::enabled();
+        self.tracing_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Attach a structured [`Recorder`]. The kernel samples its event-heap
+    /// size into it (as [`Gauge::EventHeapSize`] under
+    /// [`obs::Event::KERNEL_RANK`]) every [`HEAP_SAMPLE_INTERVAL`] events.
+    /// Callers who need the data back should attach an
+    /// [`obs::SharedRecorder`] clone.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Allocate a mailbox before the simulation starts, so its id can be
@@ -166,12 +188,13 @@ impl Simulation {
         let req_tx = self.req_tx.clone();
         let slot: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
         let slot_for_thread = Arc::clone(&slot);
+        let tracing = Arc::clone(&self.tracing_enabled);
 
         let thread_name = format!("desim-{}-{}", pid.0, name);
         let join = std::thread::Builder::new()
             .name(thread_name)
             .spawn(move || {
-                let mut handle = ProcessHandle::new(pid, req_tx.clone(), resp_rx);
+                let mut handle = ProcessHandle::new(pid, req_tx.clone(), resp_rx, tracing);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     handle.wait_for_start();
                     f(&mut handle)
@@ -210,12 +233,23 @@ impl Simulation {
     /// blocked on a receive that can never be satisfied).
     pub fn run(mut self) -> Result<SimReport, SimError> {
         for pid in 0..self.procs.len() {
-            self.queue.push(SimTime::ZERO, EventKind::Wake(ProcessId(pid)));
+            self.queue
+                .push(SimTime::ZERO, EventKind::Wake(ProcessId(pid)));
         }
 
         while let Some(ev) = self.queue.pop() {
             self.events_processed += 1;
             self.now = ev.key.time;
+            if self.events_processed.is_multiple_of(HEAP_SAMPLE_INTERVAL) {
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.gauge(
+                        obs::Event::KERNEL_RANK,
+                        self.now.as_nanos(),
+                        Gauge::EventHeapSize,
+                        self.queue.len() as u64,
+                    );
+                }
+            }
             match ev.kind {
                 EventKind::Wake(pid) => {
                     if !self.procs[pid.0].finished {
@@ -230,7 +264,13 @@ impl Simulation {
                             .pop()
                             .expect("waiter woken on empty mailbox");
                         self.procs[pid.0].blocked_on = None;
-                        self.service(pid, Response::Message { now: self.now, msg: Some(msg) });
+                        self.service(
+                            pid,
+                            Response::Message {
+                                now: self.now,
+                                msg: Some(msg),
+                            },
+                        );
                     }
                 }
             }
@@ -247,12 +287,16 @@ impl Simulation {
                 .map(|p| {
                     (
                         p.name.clone(),
-                        p.blocked_on.expect("unfinished process not blocked after queue drain"),
+                        p.blocked_on
+                            .expect("unfinished process not blocked after queue drain"),
                     )
                 })
                 .collect();
             if !blocked.is_empty() {
-                self.error = Some(SimError::Deadlock { blocked, at: self.now });
+                self.error = Some(SimError::Deadlock {
+                    blocked,
+                    at: self.now,
+                });
             }
         }
 
@@ -310,7 +354,10 @@ impl Simulation {
                 .req_rx
                 .recv()
                 .expect("request channel closed while a process was running");
-            debug_assert_eq!(from, pid, "request from a process that was not granted time");
+            debug_assert_eq!(
+                from, pid,
+                "request from a process that was not granted time"
+            );
             match req {
                 Request::Advance(d) => {
                     self.queue.push(self.now + d, EventKind::Wake(pid));
@@ -318,7 +365,8 @@ impl Simulation {
                 }
                 Request::Send { mbox, delay, msg } => {
                     self.messages_sent += 1;
-                    self.queue.push(self.now + delay, EventKind::Deliver { mbox, msg });
+                    self.queue
+                        .push(self.now + delay, EventKind::Deliver { mbox, msg });
                     self.reply(pid, Response::Resumed { now: self.now });
                 }
                 Request::TryRecv { mbox } => {
@@ -327,7 +375,13 @@ impl Simulation {
                 }
                 Request::Recv { mbox } => {
                     if let Some(msg) = self.mailboxes[mbox.0].pop() {
-                        self.reply(pid, Response::Message { now: self.now, msg: Some(msg) });
+                        self.reply(
+                            pid,
+                            Response::Message {
+                                now: self.now,
+                                msg: Some(msg),
+                            },
+                        );
                     } else {
                         self.mailboxes[mbox.0].add_waiter(pid);
                         self.procs[pid.0].blocked_on = Some(mbox);
@@ -340,7 +394,7 @@ impl Simulation {
                     self.reply(pid, Response::Mailbox { now: self.now, id });
                 }
                 Request::Trace(label) => {
-                    self.trace.record(self.now, pid, label);
+                    self.trace.record(self.now, pid, || label);
                     self.reply(pid, Response::Resumed { now: self.now });
                 }
                 Request::Finish => {
@@ -380,7 +434,13 @@ pub fn preload_message<T: std::any::Any + Send>(
     msg: T,
 ) {
     sim.messages_sent += 1;
-    sim.queue.push(at, EventKind::Deliver { mbox, msg: Box::new(msg) as Payload });
+    sim.queue.push(
+        at,
+        EventKind::Deliver {
+            mbox,
+            msg: Box::new(msg) as Payload,
+        },
+    );
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

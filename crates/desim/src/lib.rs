@@ -60,7 +60,7 @@ pub use kernel::{preload_message, SimError, SimReport, Simulation};
 pub use mailbox::MailboxId;
 pub use process::{ProcessHandle, ProcessId, ProcessResult};
 pub use time::{SimDuration, SimTime};
-pub use trace::TraceEvent;
+pub use trace::{TraceEvent, TraceLog};
 
 #[cfg(test)]
 mod tests {
@@ -224,7 +224,12 @@ mod tests {
                 });
             }
             let r = sim.run().unwrap();
-            (r.events_processed, r.messages_delivered, r.end_time, r.finish_times)
+            (
+                r.events_processed,
+                r.messages_delivered,
+                r.end_time,
+                r.finish_times,
+            )
         }
         assert_eq!(build_and_run(), build_and_run());
     }

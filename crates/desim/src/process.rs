@@ -9,6 +9,7 @@
 //! suspend the process until the corresponding event fires.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
@@ -25,7 +26,11 @@ pub(crate) enum Request {
     /// Let virtual time pass; models computation taking this long.
     Advance(SimDuration),
     /// Schedule a message for delivery `delay` from now. Non-blocking.
-    Send { mbox: MailboxId, delay: SimDuration, msg: Payload },
+    Send {
+        mbox: MailboxId,
+        delay: SimDuration,
+        msg: Payload,
+    },
     /// Block until a message is available in `mbox`, then take it.
     Recv { mbox: MailboxId },
     /// Take a message from `mbox` if one has been delivered. Non-blocking.
@@ -63,6 +68,7 @@ pub struct ProcessHandle {
     req_tx: Sender<(ProcessId, Request)>,
     resp_rx: Receiver<Response>,
     now: SimTime,
+    tracing: Arc<AtomicBool>,
 }
 
 impl ProcessHandle {
@@ -70,8 +76,15 @@ impl ProcessHandle {
         pid: ProcessId,
         req_tx: Sender<(ProcessId, Request)>,
         resp_rx: Receiver<Response>,
+        tracing: Arc<AtomicBool>,
     ) -> Self {
-        ProcessHandle { pid, req_tx, resp_rx, now: SimTime::ZERO }
+        ProcessHandle {
+            pid,
+            req_tx,
+            resp_rx,
+            now: SimTime::ZERO,
+            tracing,
+        }
     }
 
     /// This process's id.
@@ -122,7 +135,11 @@ impl ProcessHandle {
     /// virtual time does not pass for the sender (model any send-side CPU
     /// cost with [`advance`](Self::advance)).
     pub fn send<T: Any + Send>(&mut self, mbox: MailboxId, delay: SimDuration, msg: T) {
-        match self.call(Request::Send { mbox, delay, msg: Box::new(msg) }) {
+        match self.call(Request::Send {
+            mbox,
+            delay,
+            msg: Box::new(msg),
+        }) {
             Response::Resumed { now } => self.now = now,
             _ => unreachable!("Send answered with non-Resumed"),
         }
@@ -182,8 +199,22 @@ impl ProcessHandle {
 
     /// Record a trace annotation at the current virtual time. A no-op unless
     /// tracing was enabled on the [`Simulation`](crate::Simulation).
+    ///
+    /// Prefer [`trace_with`](Self::trace_with) when the label needs
+    /// formatting: this method takes the label by value, so the caller has
+    /// already paid for it even when tracing is off.
     pub fn trace(&mut self, label: impl Into<String>) {
-        match self.call(Request::Trace(label.into())) {
+        self.trace_with(|| label.into());
+    }
+
+    /// Record a trace annotation, building the label lazily. When tracing
+    /// is disabled this is a single relaxed atomic load: the closure never
+    /// runs, nothing allocates, and no kernel round-trip happens.
+    pub fn trace_with(&mut self, label: impl FnOnce() -> String) {
+        if !self.tracing.load(Ordering::Relaxed) {
+            return;
+        }
+        match self.call(Request::Trace(label())) {
             Response::Resumed { now } => self.now = now,
             _ => unreachable!("Trace answered with non-Resumed"),
         }

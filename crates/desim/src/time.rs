@@ -253,7 +253,10 @@ mod tests {
     fn saturating_arithmetic() {
         let big = SimDuration::from_nanos(u64::MAX - 1);
         assert_eq!(big + big, SimDuration::MAX);
-        assert_eq!(SimDuration::from_nanos(1) - SimDuration::from_nanos(2), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_nanos(1) - SimDuration::from_nanos(2),
+            SimDuration::ZERO
+        );
         assert_eq!(SimTime::MAX + SimDuration::from_nanos(1), SimTime::MAX);
     }
 

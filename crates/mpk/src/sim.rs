@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use desim::{MailboxId, ProcessHandle, SimError, SimReport, SimTime, Simulation};
 use netsim::{ClusterSpec, LoadModel, MachineSpec, MsgCtx, NetworkModel};
+use obs::{Mark, Recorder};
 use parking_lot::Mutex;
 
 use crate::transport::Transport;
@@ -27,6 +28,7 @@ pub struct SimTransport<'a, 'h, M> {
     machine: MachineSpec,
     mailboxes: Vec<MailboxId>,
     shared: Arc<Mutex<SharedNet>>,
+    rec: Option<Box<dyn Recorder>>,
     _marker: PhantomData<fn() -> M>,
     _lifetime: PhantomData<&'h ()>,
 }
@@ -38,9 +40,23 @@ impl<M: Send + 'static> SimTransport<'_, '_, M> {
         self.h.trace(label);
     }
 
+    /// Lazily-built trace annotation; free when tracing is disabled.
+    pub fn trace_with(&mut self, label: impl FnOnce() -> String) {
+        self.h.trace_with(label);
+    }
+
     /// The capacity of the machine this rank runs on.
     pub fn machine(&self) -> MachineSpec {
         self.machine
+    }
+
+    /// Attach a structured telemetry sink for this rank. Typically an
+    /// [`obs::SharedRecorder`] clone, so the events can be drained after
+    /// [`run_sim_cluster`] returns. Message sends/receives are marked by
+    /// the transport itself; spans and counters come from the algorithm
+    /// via [`Transport::recorder`].
+    pub fn set_recorder(&mut self, rec: Box<dyn Recorder>) {
+        self.rec = Some(rec);
     }
 }
 
@@ -59,17 +75,66 @@ impl<M: WireSize + Send + 'static> Transport for SimTransport<'_, '_, M> {
         assert!(to.0 < self.size, "send to out-of-range rank {to}");
         assert_ne!(to, self.rank, "self-sends are not modelled");
         let bytes = msg.wire_size() + HEADER_BYTES;
-        let ctx = MsgCtx { src: self.rank.0, dst: to.0, bytes, now: self.h.now() };
+        let ctx = MsgCtx {
+            src: self.rank.0,
+            dst: to.0,
+            bytes,
+            now: self.h.now(),
+        };
         let delay = self.shared.lock().net.delay(&ctx);
-        self.h.send(self.mailboxes[to.0], delay, Envelope { src: self.rank, tag, msg });
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.mark(
+                self.rank.0 as u32,
+                self.h.now().as_nanos(),
+                Mark::MsgSent {
+                    to: to.0 as u32,
+                    bytes: bytes as u64,
+                },
+            );
+        }
+        self.h.send(
+            self.mailboxes[to.0],
+            delay,
+            Envelope {
+                src: self.rank,
+                tag,
+                msg,
+            },
+        );
     }
 
     fn try_recv(&mut self) -> Option<Envelope<M>> {
-        self.h.try_recv_as::<Envelope<M>>(self.mailboxes[self.rank.0])
+        let env = self
+            .h
+            .try_recv_as::<Envelope<M>>(self.mailboxes[self.rank.0])?;
+        if let Some(r) = self.rec.as_deref_mut() {
+            let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+            r.mark(
+                self.rank.0 as u32,
+                self.h.now().as_nanos(),
+                Mark::MsgRecv {
+                    from: env.src.0 as u32,
+                    bytes,
+                },
+            );
+        }
+        Some(env)
     }
 
     fn recv(&mut self) -> Envelope<M> {
-        self.h.recv_as::<Envelope<M>>(self.mailboxes[self.rank.0])
+        let env = self.h.recv_as::<Envelope<M>>(self.mailboxes[self.rank.0]);
+        if let Some(r) = self.rec.as_deref_mut() {
+            let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+            r.mark(
+                self.rank.0 as u32,
+                self.h.now().as_nanos(),
+                Mark::MsgRecv {
+                    from: env.src.0 as u32,
+                    bytes,
+                },
+            );
+        }
+        env
     }
 
     fn compute(&mut self, ops: u64) {
@@ -77,11 +142,16 @@ impl<M: WireSize + Send + 'static> Transport for SimTransport<'_, '_, M> {
             return;
         }
         let factor = self.shared.lock().load.factor(self.rank.0, self.h.now());
-        self.h.advance(self.machine.ops_duration(ops).mul_f64(factor));
+        self.h
+            .advance(self.machine.ops_duration(ops).mul_f64(factor));
     }
 
     fn now(&self) -> SimTime {
         self.h.now()
+    }
+
+    fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
+        self.rec.as_deref_mut()
     }
 }
 
@@ -131,7 +201,10 @@ where
     }
     let p = cluster.len();
     let mailboxes: Vec<MailboxId> = (0..p).map(|_| sim.create_mailbox()).collect();
-    let shared = Arc::new(Mutex::new(SharedNet { net: Box::new(net), load: Box::new(load) }));
+    let shared = Arc::new(Mutex::new(SharedNet {
+        net: Box::new(net),
+        load: Box::new(load),
+    }));
     let f = Arc::new(f);
 
     let results: Vec<_> = (0..p)
@@ -148,6 +221,7 @@ where
                     machine,
                     mailboxes,
                     shared,
+                    rec: None,
                     _marker: PhantomData,
                     _lifetime: PhantomData,
                 };
@@ -226,8 +300,10 @@ mod tests {
         )
         .unwrap();
         for (me, msgs) in got.iter().enumerate() {
-            let expected: Vec<(usize, u64, u32)> =
-                (0..5).filter(|k| *k != me).map(|k| (k, 100 + k as u64, 7)).collect();
+            let expected: Vec<(usize, u64, u32)> = (0..5)
+                .filter(|k| *k != me)
+                .map(|k| (k, 100 + k as u64, 7))
+                .collect();
             assert_eq!(msgs, &expected);
         }
     }

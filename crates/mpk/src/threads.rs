@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use desim::SimTime;
+use obs::{Mark, Recorder};
 use parking_lot::{Condvar, Mutex};
 
 use crate::transport::Transport;
@@ -32,7 +33,11 @@ pub struct ThreadClusterOptions {
 
 impl Default for ThreadClusterOptions {
     fn default() -> Self {
-        ThreadClusterOptions { latency: Duration::ZERO, per_byte: Duration::ZERO, mips: 1000.0 }
+        ThreadClusterOptions {
+            latency: Duration::ZERO,
+            per_byte: Duration::ZERO,
+            mips: 1000.0,
+        }
     }
 }
 
@@ -73,7 +78,10 @@ struct ThreadMailbox<M> {
 impl<M> ThreadMailbox<M> {
     fn new() -> Self {
         ThreadMailbox {
-            state: Mutex::new(MailboxState { heap: BinaryHeap::new(), seq: 0 }),
+            state: Mutex::new(MailboxState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -82,7 +90,11 @@ impl<M> ThreadMailbox<M> {
         let mut st = self.state.lock();
         let seq = st.seq;
         st.seq += 1;
-        st.heap.push(Timed { visible_at, seq, env });
+        st.heap.push(Timed {
+            visible_at,
+            seq,
+            env,
+        });
         self.cv.notify_all();
     }
 
@@ -117,6 +129,18 @@ pub struct ThreadTransport<M> {
     opts: ThreadClusterOptions,
     mailboxes: Arc<Vec<ThreadMailbox<M>>>,
     epoch: Instant,
+    rec: Option<Box<dyn Recorder>>,
+}
+
+impl<M> ThreadTransport<M> {
+    /// Attach a structured telemetry sink for this rank (typically an
+    /// [`obs::SharedRecorder`] clone, drained after
+    /// [`run_thread_cluster`] returns). Timestamps are wall-clock
+    /// nanoseconds since cluster start, so they are *not* reproducible
+    /// across runs — counters and marks are, spans durations are not.
+    pub fn set_recorder(&mut self, rec: Box<dyn Recorder>) {
+        self.rec = Some(rec);
+    }
 }
 
 impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
@@ -136,15 +160,59 @@ impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
         let bytes = msg.wire_size() + HEADER_BYTES;
         let delay = self.opts.latency + self.opts.per_byte * bytes as u32;
         let visible_at = Instant::now() + delay;
-        self.mailboxes[to.0].push(visible_at, Envelope { src: self.rank, tag, msg });
+        if let Some(r) = self.rec.as_deref_mut() {
+            let t_ns = self.epoch.elapsed().as_nanos() as u64;
+            r.mark(
+                self.rank.0 as u32,
+                t_ns,
+                Mark::MsgSent {
+                    to: to.0 as u32,
+                    bytes: bytes as u64,
+                },
+            );
+        }
+        self.mailboxes[to.0].push(
+            visible_at,
+            Envelope {
+                src: self.rank,
+                tag,
+                msg,
+            },
+        );
     }
 
     fn try_recv(&mut self) -> Option<Envelope<M>> {
-        self.mailboxes[self.rank.0].try_pop()
+        let env = self.mailboxes[self.rank.0].try_pop()?;
+        if let Some(r) = self.rec.as_deref_mut() {
+            let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+            let t_ns = self.epoch.elapsed().as_nanos() as u64;
+            r.mark(
+                self.rank.0 as u32,
+                t_ns,
+                Mark::MsgRecv {
+                    from: env.src.0 as u32,
+                    bytes,
+                },
+            );
+        }
+        Some(env)
     }
 
     fn recv(&mut self) -> Envelope<M> {
-        self.mailboxes[self.rank.0].pop_blocking()
+        let env = self.mailboxes[self.rank.0].pop_blocking();
+        if let Some(r) = self.rec.as_deref_mut() {
+            let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+            let t_ns = self.epoch.elapsed().as_nanos() as u64;
+            r.mark(
+                self.rank.0 as u32,
+                t_ns,
+                Mark::MsgRecv {
+                    from: env.src.0 as u32,
+                    bytes,
+                },
+            );
+        }
+        env
     }
 
     fn compute(&mut self, ops: u64) {
@@ -157,6 +225,10 @@ impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
 
     fn now(&self) -> SimTime {
         SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
+        self.rec.as_deref_mut()
     }
 }
 
@@ -181,8 +253,14 @@ where
                 let opts = opts.clone();
                 let f = &f;
                 s.spawn(move || {
-                    let mut t =
-                        ThreadTransport { rank: Rank(r), size: p, opts, mailboxes, epoch };
+                    let mut t = ThreadTransport {
+                        rank: Rank(r),
+                        size: p,
+                        opts,
+                        mailboxes,
+                        epoch,
+                        rec: None,
+                    };
                     f(&mut t)
                 })
             })
@@ -244,8 +322,22 @@ mod tests {
     fn earliest_visible_message_pops_first() {
         let mb = ThreadMailbox::<u8>::new();
         let now = Instant::now();
-        mb.push(now + Duration::from_millis(5), Envelope { src: Rank(0), tag: Tag(0), msg: 2 });
-        mb.push(now, Envelope { src: Rank(0), tag: Tag(0), msg: 1 });
+        mb.push(
+            now + Duration::from_millis(5),
+            Envelope {
+                src: Rank(0),
+                tag: Tag(0),
+                msg: 2,
+            },
+        );
+        mb.push(
+            now,
+            Envelope {
+                src: Rank(0),
+                tag: Tag(0),
+                msg: 1,
+            },
+        );
         assert_eq!(mb.pop_blocking().msg, 1);
         assert_eq!(mb.pop_blocking().msg, 2);
     }
@@ -255,19 +347,30 @@ mod tests {
         let mb = ThreadMailbox::<u8>::new();
         mb.push(
             Instant::now() + Duration::from_secs(60),
-            Envelope { src: Rank(0), tag: Tag(0), msg: 9 },
+            Envelope {
+                src: Rank(0),
+                tag: Tag(0),
+                msg: 9,
+            },
         );
         assert!(mb.try_pop().is_none());
     }
 
     #[test]
     fn compute_sleeps_roughly_the_right_time() {
-        let opts = ThreadClusterOptions { mips: 1.0, ..ThreadClusterOptions::default() };
+        let opts = ThreadClusterOptions {
+            mips: 1.0,
+            ..ThreadClusterOptions::default()
+        };
         let elapsed = run_thread_cluster::<(), _, _>(1, opts, |t| {
             let start = Instant::now();
             t.compute(20_000); // 20 ms at 1 MIPS
             start.elapsed()
         });
-        assert!(elapsed[0] >= Duration::from_millis(15), "slept only {:?}", elapsed[0]);
+        assert!(
+            elapsed[0] >= Duration::from_millis(15),
+            "slept only {:?}",
+            elapsed[0]
+        );
     }
 }

@@ -9,6 +9,7 @@
 //! ([`ThreadTransport`](crate::ThreadTransport)).
 
 use desim::SimTime;
+use obs::Recorder;
 
 use crate::types::{Envelope, Rank, Tag};
 
@@ -41,6 +42,16 @@ pub trait Transport {
     /// Current time. Virtual on the simulated backend, wall-clock since
     /// cluster start on the thread backend.
     fn now(&self) -> SimTime;
+
+    /// The structured telemetry sink attached to this endpoint, if any.
+    ///
+    /// Instrumented code emits with `if let Some(r) = t.recorder() { … }`,
+    /// so the disabled path is a `None` branch: no allocation, no
+    /// formatting, no timing perturbation. Backends that support telemetry
+    /// override this; the default is permanently disabled.
+    fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
+        None
+    }
 
     /// Send `msg` to every other rank (requires `Msg: Clone`).
     fn broadcast(&mut self, tag: Tag, msg: Self::Msg)

@@ -148,7 +148,10 @@ impl SpeculativeApp for NBodyApp {
     type Checkpoint = (Vec<Vec3>, Vec<Vec3>);
 
     fn shared(&self) -> PartitionShared {
-        PartitionShared { pos: self.pos.clone(), vel: self.vel.clone() }
+        PartitionShared {
+            pos: self.pos.clone(),
+            vel: self.vel.clone(),
+        }
     }
 
     fn begin_iteration(&mut self) -> u64 {
@@ -206,7 +209,10 @@ impl SpeculativeApp for NBodyApp {
                     .map(|(&r, &v)| r + v * h)
                     .collect();
                 Some((
-                    PartitionShared { pos, vel: latest.vel.clone() },
+                    PartitionShared {
+                        pos,
+                        vel: latest.vel.clone(),
+                    },
                     OPS_PER_SPECULATE * n,
                 ))
             }
@@ -221,7 +227,10 @@ impl SpeculativeApp for NBodyApp {
                         .map(|(&r, &v)| r + v * h)
                         .collect();
                     return Some((
-                        PartitionShared { pos, vel: latest.vel.clone() },
+                        PartitionShared {
+                            pos,
+                            vel: latest.vel.clone(),
+                        },
                         OPS_PER_SPECULATE * n,
                     ));
                 };
@@ -298,14 +307,19 @@ impl SpeculativeApp for NBodyApp {
             }
             for b in 0..self.pos.len() {
                 let target = self.pos_at_compute[b];
-                let delta = accel_from(target, actual.pos[i], masses[i], self.cfg.g, self.cfg.softening)
-                    - accel_from(
-                        target,
-                        speculated.pos[i],
-                        masses[i],
-                        self.cfg.g,
-                        self.cfg.softening,
-                    );
+                let delta = accel_from(
+                    target,
+                    actual.pos[i],
+                    masses[i],
+                    self.cfg.g,
+                    self.cfg.softening,
+                ) - accel_from(
+                    target,
+                    speculated.pos[i],
+                    masses[i],
+                    self.cfg.g,
+                    self.cfg.softening,
+                );
                 self.vel[b] += delta * dt;
                 self.pos[b] += delta * (dt * dt);
             }
@@ -342,14 +356,19 @@ impl SpeculativeApp for NBodyApp {
             }
             for b in 0..self.pos.len() {
                 let target = self.pos_at_compute[b];
-                let delta = accel_from(target, actual.pos[i], masses[i], self.cfg.g, self.cfg.softening)
-                    - accel_from(
-                        target,
-                        speculated.pos[i],
-                        masses[i],
-                        self.cfg.g,
-                        self.cfg.softening,
-                    );
+                let delta = accel_from(
+                    target,
+                    actual.pos[i],
+                    masses[i],
+                    self.cfg.g,
+                    self.cfg.softening,
+                ) - accel_from(
+                    target,
+                    speculated.pos[i],
+                    masses[i],
+                    self.cfg.g,
+                    self.cfg.softening,
+                );
                 self.vel[b] += delta * dt;
                 self.pos[b] += delta * (dt * dt * steps);
             }
@@ -447,7 +466,10 @@ mod tests {
         // Velocity grew from 1 to 2 over one step → a = 1/dt.
         let h = hist_of(&[
             share(vec![ZERO3], vec![Vec3::new(1.0, 0.0, 0.0)]),
-            share(vec![Vec3::new(dt, 0.0, 0.0)], vec![Vec3::new(2.0, 0.0, 0.0)]),
+            share(
+                vec![Vec3::new(dt, 0.0, 0.0)],
+                vec![Vec3::new(2.0, 0.0, 0.0)],
+            ),
         ]);
         let (spec, _) = app.speculate(Rank(1), &h, 1).unwrap();
         // v* = 2 + (1/dt)·dt = 3; r* = dt + 2·dt + ½·(1/dt)·dt² = 3.5·dt.
@@ -578,7 +600,12 @@ mod tests {
         // fraction of the inter-particle scale over one dt.
         let particles = rotating_disk(40, 7);
         let ranges = partition_proportional(40, &[1.0, 1.0]);
-        let cfg = NBodyConfig { g: 1.0, softening: 0.02, dt: 1e-3, theta: 0.01 };
+        let cfg = NBodyConfig {
+            g: 1.0,
+            softening: 0.02,
+            dt: 1e-3,
+            theta: 0.01,
+        };
         let app = NBodyApp::new(&particles, ranges.clone(), 0, cfg, SpeculationOrder::Linear);
 
         // Evolve the real system one step to get the "actual" message.

@@ -24,7 +24,11 @@ pub struct BhConfig {
 
 impl Default for BhConfig {
     fn default() -> Self {
-        BhConfig { opening_angle: 0.5, g: 1.0, softening: 0.05 }
+        BhConfig {
+            opening_angle: 0.5,
+            g: 1.0,
+            softening: 0.05,
+        }
     }
 }
 
@@ -97,7 +101,10 @@ impl Octree {
         let center = (lo + hi) * 0.5;
         let half = ((hi.x - lo.x).max(hi.y - lo.y).max(hi.z - lo.z) * 0.5 + 1e-9) * 1.001;
 
-        let mut tree = Octree { nodes: vec![Node::new(center, half)], cfg };
+        let mut tree = Octree {
+            nodes: vec![Node::new(center, half)],
+            cfg,
+        };
         for p in particles {
             tree.insert(0, p.pos, p.mass, 0);
         }
@@ -239,7 +246,11 @@ mod tests {
     #[test]
     fn zero_opening_angle_is_exact() {
         let ps = uniform_cloud(50, 1);
-        let cfg = BhConfig { opening_angle: 0.0, g: 1.0, softening: 0.05 };
+        let cfg = BhConfig {
+            opening_angle: 0.0,
+            g: 1.0,
+            softening: 0.05,
+        };
         let tree = Octree::build(&ps, cfg);
         let bh = tree.accel_on_all(&ps);
         let exact = direct_accels(&ps, 1.0, 0.05);
@@ -254,7 +265,11 @@ mod tests {
     #[test]
     fn moderate_opening_angle_is_close() {
         let ps = uniform_cloud(200, 2);
-        let cfg = BhConfig { opening_angle: 0.4, g: 1.0, softening: 0.05 };
+        let cfg = BhConfig {
+            opening_angle: 0.4,
+            g: 1.0,
+            softening: 0.05,
+        };
         let tree = Octree::build(&ps, cfg);
         let bh = tree.accel_on_all(&ps);
         let exact = direct_accels(&ps, 1.0, 0.05);
@@ -278,10 +293,22 @@ mod tests {
     #[test]
     fn two_bodies_attract_exactly() {
         let ps = vec![
-            Particle { mass: 2.0, pos: Vec3::new(-1.0, 0.0, 0.0), vel: ZERO3 },
-            Particle { mass: 3.0, pos: Vec3::new(1.0, 0.0, 0.0), vel: ZERO3 },
+            Particle {
+                mass: 2.0,
+                pos: Vec3::new(-1.0, 0.0, 0.0),
+                vel: ZERO3,
+            },
+            Particle {
+                mass: 3.0,
+                pos: Vec3::new(1.0, 0.0, 0.0),
+                vel: ZERO3,
+            },
         ];
-        let cfg = BhConfig { opening_angle: 0.5, g: 1.0, softening: 0.0 };
+        let cfg = BhConfig {
+            opening_angle: 0.5,
+            g: 1.0,
+            softening: 0.0,
+        };
         let tree = Octree::build(&ps, cfg);
         let acc = tree.accel_on_all(&ps);
         assert!((acc[0].x - 3.0 / 4.0).abs() < 1e-12);
@@ -291,9 +318,21 @@ mod tests {
     #[test]
     fn coincident_particles_do_not_hang() {
         let ps = vec![
-            Particle { mass: 1.0, pos: ZERO3, vel: ZERO3 },
-            Particle { mass: 1.0, pos: ZERO3, vel: ZERO3 },
-            Particle { mass: 1.0, pos: Vec3::new(1.0, 0.0, 0.0), vel: ZERO3 },
+            Particle {
+                mass: 1.0,
+                pos: ZERO3,
+                vel: ZERO3,
+            },
+            Particle {
+                mass: 1.0,
+                pos: ZERO3,
+                vel: ZERO3,
+            },
+            Particle {
+                mass: 1.0,
+                pos: Vec3::new(1.0, 0.0, 0.0),
+                vel: ZERO3,
+            },
         ];
         let tree = Octree::build(&ps, BhConfig::default());
         let acc = tree.accel_at(Vec3::new(5.0, 0.0, 0.0));

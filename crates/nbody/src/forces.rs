@@ -52,13 +52,7 @@ pub fn accumulate_partition(
 
 /// Accumulate intra-partition accelerations (each particle on every other
 /// of the same partition), skipping self-interaction. Returns the op count.
-pub fn accumulate_self(
-    pos: &[Vec3],
-    mass: &[f64],
-    acc: &mut [Vec3],
-    g: f64,
-    eps: f64,
-) -> u64 {
+pub fn accumulate_self(pos: &[Vec3], mass: &[f64], acc: &mut [Vec3], g: f64, eps: f64) -> u64 {
     debug_assert_eq!(pos.len(), mass.len());
     debug_assert_eq!(pos.len(), acc.len());
     let n = pos.len();
@@ -149,10 +143,12 @@ mod tests {
 
     #[test]
     fn partition_accumulation_equals_manual_loop() {
-        let targets: Vec<Vec3> =
-            (0..4).map(|i| Vec3::new(i as f64 * 0.3, 0.1, -0.2)).collect();
-        let src: Vec<Vec3> =
-            (0..3).map(|i| Vec3::new(-1.0, i as f64 * 0.5, 0.7)).collect();
+        let targets: Vec<Vec3> = (0..4)
+            .map(|i| Vec3::new(i as f64 * 0.3, 0.1, -0.2))
+            .collect();
+        let src: Vec<Vec3> = (0..3)
+            .map(|i| Vec3::new(-1.0, i as f64 * 0.5, 0.7))
+            .collect();
         let mass = vec![0.5, 1.5, 2.5];
         let mut acc = vec![ZERO3; 4];
         accumulate_partition(&targets, &mut acc, &src, &mass, G, 0.02);
@@ -173,8 +169,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn vec3() -> impl Strategy<Value = Vec3> {
-        (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0)
-            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+        (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
     }
 
     proptest! {

@@ -99,7 +99,10 @@ pub fn simulate(particles: &mut [Particle], cfg: &NBodyConfig, steps: u64) {
 
 /// Total kinetic energy `Σ ½ m v²`.
 pub fn kinetic_energy(particles: &[Particle]) -> f64 {
-    particles.iter().map(|p| 0.5 * p.mass * p.vel.norm_sq()).sum()
+    particles
+        .iter()
+        .map(|p| 0.5 * p.mass * p.vel.norm_sq())
+        .sum()
 }
 
 /// Total (softened) potential energy
@@ -139,7 +142,12 @@ mod tests {
 
     #[test]
     fn binary_orbit_conserves_energy_well() {
-        let cfg = NBodyConfig { g: 1.0, softening: 0.0, dt: 1e-3, theta: 0.01 };
+        let cfg = NBodyConfig {
+            g: 1.0,
+            softening: 0.0,
+            dt: 1e-3,
+            theta: 0.01,
+        };
         let mut ps = binary_pair(1.0, 0.5, cfg.g);
         let e0 = total_energy(&ps, &cfg);
         simulate(&mut ps, &cfg, 2000);
@@ -153,12 +161,20 @@ mod tests {
     #[test]
     fn binary_orbit_keeps_separation() {
         // Circular orbit: separation should stay near 1.
-        let cfg = NBodyConfig { g: 1.0, softening: 0.0, dt: 1e-3, theta: 0.01 };
+        let cfg = NBodyConfig {
+            g: 1.0,
+            softening: 0.0,
+            dt: 1e-3,
+            theta: 0.01,
+        };
         let mut ps = binary_pair(1.0, 0.5, cfg.g);
         for _ in 0..2000 {
             step_natural(&mut ps, &cfg);
             let sep = ps[0].pos.distance(ps[1].pos);
-            assert!((0.95..1.05).contains(&sep), "separation {sep} left the circle");
+            assert!(
+                (0.95..1.05).contains(&sep),
+                "separation {sep} left the circle"
+            );
         }
     }
 
@@ -174,7 +190,12 @@ mod tests {
 
     #[test]
     fn cloud_energy_drift_is_bounded() {
-        let cfg = NBodyConfig { g: 1.0, softening: 0.05, dt: 1e-3, theta: 0.01 };
+        let cfg = NBodyConfig {
+            g: 1.0,
+            softening: 0.05,
+            dt: 1e-3,
+            theta: 0.01,
+        };
         let mut ps = uniform_cloud(60, 9);
         let e0 = total_energy(&ps, &cfg);
         simulate(&mut ps, &cfg, 500);
@@ -197,7 +218,10 @@ mod tests {
             step_partition_order(&mut b, &ranges, &cfg);
         }
         for (pa, pb) in a.iter().zip(&b) {
-            assert!(pa.pos.distance(pb.pos) < 1e-9, "orders diverged beyond FP noise");
+            assert!(
+                pa.pos.distance(pb.pos) < 1e-9,
+                "orders diverged beyond FP noise"
+            );
         }
     }
 

@@ -32,7 +32,12 @@ pub struct NBodyConfig {
 
 impl Default for NBodyConfig {
     fn default() -> Self {
-        NBodyConfig { g: 1.0, softening: 0.05, dt: 1e-3, theta: 0.01 }
+        NBodyConfig {
+            g: 1.0,
+            softening: 0.05,
+            dt: 1e-3,
+            theta: 0.01,
+        }
     }
 }
 
@@ -82,7 +87,11 @@ pub fn uniform_cloud(n: usize, seed: u64) -> Vec<Particle> {
 pub fn centered_cloud(n: usize, seed: u64) -> Vec<Particle> {
     assert!(n >= 2);
     let mut cloud = uniform_cloud(n - 1, seed);
-    let mut out = vec![Particle { mass: 1.0, pos: ZERO3, vel: ZERO3 }];
+    let mut out = vec![Particle {
+        mass: 1.0,
+        pos: ZERO3,
+        vel: ZERO3,
+    }];
     out.append(&mut cloud);
     out
 }
@@ -95,7 +104,11 @@ pub fn rotating_disk(n: usize, seed: u64) -> Vec<Particle> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let central_mass = 1.0;
     let mut out = Vec::with_capacity(n);
-    out.push(Particle { mass: central_mass, pos: ZERO3, vel: ZERO3 });
+    out.push(Particle {
+        mass: central_mass,
+        pos: ZERO3,
+        vel: ZERO3,
+    });
     for _ in 1..n {
         let r = rng.gen_range(0.5..2.0);
         let phi = rng.gen_range(0.0..std::f64::consts::TAU);
@@ -103,7 +116,11 @@ pub fn rotating_disk(n: usize, seed: u64) -> Vec<Particle> {
         // Circular-orbit speed for G = 1 around the central mass.
         let v = (central_mass / r).sqrt();
         let vel = Vec3::new(-v * phi.sin(), v * phi.cos(), 0.0);
-        out.push(Particle { mass: 1e-4, pos, vel });
+        out.push(Particle {
+            mass: 1e-4,
+            pos,
+            vel,
+        });
     }
     out
 }
@@ -195,10 +212,16 @@ mod tests {
     fn colliding_clouds_approach_each_other() {
         let ps = colliding_clouds(40, 5);
         assert_eq!(ps.len(), 40);
-        let left_mean_vx: f64 =
-            ps.iter().filter(|p| p.pos.x < 0.0).map(|p| p.vel.x).sum::<f64>();
-        let right_mean_vx: f64 =
-            ps.iter().filter(|p| p.pos.x > 0.0).map(|p| p.vel.x).sum::<f64>();
+        let left_mean_vx: f64 = ps
+            .iter()
+            .filter(|p| p.pos.x < 0.0)
+            .map(|p| p.vel.x)
+            .sum::<f64>();
+        let right_mean_vx: f64 = ps
+            .iter()
+            .filter(|p| p.pos.x > 0.0)
+            .map(|p| p.vel.x)
+            .sum::<f64>();
         assert!(left_mean_vx > 0.0, "left cloud must move right");
         assert!(right_mean_vx < 0.0, "right cloud must move left");
     }

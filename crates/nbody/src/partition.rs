@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn equal_capacities_split_evenly() {
         let r = partition_proportional(100, &[1.0, 1.0, 1.0, 1.0]);
-        assert_eq!(r.iter().map(|x| x.len()).collect::<Vec<_>>(), vec![25, 25, 25, 25]);
+        assert_eq!(
+            r.iter().map(|x| x.len()).collect::<Vec<_>>(),
+            vec![25, 25, 25, 25]
+        );
     }
 
     #[test]
@@ -102,9 +105,7 @@ mod tests {
     #[test]
     fn paper_16_machine_ramp() {
         // The paper's §4 example: N = 1000 over the 10x linear ramp.
-        let caps: Vec<f64> = (0..16)
-            .map(|i| 100.0 - (i as f64 / 15.0) * 90.0)
-            .collect();
+        let caps: Vec<f64> = (0..16).map(|i| 100.0 - (i as f64 / 15.0) * 90.0).collect();
         let r = partition_proportional(1000, &caps);
         assert_eq!(r.iter().map(|x| x.len()).sum::<usize>(), 1000);
         // Fastest machine gets ~10x the slowest machine's share.

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use desim::{SimError, SimReport};
 use mpk::{run_sim_cluster, Transport};
 use netsim::{ClusterSpec, LoadModel, NetworkModel};
+use obs::{RunTrace, SharedRecorder};
 use speccore::{run_speculative, ClusterStats, IterMsg, RunStats, SpecConfig};
 
 use crate::app::{NBodyApp, PartitionShared, SpeculationOrder};
@@ -24,6 +25,10 @@ pub struct ParallelRunConfig {
     pub nbody: NBodyConfig,
     /// Speculation function.
     pub order: SpeculationOrder,
+    /// Collect structured telemetry (phase spans, message marks, gauges)
+    /// into [`ParallelRunResult::traces`]. Telemetry is virtual-time only,
+    /// so it does not perturb the simulated schedule.
+    pub collect_trace: bool,
 }
 
 impl ParallelRunConfig {
@@ -39,7 +44,14 @@ impl ParallelRunConfig {
             },
             nbody: NBodyConfig::default(),
             order: SpeculationOrder::Linear,
+            collect_trace: false,
         }
+    }
+
+    /// Enable structured telemetry collection.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
     }
 }
 
@@ -52,6 +64,9 @@ pub struct ParallelRunResult {
     pub stats: ClusterStats,
     /// Simulation-kernel report (end time, event counts, traces).
     pub report: SimReport,
+    /// Per-rank structured telemetry (rank ascending, kernel track last),
+    /// present when [`ParallelRunConfig::collect_trace`] was set.
+    pub traces: Option<Vec<RunTrace>>,
 }
 
 impl ParallelRunResult {
@@ -74,13 +89,18 @@ pub fn run_parallel(
     let ranges = partition_proportional(particles.len(), &cluster.capacities());
     let all: Arc<Vec<Particle>> = Arc::new(particles.to_vec());
     let ranges_shared = Arc::new(ranges);
+    let recorder = cfg.collect_trace.then(SharedRecorder::new);
 
     let (outs, report): (Vec<(Vec<Particle>, RunStats)>, SimReport) =
         run_sim_cluster::<IterMsg<PartitionShared>, _, _>(cluster, net, load, false, {
             let all = Arc::clone(&all);
             let ranges = Arc::clone(&ranges_shared);
             let cfg = cfg.clone();
+            let recorder = recorder.clone();
             move |t| {
+                if let Some(rec) = &recorder {
+                    t.set_recorder(Box::new(rec.clone()));
+                }
                 let mut app = NBodyApp::new(
                     &all,
                     ranges.as_ref().clone(),
@@ -99,7 +119,13 @@ pub fn run_parallel(
         final_particles.extend(chunk);
         per_rank.push(stats);
     }
-    Ok(ParallelRunResult { particles: final_particles, stats: ClusterStats::new(per_rank), report })
+    let traces = recorder.map(|rec| RunTrace::split_by_rank(rec.drain()));
+    Ok(ParallelRunResult {
+        particles: final_particles,
+        stats: ClusterStats::new(per_rank),
+        report,
+        traces,
+    })
 }
 
 #[cfg(test)]
@@ -160,14 +186,22 @@ mod tests {
         let ranges = partition_proportional(particles.len(), &cluster.capacities());
         let mut reference = particles.clone();
         for _ in 0..iters {
-            step_partition_order(&mut reference, &ranges, &NBodyConfig::default().with_theta(0.0));
+            step_partition_order(
+                &mut reference,
+                &ranges,
+                &NBodyConfig::default().with_theta(0.0),
+            );
         }
         for (got, want) in result.particles.iter().zip(&reference) {
             assert_eq!(got.pos, want.pos, "θ=0 + recompute must be exact");
         }
         // And speculation must actually have happened for the test to mean
         // anything.
-        assert!(result.stats.per_rank.iter().any(|r| r.speculated_partitions > 0));
+        assert!(result
+            .stats
+            .per_rank
+            .iter()
+            .any(|r| r.speculated_partitions > 0));
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub struct Vec3 {
 }
 
 /// The zero vector.
-pub const ZERO3: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+pub const ZERO3: Vec3 = Vec3 {
+    x: 0.0,
+    y: 0.0,
+    z: 0.0,
+};
 
 impl Vec3 {
     /// Construct from components.

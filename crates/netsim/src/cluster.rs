@@ -25,7 +25,9 @@ impl ClusterSpec {
     /// `count` identical machines of `mips` capacity.
     pub fn homogeneous(count: usize, mips: f64) -> Self {
         assert!(count > 0);
-        ClusterSpec { machines: vec![MachineSpec::new(mips); count] }
+        ClusterSpec {
+            machines: vec![MachineSpec::new(mips); count],
+        }
     }
 
     /// `count` machines whose capacities fall linearly from `fastest` to
@@ -39,7 +41,11 @@ impl ClusterSpec {
         );
         let machines = (0..count)
             .map(|i| {
-                let frac = if count == 1 { 0.0 } else { i as f64 / (count - 1) as f64 };
+                let frac = if count == 1 {
+                    0.0
+                } else {
+                    i as f64 / (count - 1) as f64
+                };
                 MachineSpec::new(fastest - frac * (fastest - slowest))
             })
             .collect();
@@ -79,7 +85,9 @@ impl ClusterSpec {
     /// Panics if `p` is zero or exceeds the cluster size.
     pub fn fastest(&self, p: usize) -> ClusterSpec {
         assert!(p >= 1 && p <= self.machines.len(), "p={p} out of range");
-        ClusterSpec { machines: self.machines[..p].to_vec() }
+        ClusterSpec {
+            machines: self.machines[..p].to_vec(),
+        }
     }
 
     /// Capacities `M_i` as raw numbers, fastest first.

@@ -25,11 +25,11 @@ mod machine;
 mod network;
 
 pub use cluster::ClusterSpec;
-pub use load::{BoxedLoadModel, LoadModel, RandomSpikes, Unloaded, UniformNoise};
+pub use load::{BoxedLoadModel, LoadModel, RandomSpikes, UniformNoise, Unloaded};
 pub use machine::MachineSpec;
 pub use network::{
-    BoxedNetworkModel, ConstantLatency, Jitter, LinkLatency, MsgCtx, NetworkModel,
-    ScriptedDelays, SharedMedium, TransientDelays,
+    BoxedNetworkModel, ConstantLatency, Jitter, LinkLatency, MsgCtx, NetworkModel, ScriptedDelays,
+    SharedMedium, TransientDelays,
 };
 
 #[cfg(test)]
@@ -43,7 +43,12 @@ mod tests {
         let base = SharedMedium::new(SimDuration::from_millis(1), 1e6);
         let scripted = ScriptedDelays::new(base, vec![(0, 1, 0, SimDuration::from_millis(7))]);
         let mut model = Jitter::new(scripted, 0.1, 42);
-        let d = model.delay(&MsgCtx { src: 0, dst: 1, bytes: 1000, now: SimTime::ZERO });
+        let d = model.delay(&MsgCtx {
+            src: 0,
+            dst: 1,
+            bytes: 1000,
+            now: SimTime::ZERO,
+        });
         // Base: 1ms tx + 1ms latency + 7ms script = 9ms, ±10%.
         let secs = d.as_secs_f64();
         assert!((0.0081..=0.0099).contains(&secs), "got {secs}");
@@ -53,8 +58,14 @@ mod tests {
     fn cluster_machines_convert_ops_consistently() {
         let c = ClusterSpec::paper_model_example();
         // Fastest machine: 100 MIPS; 1e8 ops take 1 virtual second.
-        assert_eq!(c.machines()[0].ops_duration(100_000_000).as_nanos(), 1_000_000_000);
+        assert_eq!(
+            c.machines()[0].ops_duration(100_000_000).as_nanos(),
+            1_000_000_000
+        );
         // Slowest: 10 MIPS; same work takes 10 virtual seconds.
-        assert_eq!(c.machines()[15].ops_duration(100_000_000).as_nanos(), 10_000_000_000);
+        assert_eq!(
+            c.machines()[15].ops_duration(100_000_000).as_nanos(),
+            10_000_000_000
+        );
     }
 }

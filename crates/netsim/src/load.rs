@@ -39,7 +39,11 @@ impl RandomSpikes {
     pub fn new(prob: f64, slowdown: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&prob), "probability must be in [0,1]");
         assert!(slowdown >= 1.0, "slowdown must be >= 1");
-        RandomSpikes { prob, slowdown, rng: SmallRng::seed_from_u64(seed) }
+        RandomSpikes {
+            prob,
+            slowdown,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -64,7 +68,10 @@ impl UniformNoise {
     /// Scale compute phases by up to `1 + frac`.
     pub fn new(frac: f64, seed: u64) -> Self {
         assert!(frac >= 0.0, "noise fraction must be non-negative");
-        UniformNoise { frac, rng: SmallRng::seed_from_u64(seed) }
+        UniformNoise {
+            frac,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -108,7 +115,9 @@ mod tests {
     fn spikes_deterministic_per_seed() {
         let run = |seed| {
             let mut m = RandomSpikes::new(0.5, 3.0, seed);
-            (0..100).map(|_| m.factor(0, SimTime::ZERO)).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| m.factor(0, SimTime::ZERO))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(11), run(11));
     }

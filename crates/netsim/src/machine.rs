@@ -21,7 +21,10 @@ impl MachineSpec {
     /// # Panics
     /// Panics if `mips` is not strictly positive and finite.
     pub fn new(mips: f64) -> Self {
-        assert!(mips.is_finite() && mips > 0.0, "machine capacity must be positive, got {mips}");
+        assert!(
+            mips.is_finite() && mips > 0.0,
+            "machine capacity must be positive, got {mips}"
+        );
         MachineSpec { mips }
     }
 

@@ -87,7 +87,11 @@ impl SharedMedium {
     /// bandwidth.
     pub fn new(latency: SimDuration, bytes_per_sec: f64) -> Self {
         assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
-        SharedMedium { latency, bytes_per_sec, busy_until: SimTime::ZERO }
+        SharedMedium {
+            latency,
+            bytes_per_sec,
+            busy_until: SimTime::ZERO,
+        }
     }
 
     /// When the bus next becomes idle (for tests/diagnostics).
@@ -121,7 +125,12 @@ impl<M: NetworkModel> TransientDelays<M> {
     /// message, using a deterministic stream seeded by `seed`.
     pub fn new(inner: M, prob: f64, extra: SimDuration, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&prob), "probability must be in [0,1]");
-        TransientDelays { inner, prob, extra, rng: SmallRng::seed_from_u64(seed) }
+        TransientDelays {
+            inner,
+            prob,
+            extra,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -147,8 +156,15 @@ pub struct Jitter<M> {
 impl<M: NetworkModel> Jitter<M> {
     /// Wrap `inner` with ±`frac` relative jitter (e.g. `0.2` for ±20%).
     pub fn new(inner: M, frac: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
-        Jitter { inner, frac, rng: SmallRng::seed_from_u64(seed) }
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0,1)"
+        );
+        Jitter {
+            inner,
+            frac,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -173,7 +189,11 @@ pub struct ScriptedDelays<M> {
 impl<M: NetworkModel> ScriptedDelays<M> {
     /// Wrap `inner` with a list of `(src, dst, nth, extra)` injections.
     pub fn new(inner: M, script: Vec<(usize, usize, u64, SimDuration)>) -> Self {
-        ScriptedDelays { inner, script, counts: std::collections::HashMap::new() }
+        ScriptedDelays {
+            inner,
+            script,
+            counts: std::collections::HashMap::new(),
+        }
     }
 }
 
@@ -206,7 +226,12 @@ mod tests {
     use super::*;
 
     fn ctx(bytes: usize, now_ns: u64) -> MsgCtx {
-        MsgCtx { src: 0, dst: 1, bytes, now: SimTime::from_nanos(now_ns) }
+        MsgCtx {
+            src: 0,
+            dst: 1,
+            bytes,
+            now: SimTime::from_nanos(now_ns),
+        }
     }
 
     #[test]
@@ -219,7 +244,10 @@ mod tests {
     #[test]
     fn link_latency_adds_tx_time() {
         // 1 MB/s, 1000 bytes => 1 ms of transmission.
-        let mut m = LinkLatency { latency: SimDuration::from_millis(2), bytes_per_sec: 1e6 };
+        let mut m = LinkLatency {
+            latency: SimDuration::from_millis(2),
+            bytes_per_sec: 1e6,
+        };
         assert_eq!(m.delay(&ctx(1000, 0)), SimDuration::from_millis(3));
     }
 
@@ -268,7 +296,9 @@ mod tests {
         let run = |seed| {
             let base = ConstantLatency(SimDuration::from_millis(1));
             let mut m = TransientDelays::new(base, 0.3, SimDuration::from_millis(10), seed);
-            (0..50).map(|_| m.delay(&ctx(1, 0)).as_nanos()).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| m.delay(&ctx(1, 0)).as_nanos())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -280,15 +310,17 @@ mod tests {
         let mut m = Jitter::new(base, 0.2, 3);
         for _ in 0..200 {
             let d = m.delay(&ctx(1, 0)).as_secs_f64();
-            assert!((0.008..=0.012).contains(&d), "jittered delay {d} out of ±20%");
+            assert!(
+                (0.008..=0.012).contains(&d),
+                "jittered delay {d} out of ±20%"
+            );
         }
     }
 
     #[test]
     fn scripted_delay_hits_exactly_the_nth_message() {
         let base = ConstantLatency(SimDuration::from_millis(1));
-        let mut m =
-            ScriptedDelays::new(base, vec![(0, 1, 2, SimDuration::from_millis(100))]);
+        let mut m = ScriptedDelays::new(base, vec![(0, 1, 2, SimDuration::from_millis(100))]);
         assert_eq!(m.delay(&ctx(1, 0)), SimDuration::from_millis(1)); // 0th
         assert_eq!(m.delay(&ctx(1, 0)), SimDuration::from_millis(1)); // 1st
         assert_eq!(m.delay(&ctx(1, 0)), SimDuration::from_millis(101)); // 2nd
@@ -304,9 +336,13 @@ mod tests {
     #[test]
     fn scripted_delay_distinguishes_pairs() {
         let base = ConstantLatency(SimDuration::from_millis(1));
-        let mut m =
-            ScriptedDelays::new(base, vec![(0, 1, 0, SimDuration::from_millis(100))]);
-        let other = MsgCtx { src: 1, dst: 0, bytes: 1, now: SimTime::ZERO };
+        let mut m = ScriptedDelays::new(base, vec![(0, 1, 0, SimDuration::from_millis(100))]);
+        let other = MsgCtx {
+            src: 1,
+            dst: 0,
+            bytes: 1,
+            now: SimTime::ZERO,
+        };
         assert_eq!(m.delay(&other), SimDuration::from_millis(1)); // wrong pair
         assert_eq!(m.delay(&ctx(1, 0)), SimDuration::from_millis(101)); // right pair, 0th
     }

@@ -1,0 +1,206 @@
+//! The typed event vocabulary of the telemetry subsystem.
+//!
+//! Everything a recorder can capture is one of four shapes: a phase span
+//! boundary ([`EventKind::SpanBegin`]/[`EventKind::SpanEnd`]), a point
+//! [`Mark`] (message sent, misspeculation, rollback, …), or a [`Gauge`]
+//! sample (queue depths, event-heap size). Timestamps are raw `u64`
+//! nanoseconds and ranks raw `u32` so this crate stays dependency-free and
+//! every layer of the workspace — from the simulation kernel up to the
+//! benches — can emit into it without a cycle.
+
+/// The phases of the speculative driver, mirroring
+/// `speccore::PhaseBreakdown` field for field so span totals can be
+/// compared bit-for-bit against the driver's own accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Useful computation (absorbing inputs, finishing iterations).
+    Compute,
+    /// Blocked waiting for messages.
+    CommWait,
+    /// Producing speculated input values.
+    Speculate,
+    /// Comparing speculated against actual values.
+    Check,
+    /// Incremental correction of misspeculated inputs.
+    Correct,
+}
+
+impl Phase {
+    /// Every phase, in `PhaseBreakdown` field order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Compute,
+        Phase::CommWait,
+        Phase::Speculate,
+        Phase::Check,
+        Phase::Correct,
+    ];
+
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::CommWait => "comm_wait",
+            Phase::Speculate => "speculate",
+            Phase::Check => "check",
+            Phase::Correct => "correct",
+        }
+    }
+}
+
+/// A point event: something that happened at an instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mark {
+    /// A message left this rank.
+    MsgSent {
+        /// Destination rank.
+        to: u32,
+        /// Payload plus header bytes on the wire.
+        bytes: u64,
+    },
+    /// A message was taken off this rank's mailbox.
+    MsgRecv {
+        /// Source rank.
+        from: u32,
+        /// Payload plus header bytes on the wire.
+        bytes: u64,
+    },
+    /// A peer's input was speculated rather than awaited.
+    Speculation {
+        /// The peer whose value was predicted.
+        peer: u32,
+        /// How many iterations ahead of its last actual the prediction ran.
+        ahead: u32,
+    },
+    /// A speculation check failed (error above θ).
+    Misspeculation {
+        /// The peer whose prediction was wrong.
+        peer: u32,
+        /// Iteration the bad input fed.
+        iter: u64,
+    },
+    /// An incremental correction repaired a misspeculated input.
+    Correction {
+        /// The peer whose input was corrected.
+        peer: u32,
+        /// How many iterations had already been computed on top.
+        depth: u64,
+    },
+    /// Execution rolled back to a confirmed checkpoint.
+    Rollback {
+        /// First iteration to re-execute.
+        to_iter: u64,
+    },
+    /// An iteration was confirmed (all inputs actual or validated).
+    Commit {
+        /// The confirmed iteration.
+        iter: u64,
+    },
+}
+
+impl Mark {
+    /// Stable lowercase name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mark::MsgSent { .. } => "msg_sent",
+            Mark::MsgRecv { .. } => "msg_recv",
+            Mark::Speculation { .. } => "speculation",
+            Mark::Misspeculation { .. } => "misspeculation",
+            Mark::Correction { .. } => "correction",
+            Mark::Rollback { .. } => "rollback",
+            Mark::Commit { .. } => "commit",
+        }
+    }
+}
+
+/// A sampled instantaneous quantity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Executed-but-unconfirmed iterations in the driver's queue (the
+    /// forward-window depth actually in flight).
+    ExecQueueDepth,
+    /// The window policy's current forward window.
+    WindowSize,
+    /// Iterations with buffered not-yet-consumed peer inputs.
+    InboxDepth,
+    /// Pending events in the simulation kernel's heap.
+    EventHeapSize,
+}
+
+impl Gauge {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ExecQueueDepth => "exec_queue_depth",
+            Gauge::WindowSize => "window_size",
+            Gauge::InboxDepth => "inbox_depth",
+            Gauge::EventHeapSize => "event_heap_size",
+        }
+    }
+}
+
+/// What happened, without the when/who.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A phase interval opened.
+    SpanBegin {
+        /// Which phase.
+        phase: Phase,
+        /// Iteration the span belongs to, if meaningful.
+        iter: Option<u64>,
+        /// Forward-window depth at the time, if meaningful.
+        depth: Option<u64>,
+    },
+    /// The most recent open span of this phase closed.
+    SpanEnd {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A point event.
+    Mark(Mark),
+    /// A gauge sample.
+    GaugeSample {
+        /// Which gauge.
+        gauge: Gauge,
+        /// Its instantaneous value.
+        value: u64,
+    },
+}
+
+/// One recorded telemetry event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Nanosecond timestamp (virtual time on the simulated backend,
+    /// wall-clock since cluster start on the thread backend).
+    pub t_ns: u64,
+    /// Emitting rank. [`Event::KERNEL_RANK`] for kernel-level events that
+    /// belong to no rank.
+    pub rank: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Pseudo-rank for events emitted by the simulation kernel itself
+    /// (e.g. event-heap gauges) rather than by a rank.
+    pub const KERNEL_RANK: u32 = u32::MAX;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_unique_and_ordered() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["compute", "comm_wait", "speculate", "check", "correct"]
+        );
+    }
+
+    #[test]
+    fn mark_names_are_stable() {
+        assert_eq!(Mark::MsgSent { to: 1, bytes: 2 }.name(), "msg_sent");
+        assert_eq!(Mark::Rollback { to_iter: 3 }.name(), "rollback");
+    }
+}

@@ -1,0 +1,103 @@
+//! ASCII rendering of per-rank phase timelines — the quick-look
+//! counterpart of the Chrome-trace export, for terminals and tests.
+
+use crate::event::Phase;
+use crate::trace::RunTrace;
+
+fn glyph(phase: Phase) -> char {
+    match phase {
+        Phase::Compute => '#',
+        Phase::CommWait => '.',
+        Phase::Speculate => 's',
+        Phase::Check => 'c',
+        Phase::Correct => 'x',
+    }
+}
+
+/// Render per-rank phase bars over a common time axis, `width` cells wide.
+///
+/// Each cell shows the phase that occupied the most time within its time
+/// slice (blank if no phase was active). A legend and the time extent are
+/// appended.
+pub fn render(traces: &[RunTrace], width: usize) -> String {
+    let width = width.max(10);
+    let end_ns = traces.iter().map(RunTrace::end_ns).max().unwrap_or(0);
+    let mut out = String::new();
+    if end_ns == 0 {
+        out.push_str("(empty trace)\n");
+        return out;
+    }
+    for trace in traces {
+        // Per-cell occupancy: time each phase spent inside the cell.
+        let mut cells: Vec<[u64; 5]> = vec![[0; 5]; width];
+        for span in trace.spans() {
+            let p = Phase::ALL.iter().position(|q| *q == span.phase).unwrap();
+            // Distribute the span over the cells it overlaps.
+            let first = (span.start_ns as u128 * width as u128 / end_ns as u128) as usize;
+            let last =
+                (span.end_ns.saturating_sub(1) as u128 * width as u128 / end_ns as u128) as usize;
+            let last = last.min(width - 1);
+            for (cell, slot) in cells.iter_mut().enumerate().take(last + 1).skip(first) {
+                let cell_lo = (cell as u128 * end_ns as u128 / width as u128) as u64;
+                let cell_hi = ((cell + 1) as u128 * end_ns as u128 / width as u128) as u64;
+                let lo = span.start_ns.max(cell_lo);
+                let hi = span.end_ns.min(cell_hi);
+                if hi > lo {
+                    slot[p] += hi - lo;
+                }
+            }
+        }
+        out.push_str(&format!("rank {:>2} |", trace.rank));
+        for cell in &cells {
+            let best = (0..5).max_by_key(|i| cell[*i]).unwrap();
+            out.push(if cell[best] == 0 {
+                ' '
+            } else {
+                glyph(Phase::ALL[best])
+            });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "legend: #=compute .=comm_wait s=speculate c=check x=correct   span: 0..{:.3} ms\n",
+        end_ns as f64 / 1e6
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{MemoryRecorder, Recorder};
+
+    #[test]
+    fn renders_dominant_phase_per_cell() {
+        let mut r = MemoryRecorder::new();
+        // Rank 0: first half compute, second half waiting.
+        r.span_begin(0, 0, Phase::Compute, None, None);
+        r.span_end(0, 500, Phase::Compute);
+        r.span_begin(0, 500, Phase::CommWait, None, None);
+        r.span_end(0, 1000, Phase::CommWait);
+        let traces = RunTrace::split_by_rank(r.take());
+        let text = render(&traces, 10);
+        let line = text.lines().next().unwrap();
+        assert_eq!(line, "rank  0 |#####.....|");
+        assert!(text.contains("legend:"));
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        assert!(render(&[], 40).contains("empty"));
+    }
+
+    #[test]
+    fn idle_time_stays_blank() {
+        let mut r = MemoryRecorder::new();
+        r.span_begin(0, 800, Phase::Check, None, None);
+        r.span_end(0, 1000, Phase::Check);
+        let traces = RunTrace::split_by_rank(r.take());
+        let line = render(&traces, 10);
+        let bar = line.lines().next().unwrap();
+        assert_eq!(bar, "rank  0 |        cc|");
+    }
+}

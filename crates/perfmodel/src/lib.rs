@@ -38,7 +38,10 @@ mod tests {
         // No-speculation speedup peaks before p = 16 and declines after.
         let peak_p = (1..=16)
             .max_by(|&a, &b| {
-                params.speedup_nospec(a).partial_cmp(&params.speedup_nospec(b)).unwrap()
+                params
+                    .speedup_nospec(a)
+                    .partial_cmp(&params.speedup_nospec(b))
+                    .unwrap()
             })
             .unwrap();
         assert!(
@@ -55,7 +58,10 @@ mod tests {
         let params = ModelParams::paper_example();
         for p in 2..=4 {
             let gain = params.speedup_spec(p) / params.speedup_nospec(p) - 1.0;
-            assert!(gain.abs() < 0.06, "gain at p={p} should be small, got {gain}");
+            assert!(
+                gain.abs() < 0.06,
+                "gain at p={p} should be small, got {gain}"
+            );
         }
     }
 

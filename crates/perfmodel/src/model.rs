@@ -106,7 +106,9 @@ impl ModelParams {
             f_spec: f_comp / 500.0,
             f_check: f_comp / 250.0,
             capacities,
-            comm: CommModel::QuadraticInP { coef: comp_time_16 / (p_max * p_max) as f64 },
+            comm: CommModel::QuadraticInP {
+                coef: comp_time_16 / (p_max * p_max) as f64,
+            },
             k: 0.02,
         }
     }
@@ -148,9 +150,7 @@ impl ModelParams {
         let n_i = self.n_alloc(i, p);
         let others = self.n - n_i;
         let busy = others * self.f_spec / m + n_i * self.f_comp / m;
-        busy.max(self.comm.t_comm(p))
-            + others * self.f_check / m
-            + self.k * n_i * self.f_comp / m
+        busy.max(self.comm.t_comm(p)) + others * self.f_check / m + self.k * n_i * self.f_comp / m
     }
 
     /// Eq. 9: iteration time with speculation = max over processors.
@@ -159,7 +159,9 @@ impl ModelParams {
             // Nothing to speculate on a single processor.
             return self.t_total(1);
         }
-        (0..p).map(|i| self.t_hat_i(i, p)).fold(f64::NEG_INFINITY, f64::max)
+        (0..p)
+            .map(|i| self.t_hat_i(i, p))
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Speedup without speculation, relative to the fastest processor.
@@ -189,7 +191,10 @@ mod tests {
             f_spec: 10.0,
             f_check: 20.0,
             capacities: vec![1e6; p],
-            comm: CommModel::Affine { base: 0.01, per_proc: 0.002 },
+            comm: CommModel::Affine {
+                base: 0.01,
+                per_proc: 0.002,
+            },
             k: 0.0,
         }
     }
@@ -227,7 +232,10 @@ mod tests {
     #[test]
     fn eq8_reduces_to_compute_when_comm_is_free() {
         let mut m = simple(2);
-        m.comm = CommModel::Affine { base: 0.0, per_proc: 0.0 };
+        m.comm = CommModel::Affine {
+            base: 0.0,
+            per_proc: 0.0,
+        };
         // busy = 50·1000/1e6 + 50·10/1e6; + check 50·20/1e6; k=0.
         let expected = 0.05 + 50.0 * 10.0 / 1e6 + 50.0 * 20.0 / 1e6;
         assert!((m.t_hat_i(0, 2) - expected).abs() < 1e-15);
@@ -236,7 +244,10 @@ mod tests {
     #[test]
     fn eq8_is_dominated_by_comm_when_comm_is_huge() {
         let mut m = simple(2);
-        m.comm = CommModel::Affine { base: 10.0, per_proc: 0.0 };
+        m.comm = CommModel::Affine {
+            base: 10.0,
+            per_proc: 0.0,
+        };
         // max(busy, 10) = 10, plus check time.
         let expected = 10.0 + 50.0 * 20.0 / 1e6;
         assert!((m.t_hat_i(0, 2) - expected).abs() < 1e-12);
@@ -248,7 +259,10 @@ mod tests {
         let t0 = m.with_k(0.0).t_hat(2);
         let t50 = m.with_k(0.5).t_hat(2);
         let t100 = m.with_k(1.0).t_hat(2);
-        assert!((t50 - t0 - (t100 - t50)).abs() < 1e-15, "k enters eq. 8 linearly");
+        assert!(
+            (t50 - t0 - (t100 - t50)).abs() < 1e-15,
+            "k enters eq. 8 linearly"
+        );
         assert!(t100 > t50 && t50 > t0);
     }
 

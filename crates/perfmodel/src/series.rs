@@ -44,7 +44,11 @@ pub struct Fig6Row {
 pub fn fig6_series(params: &ModelParams, p: usize, ks: &[f64]) -> Vec<Fig6Row> {
     let no_spec = params.speedup_nospec(p);
     ks.iter()
-        .map(|&k| Fig6Row { k, spec: params.with_k(k).speedup_spec(p), no_spec })
+        .map(|&k| Fig6Row {
+            k,
+            spec: params.with_k(k).speedup_spec(p),
+            no_spec,
+        })
         .collect()
 }
 
@@ -82,7 +86,10 @@ mod tests {
         let ks: Vec<f64> = (0..=20).map(|i| i as f64 * 0.01).collect();
         let s = fig6_series(&ModelParams::paper_example(), 8, &ks);
         for w in s.windows(2) {
-            assert!(w[0].spec >= w[1].spec - 1e-12, "speedup must fall as k grows");
+            assert!(
+                w[0].spec >= w[1].spec - 1e-12,
+                "speedup must fall as k grows"
+            );
         }
         // no_spec is flat.
         assert!(s.iter().all(|r| (r.no_spec - s[0].no_spec).abs() < 1e-12));

@@ -111,7 +111,11 @@ impl AdaptiveWindow {
     /// Record one confirmed iteration: `misses` of `checked` speculated
     /// inputs were rejected, and the rank waited `waited` on messages.
     pub fn observe(&mut self, misses: u64, checked: u64, waited: SimDuration) {
-        let miss_rate = if checked == 0 { 0.0 } else { misses as f64 / checked as f64 };
+        let miss_rate = if checked == 0 {
+            0.0
+        } else {
+            misses as f64 / checked as f64
+        };
         self.miss_ewma = self.alpha * miss_rate + (1.0 - self.alpha) * self.miss_ewma;
         self.wait_ewma_ns =
             self.alpha * waited.as_nanos() as f64 + (1.0 - self.alpha) * self.wait_ewma_ns;
@@ -216,7 +220,10 @@ mod tests {
         for _ in 0..40 {
             a.observe(8, 10, SimDuration::from_millis(5));
         }
-        assert!(a.current() < grown, "should shrink when speculation misfires");
+        assert!(
+            a.current() < grown,
+            "should shrink when speculation misfires"
+        );
         assert!(a.current() >= 1);
     }
 
@@ -226,7 +233,11 @@ mod tests {
         for _ in 0..40 {
             a.observe(0, 10, SimDuration::ZERO);
         }
-        assert_eq!(a.current(), 1, "no wait means no reason to deepen the window");
+        assert_eq!(
+            a.current(),
+            1,
+            "no wait means no reason to deepen the window"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use desim::SimDuration;
 use mpk::{Envelope, Rank, Tag, Transport, WireSize};
+use obs::{Gauge, Mark, Phase};
 
 use crate::app::SpeculativeApp;
 use crate::config::{CorrectionMode, SpecConfig};
@@ -95,12 +96,18 @@ where
     let p = transport.size();
     let start = transport.now();
     let mut stats = RunStats::new(me);
+    // Telemetry identity and gauge change-detection (gauges are sampled
+    // only when their value moves, to keep traces compact).
+    let obs_rank = me.0 as u32;
+    let mut last_inbox_depth: Option<u64> = None;
+    let mut last_window: Option<u64> = None;
 
     // Actual values received, keyed by iteration then sender.
     let mut inbox: BTreeMap<u64, HashMap<usize, A::Shared>> = BTreeMap::new();
     // Per-peer history of actuals (the backward window).
-    let mut history: Vec<History<A::Shared>> =
-        (0..p).map(|_| History::new(config.backward_window.max(1))).collect();
+    let mut history: Vec<History<A::Shared>> = (0..p)
+        .map(|_| History::new(config.backward_window.max(1)))
+        .collect();
     // Executed-but-unconfirmed iterations, oldest first.
     let mut exec_q: VecDeque<ExecRecord<A::Shared, A::Checkpoint>> = VecDeque::new();
 
@@ -126,6 +133,14 @@ where
         while let Some(env) = transport.try_recv() {
             stash(env, t_conf, &mut inbox, &mut history, &mut stats);
         }
+        let inbox_depth = inbox.len() as u64;
+        if last_inbox_depth != Some(inbox_depth) {
+            last_inbox_depth = Some(inbox_depth);
+            let t_now = transport.now();
+            if let Some(r) = transport.recorder() {
+                r.gauge(obs_rank, t_now.as_nanos(), Gauge::InboxDepth, inbox_depth);
+            }
+        }
 
         // ------------------------------------------------------------------
         // Phase 1: validate and confirm the oldest unconfirmed iteration.
@@ -138,26 +153,44 @@ where
                     InputSlot::Speculated(s) => s.clone(),
                     _ => continue,
                 };
-                let Some(actual) =
-                    inbox.get(&front_iter).and_then(|m| m.get(&k)).cloned()
-                else {
+                let Some(actual) = inbox.get(&front_iter).and_then(|m| m.get(&k)).cloned() else {
                     continue;
                 };
                 let t0 = transport.now();
                 let outcome = app.check(Rank(k), &actual, &spec);
                 transport.compute(outcome.ops);
-                stats.phases.check += transport.now() - t0;
+                let t1 = transport.now();
+                stats.phases.check += t1 - t0;
+                if let Some(r) = transport.recorder() {
+                    r.span_begin(
+                        obs_rank,
+                        t0.as_nanos(),
+                        Phase::Check,
+                        Some(front_iter),
+                        None,
+                    );
+                    r.span_end(obs_rank, t1.as_nanos(), Phase::Check);
+                }
                 stats.checked_partitions += 1;
                 stats.checked_units += outcome.checked_units;
                 stats.bad_units += outcome.bad_units;
 
-                stats.max_accepted_error =
-                    stats.max_accepted_error.max(outcome.max_accepted_error);
+                stats.max_accepted_error = stats.max_accepted_error.max(outcome.max_accepted_error);
                 if outcome.accept {
                     stats.accepted_partitions += 1;
                     exec_q[0].inputs[k] = InputSlot::Validated;
                 } else {
                     stats.misspeculated_partitions += 1;
+                    if let Some(r) = transport.recorder() {
+                        r.mark(
+                            obs_rank,
+                            t1.as_nanos(),
+                            Mark::Misspeculation {
+                                peer: k as u32,
+                                iter: front_iter,
+                            },
+                        );
+                    }
                     if config.correction == CorrectionMode::Incremental {
                         let depth = exec_q.len() as u64 - 1;
                         let t0 = transport.now();
@@ -176,8 +209,27 @@ where
                         match ops {
                             Some(ops) => {
                                 transport.compute(ops);
-                                stats.phases.correct += transport.now() - t0;
+                                let t1 = transport.now();
+                                stats.phases.correct += t1 - t0;
                                 stats.corrections += 1;
+                                if let Some(r) = transport.recorder() {
+                                    r.span_begin(
+                                        obs_rank,
+                                        t0.as_nanos(),
+                                        Phase::Correct,
+                                        Some(front_iter),
+                                        Some(depth),
+                                    );
+                                    r.span_end(obs_rank, t1.as_nanos(), Phase::Correct);
+                                    r.mark(
+                                        obs_rank,
+                                        t1.as_nanos(),
+                                        Mark::Correction {
+                                            peer: k as u32,
+                                            depth,
+                                        },
+                                    );
+                                }
                                 exec_q[0].inputs[k] = InputSlot::Validated;
                                 if depth > 0 {
                                     // The live state changed; refresh the
@@ -209,6 +261,17 @@ where
                 t_exec = front_iter;
                 exec_q.clear();
                 stats.rollbacks += 1;
+                let t_now = transport.now();
+                if let Some(r) = transport.recorder() {
+                    r.mark(
+                        obs_rank,
+                        t_now.as_nanos(),
+                        Mark::Rollback {
+                            to_iter: front_iter,
+                        },
+                    );
+                    r.gauge(obs_rank, t_now.as_nanos(), Gauge::ExecQueueDepth, 0);
+                }
                 continue 'main;
             }
 
@@ -220,6 +283,17 @@ where
                 let rec = exec_q.pop_front().expect("non-empty queue");
                 t_conf = rec.iter + 1;
                 stats.iterations += 1;
+                let t_now = transport.now();
+                let queue_depth = exec_q.len() as u64;
+                if let Some(r) = transport.recorder() {
+                    r.mark(obs_rank, t_now.as_nanos(), Mark::Commit { iter: rec.iter });
+                    r.gauge(
+                        obs_rank,
+                        t_now.as_nanos(),
+                        Gauge::ExecQueueDepth,
+                        queue_depth,
+                    );
+                }
                 if config.collect_log {
                     if let Some(mut entry) = log_pending.remove(&rec.iter) {
                         entry.confirmed_at = transport.now();
@@ -247,25 +321,41 @@ where
         // Phase 2: execute the next iteration if the window allows it.
         // ------------------------------------------------------------------
         let window = config.window.current();
+        if last_window != Some(u64::from(window)) {
+            last_window = Some(u64::from(window));
+            let t_now = transport.now();
+            if let Some(r) = transport.recorder() {
+                r.gauge(
+                    obs_rank,
+                    t_now.as_nanos(),
+                    Gauge::WindowSize,
+                    u64::from(window),
+                );
+            }
+        }
         let depth = t_exec - t_conf;
         if t_exec < total_iters && depth < u64::from(window.max(1)) {
             let empty = HashMap::new();
             let avail = inbox.get(&t_exec).unwrap_or(&empty);
-            let missing: Vec<usize> =
-                (0..p).filter(|k| *k != me.0 && !avail.contains_key(k)).collect();
+            let missing: Vec<usize> = (0..p)
+                .filter(|k| *k != me.0 && !avail.contains_key(k))
+                .collect();
 
             // Pre-compute speculations (read-only on the app) so we can
             // abandon the attempt without side effects if any peer is
             // unpredictable (e.g. empty history at iteration 0).
-            let mut speculations: Vec<(usize, A::Shared, u64)> = Vec::new();
+            let mut speculations: Vec<(usize, A::Shared, u64, u32)> = Vec::new();
             let mut speculable = window >= 1;
             if speculable {
                 for &k in &missing {
                     let ahead = history[k]
                         .latest_iter()
                         .map(|li| t_exec.saturating_sub(li).max(1) as u32);
-                    match ahead.and_then(|a| app.speculate(Rank(k), &history[k], a)) {
-                        Some((sv, ops)) => speculations.push((k, sv, ops)),
+                    match ahead.and_then(|a| {
+                        app.speculate(Rank(k), &history[k], a)
+                            .map(|(sv, ops)| (sv, ops, a))
+                    }) {
+                        Some((sv, ops, a)) => speculations.push((k, sv, ops, a)),
                         None => {
                             speculable = false;
                             break;
@@ -292,13 +382,23 @@ where
                         comp_ops += app.absorb(Rank(k), actual);
                         inputs[k] = InputSlot::Actual;
                     } else {
-                        let (_, sv, ops) = speculations
+                        let (_, sv, ops, ahead) = speculations
                             .iter()
-                            .find(|(kk, _, _)| *kk == k)
+                            .find(|(kk, _, _, _)| *kk == k)
                             .expect("speculation prepared for every missing peer");
                         spec_ops += ops;
                         comp_ops += app.absorb(Rank(k), sv);
                         stats.speculated_partitions += 1;
+                        if let Some(r) = transport.recorder() {
+                            r.mark(
+                                obs_rank,
+                                exec_start.as_nanos(),
+                                Mark::Speculation {
+                                    peer: k as u32,
+                                    ahead: *ahead,
+                                },
+                            );
+                        }
                         inputs[k] = InputSlot::Speculated(sv.clone());
                     }
                 }
@@ -307,11 +407,33 @@ where
                 if spec_ops > 0 {
                     let t0 = transport.now();
                     transport.compute(spec_ops);
-                    stats.phases.speculate += transport.now() - t0;
+                    let t1 = transport.now();
+                    stats.phases.speculate += t1 - t0;
+                    if let Some(r) = transport.recorder() {
+                        r.span_begin(
+                            obs_rank,
+                            t0.as_nanos(),
+                            Phase::Speculate,
+                            Some(t_exec),
+                            Some(depth),
+                        );
+                        r.span_end(obs_rank, t1.as_nanos(), Phase::Speculate);
+                    }
                 }
                 let t0 = transport.now();
                 transport.compute(comp_ops);
-                stats.phases.compute += transport.now() - t0;
+                let t1 = transport.now();
+                stats.phases.compute += t1 - t0;
+                if let Some(r) = transport.recorder() {
+                    r.span_begin(
+                        obs_rank,
+                        t0.as_nanos(),
+                        Phase::Compute,
+                        Some(t_exec),
+                        Some(depth),
+                    );
+                    r.span_end(obs_rank, t1.as_nanos(), Phase::Compute);
+                }
 
                 if config.collect_log {
                     let rerun = log_pending.contains_key(&t_exec);
@@ -340,6 +462,16 @@ where
                     produced: app.shared(),
                     inputs,
                 });
+                let queue_depth = exec_q.len() as u64;
+                let t_now = transport.now();
+                if let Some(r) = transport.recorder() {
+                    r.gauge(
+                        obs_rank,
+                        t_now.as_nanos(),
+                        Gauge::ExecQueueDepth,
+                        queue_depth,
+                    );
+                }
                 t_exec += 1;
                 continue 'main;
             }
@@ -350,9 +482,14 @@ where
         // ------------------------------------------------------------------
         let t0 = transport.now();
         let env = transport.recv();
-        let waited = transport.now() - t0;
+        let t1 = transport.now();
+        let waited = t1 - t0;
         stats.phases.comm_wait += waited;
         waited_since_confirm += waited;
+        if let Some(r) = transport.recorder() {
+            r.span_begin(obs_rank, t0.as_nanos(), Phase::CommWait, Some(t_conf), None);
+            r.span_end(obs_rank, t1.as_nanos(), Phase::CommWait);
+        }
         stash(env, t_conf, &mut inbox, &mut history, &mut stats);
     }
 
@@ -360,20 +497,21 @@ where
     stats
 }
 
-fn broadcast<T, S>(
-    transport: &mut T,
-    stats: &mut RunStats,
-    p: usize,
-    me: Rank,
-    iter: u64,
-    data: S,
-) where
+fn broadcast<T, S>(transport: &mut T, stats: &mut RunStats, p: usize, me: Rank, iter: u64, data: S)
+where
     S: Clone + Send + 'static,
     T: Transport<Msg = IterMsg<S>>,
 {
     for k in 0..p {
         if k != me.0 {
-            transport.send(Rank(k), DATA_TAG, IterMsg { iter, data: data.clone() });
+            transport.send(
+                Rank(k),
+                DATA_TAG,
+                IterMsg {
+                    iter,
+                    data: data.clone(),
+                },
+            );
             stats.messages_sent += 1;
         }
     }
@@ -640,22 +778,20 @@ mod tests {
                 vec![(0, 1, 3, SimDuration::from_millis(40))],
             );
             let cfg = SpecConfig::speculative(fw);
-            let (_, report) = run_sim_cluster::<IterMsg<f64>, _, _>(
-                &cluster,
-                net,
-                Unloaded,
-                false,
-                move |t| {
+            let (_, report) =
+                run_sim_cluster::<IterMsg<f64>, _, _>(&cluster, net, Unloaded, false, move |t| {
                     let mut app = Toy::new(t.rank().0, t.size(), 0.5);
                     run_speculative(t, &mut app, iters, cfg.clone());
-                },
-            )
-            .unwrap();
+                })
+                .unwrap();
             report.end_time
         };
         let t1 = run(1);
         let t2 = run(2);
-        assert!(t2 < t1, "FW=2 ({t2}) should beat FW=1 ({t1}) under a transient delay");
+        assert!(
+            t2 < t1,
+            "FW=2 ({t2}) should beat FW=1 ({t1}) under a transient delay"
+        );
     }
 
     #[test]
@@ -668,7 +804,10 @@ mod tests {
         let total_misses: u64 = out.iter().map(|(_, s)| s.misspeculated_partitions).sum();
         let total_corrections: u64 = out.iter().map(|(_, s)| s.corrections).sum();
         assert!(total_misses > 0, "tiny θ must reject some speculations");
-        assert_eq!(total_misses, total_corrections, "FW=1 misses must be corrected in place");
+        assert_eq!(
+            total_misses, total_corrections,
+            "FW=1 misses must be corrected in place"
+        );
         let reference = toy_reference(p, iters);
         for (j, (x, _)) in out.iter().enumerate() {
             assert!((x - reference[j]).abs() < 1e-9);
@@ -703,7 +842,10 @@ mod tests {
         for (x, stats) in &out {
             assert_eq!(stats.iterations, 0);
             assert_eq!(stats.messages_sent, 0);
-            assert_eq!(*x, toy_reference(3, 0)[out.iter().position(|(y, _)| y == x).unwrap()]);
+            assert_eq!(
+                *x,
+                toy_reference(3, 0)[out.iter().position(|(y, _)| y == x).unwrap()]
+            );
         }
         assert_eq!(end, SimDuration::ZERO);
     }

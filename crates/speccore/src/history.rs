@@ -23,7 +23,10 @@ impl<S> History<S> {
     /// one past value.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "backward window must be at least 1");
-        History { entries: VecDeque::with_capacity(capacity), capacity }
+        History {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Record the actual value of iteration `iter`. Values that do not

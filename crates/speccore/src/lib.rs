@@ -43,7 +43,6 @@ mod driver;
 mod history;
 pub mod speculator;
 mod stats;
-pub mod timeline;
 
 pub use app::{CheckOutcome, SpeculativeApp};
 pub use config::{AdaptiveWindow, CorrectionMode, SpecConfig, WindowPolicy};

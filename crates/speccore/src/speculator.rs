@@ -89,8 +89,7 @@ where
     for e in 0..len {
         let mut scalar = History::new(hist.capacity());
         // Rebuild oldest-to-newest so record() accepts them.
-        let mut entries: Vec<(u64, f64)> =
-            hist.recent().map(|(i, v)| (i, v[e])).collect();
+        let mut entries: Vec<(u64, f64)> = hist.recent().map(|(i, v)| (i, v[e])).collect();
         entries.reverse();
         for (i, v) in entries {
             scalar.record(i, v);

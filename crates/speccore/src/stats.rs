@@ -173,7 +173,11 @@ impl ClusterStats {
 
     /// The run's makespan: the slowest rank's total time (eq. 9's `max`).
     pub fn makespan(&self) -> SimDuration {
-        self.per_rank.iter().map(|r| r.total_time).max().unwrap_or(SimDuration::ZERO)
+        self.per_rank
+            .iter()
+            .map(|r| r.total_time)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Cluster-wide recomputation fraction `k`.
@@ -216,7 +220,10 @@ impl ClusterStats {
 
     /// Largest error among accepted speculations, across ranks.
     pub fn max_accepted_error(&self) -> f64 {
-        self.per_rank.iter().map(|r| r.max_accepted_error).fold(0.0, f64::max)
+        self.per_rank
+            .iter()
+            .map(|r| r.max_accepted_error)
+            .fold(0.0, f64::max)
     }
 }
 

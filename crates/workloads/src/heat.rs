@@ -43,7 +43,12 @@ pub struct HeatConfig {
 
 impl Default for HeatConfig {
     fn default() -> Self {
-        HeatConfig { beta: 0.25, theta: 0.01, ops_per_cell: 10, ends: (1.0, 0.0) }
+        HeatConfig {
+            beta: 0.25,
+            theta: 0.01,
+            ops_per_cell: 10,
+            ends: (1.0, 0.0),
+        }
     }
 }
 
@@ -100,14 +105,21 @@ impl SpeculativeApp for HeatApp {
     type Checkpoint = Vec<f64>;
 
     fn shared(&self) -> Halo {
-        Halo { left: self.u[0], right: *self.u.last().expect("non-empty strip") }
+        Halo {
+            left: self.u[0],
+            right: *self.u.last().expect("non-empty strip"),
+        }
     }
 
     fn begin_iteration(&mut self) -> u64 {
         // Dirichlet ends for the outermost strips; interior defaults are
         // overwritten by absorb().
         self.left_in = if self.me == 0 { self.cfg.ends.0 } else { 0.0 };
-        self.right_in = if self.me == self.p - 1 { self.cfg.ends.1 } else { 0.0 };
+        self.right_in = if self.me == self.p - 1 {
+            self.cfg.ends.1
+        } else {
+            0.0
+        };
         1
     }
 
@@ -131,7 +143,11 @@ impl SpeculativeApp for HeatApp {
         let mut next = vec![0.0; n];
         for i in 0..n {
             let left = if i == 0 { self.left_in } else { self.u[i - 1] };
-            let right = if i == n - 1 { self.right_in } else { self.u[i + 1] };
+            let right = if i == n - 1 {
+                self.right_in
+            } else {
+                self.u[i + 1]
+            };
             next[i] = self.u[i] + beta * (left - 2.0 * self.u[i] + right);
         }
         self.u = next;
@@ -224,8 +240,7 @@ mod tests {
     fn run_parallel_by_hand(n: usize, p: usize, iters: u64) -> Vec<f64> {
         let ranges = even_ranges(n, p);
         let cfg = HeatConfig::default();
-        let mut apps: Vec<HeatApp> =
-            (0..p).map(|me| HeatApp::new(n, &ranges, me, cfg)).collect();
+        let mut apps: Vec<HeatApp> = (0..p).map(|me| HeatApp::new(n, &ranges, me, cfg)).collect();
         for _ in 0..iters {
             let halos: Vec<Halo> = apps.iter().map(|a| a.shared()).collect();
             for (me, app) in apps.iter_mut().enumerate() {
@@ -238,7 +253,9 @@ mod tests {
                 app.finish_iteration();
             }
         }
-        apps.iter().flat_map(|a| a.cells().iter().copied()).collect()
+        apps.iter()
+            .flat_map(|a| a.cells().iter().copied())
+            .collect()
     }
 
     #[test]
@@ -257,9 +274,15 @@ mod tests {
         // Profile must interpolate between the Dirichlet ends (1.0 → 0.0)
         // and stay within them.
         for v in &u {
-            assert!((-1e-9..=1.0 + 1e-9).contains(v), "temperature {v} out of bounds");
+            assert!(
+                (-1e-9..=1.0 + 1e-9).contains(v),
+                "temperature {v} out of bounds"
+            );
         }
-        assert!(u[0] > u[99], "heat must flow from the hot end to the cold end");
+        assert!(
+            u[0] > u[99],
+            "heat must flow from the hot end to the cold end"
+        );
     }
 
     #[test]
@@ -267,19 +290,37 @@ mod tests {
         let n = 30;
         let ranges = even_ranges(n, 3);
         let cfg = HeatConfig::default();
-        let actual = Halo { left: 0.4, right: 0.7 };
-        let spec = Halo { left: 0.1, right: 0.2 };
+        let actual = Halo {
+            left: 0.4,
+            right: 0.7,
+        };
+        let spec = Halo {
+            left: 0.1,
+            right: 0.2,
+        };
 
         let mut golden = HeatApp::new(n, &ranges, 1, cfg);
         golden.begin_iteration();
         golden.absorb(Rank(0), &actual);
-        golden.absorb(Rank(2), &Halo { left: 0.0, right: 0.0 });
+        golden.absorb(
+            Rank(2),
+            &Halo {
+                left: 0.0,
+                right: 0.0,
+            },
+        );
         golden.finish_iteration();
 
         let mut fixed = HeatApp::new(n, &ranges, 1, cfg);
         fixed.begin_iteration();
         fixed.absorb(Rank(0), &spec);
-        fixed.absorb(Rank(2), &Halo { left: 0.0, right: 0.0 });
+        fixed.absorb(
+            Rank(2),
+            &Halo {
+                left: 0.0,
+                right: 0.0,
+            },
+        );
         fixed.finish_iteration();
         fixed.correct(Rank(0), &spec, &actual);
 
@@ -295,13 +336,35 @@ mod tests {
         let mut app = HeatApp::new(n, &ranges, 0, HeatConfig::default());
         app.begin_iteration();
         // Rank 2 is not adjacent to rank 0.
-        let cost = app.absorb(Rank(2), &Halo { left: 99.0, right: 99.0 });
+        let cost = app.absorb(
+            Rank(2),
+            &Halo {
+                left: 99.0,
+                right: 99.0,
+            },
+        );
         assert_eq!(cost, 0);
         let before = app.cells().to_vec();
-        app.absorb(Rank(1), &Halo { left: 0.0, right: 0.0 });
+        app.absorb(
+            Rank(1),
+            &Halo {
+                left: 0.0,
+                right: 0.0,
+            },
+        );
         app.finish_iteration();
         let _ = before;
-        let out = app.check(Rank(2), &Halo { left: 0.0, right: 0.0 }, &Halo { left: 5.0, right: 5.0 });
+        let out = app.check(
+            Rank(2),
+            &Halo {
+                left: 0.0,
+                right: 0.0,
+            },
+            &Halo {
+                left: 5.0,
+                right: 5.0,
+            },
+        );
         assert!(out.accept, "unused halos are always acceptable");
     }
 
@@ -310,8 +373,20 @@ mod tests {
         let ranges = even_ranges(30, 3);
         let app = HeatApp::new(30, &ranges, 1, HeatConfig::default());
         let mut h = History::new(3);
-        h.record(0, Halo { left: 0.0, right: 1.0 });
-        h.record(1, Halo { left: 0.1, right: 0.9 });
+        h.record(
+            0,
+            Halo {
+                left: 0.0,
+                right: 1.0,
+            },
+        );
+        h.record(
+            1,
+            Halo {
+                left: 0.1,
+                right: 0.9,
+            },
+        );
         let (spec, _) = app.speculate(Rank(0), &h, 1).unwrap();
         assert!((spec.left - 0.2).abs() < 1e-12);
         assert!((spec.right - 0.8).abs() < 1e-12);

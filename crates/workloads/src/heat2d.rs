@@ -39,7 +39,11 @@ pub struct Heat2dConfig {
 
 impl Default for Heat2dConfig {
     fn default() -> Self {
-        Heat2dConfig { beta: 0.2, theta: 0.01, ops_per_cell: 12 }
+        Heat2dConfig {
+            beta: 0.2,
+            theta: 0.01,
+            ops_per_cell: 12,
+        }
     }
 }
 
@@ -161,11 +165,23 @@ impl SpeculativeApp for Heat2dApp {
         for r in 0..rows {
             for c in 0..cols {
                 let centre = self.at(r, c);
-                let up = if r == 0 { self.top_in[c] } else { self.at(r - 1, c) };
-                let down = if r == rows - 1 { self.bottom_in[c] } else { self.at(r + 1, c) };
+                let up = if r == 0 {
+                    self.top_in[c]
+                } else {
+                    self.at(r - 1, c)
+                };
+                let down = if r == rows - 1 {
+                    self.bottom_in[c]
+                } else {
+                    self.at(r + 1, c)
+                };
                 // Zero-flux side walls.
                 let left = if c == 0 { centre } else { self.at(r, c - 1) };
-                let right = if c == cols - 1 { centre } else { self.at(r, c + 1) };
+                let right = if c == cols - 1 {
+                    centre
+                } else {
+                    self.at(r, c + 1)
+                };
                 next[r * cols + c] = centre + beta * (up + down + left + right - 4.0 * centre);
             }
         }
@@ -173,7 +189,12 @@ impl SpeculativeApp for Heat2dApp {
         self.cfg.ops_per_cell * (rows * cols) as u64
     }
 
-    fn speculate(&self, _from: Rank, hist: &History<RowHalo>, ahead: u32) -> Option<(RowHalo, u64)> {
+    fn speculate(
+        &self,
+        _from: Rank,
+        hist: &History<RowHalo>,
+        ahead: u32,
+    ) -> Option<(RowHalo, u64)> {
         // Extrapolate each halo row elementwise.
         let project = |pick: fn(&RowHalo) -> &Vec<f64>| -> Option<Vec<f64>> {
             let mut h: History<Vec<f64>> = History::new(hist.capacity());
@@ -273,10 +294,22 @@ pub fn heat2d_reference(n_rows: usize, cols: usize, cfg: Heat2dConfig, iters: u6
         for r in 0..n_rows {
             for c in 0..cols {
                 let centre = u[r * cols + c];
-                let up = if r == 0 { centre } else { u[(r - 1) * cols + c] };
-                let down = if r == n_rows - 1 { centre } else { u[(r + 1) * cols + c] };
+                let up = if r == 0 {
+                    centre
+                } else {
+                    u[(r - 1) * cols + c]
+                };
+                let down = if r == n_rows - 1 {
+                    centre
+                } else {
+                    u[(r + 1) * cols + c]
+                };
                 let left = if c == 0 { centre } else { u[r * cols + c - 1] };
-                let right = if c == cols - 1 { centre } else { u[r * cols + c + 1] };
+                let right = if c == cols - 1 {
+                    centre
+                } else {
+                    u[r * cols + c + 1]
+                };
                 next[r * cols + c] = centre + cfg.beta * (up + down + left + right - 4.0 * centre);
             }
         }
@@ -297,8 +330,9 @@ mod tests {
     fn run_by_hand(n_rows: usize, cols: usize, p: usize, iters: u64) -> Vec<f64> {
         let ranges = even_ranges(n_rows, p);
         let cfg = Heat2dConfig::default();
-        let mut apps: Vec<Heat2dApp> =
-            (0..p).map(|me| Heat2dApp::new(n_rows, cols, &ranges, me, cfg)).collect();
+        let mut apps: Vec<Heat2dApp> = (0..p)
+            .map(|me| Heat2dApp::new(n_rows, cols, &ranges, me, cfg))
+            .collect();
         for _ in 0..iters {
             let halos: Vec<RowHalo> = apps.iter().map(|a| a.shared()).collect();
             for (me, app) in apps.iter_mut().enumerate() {
@@ -311,7 +345,9 @@ mod tests {
                 app.finish_iteration();
             }
         }
-        apps.iter().flat_map(|a| a.cells().iter().copied()).collect()
+        apps.iter()
+            .flat_map(|a| a.cells().iter().copied())
+            .collect()
     }
 
     #[test]
@@ -326,9 +362,16 @@ mod tests {
     fn heat_is_conserved_with_zero_flux_walls() {
         // Insulated boundaries: total heat is invariant.
         let (rows, cols) = (18, 18);
-        let before: f64 = heat2d_reference(rows, cols, Heat2dConfig::default(), 0).iter().sum();
-        let after: f64 = heat2d_reference(rows, cols, Heat2dConfig::default(), 200).iter().sum();
-        assert!((before - after).abs() < 1e-9, "heat leaked: {before} -> {after}");
+        let before: f64 = heat2d_reference(rows, cols, Heat2dConfig::default(), 0)
+            .iter()
+            .sum();
+        let after: f64 = heat2d_reference(rows, cols, Heat2dConfig::default(), 200)
+            .iter()
+            .sum();
+        assert!(
+            (before - after).abs() < 1e-9,
+            "heat leaked: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -345,10 +388,22 @@ mod tests {
     fn correction_is_exact_per_cell() {
         let (rows, cols) = (12, 8);
         let ranges = even_ranges(rows, 3);
-        let cfg = Heat2dConfig { theta: 0.0, ..Default::default() };
-        let actual = RowHalo { top: vec![0.3; cols], bottom: vec![0.7; cols] };
-        let spec = RowHalo { top: vec![0.1; cols], bottom: vec![0.2; cols] };
-        let quiet = RowHalo { top: vec![0.0; cols], bottom: vec![0.0; cols] };
+        let cfg = Heat2dConfig {
+            theta: 0.0,
+            ..Default::default()
+        };
+        let actual = RowHalo {
+            top: vec![0.3; cols],
+            bottom: vec![0.7; cols],
+        };
+        let spec = RowHalo {
+            top: vec![0.1; cols],
+            bottom: vec![0.2; cols],
+        };
+        let quiet = RowHalo {
+            top: vec![0.0; cols],
+            bottom: vec![0.0; cols],
+        };
 
         let mut golden = Heat2dApp::new(rows, cols, &ranges, 1, cfg);
         golden.begin_iteration();
@@ -373,7 +428,10 @@ mod tests {
         let (rows, cols) = (12, 8);
         let ranges = even_ranges(rows, 3);
         let app = Heat2dApp::new(rows, cols, &ranges, 1, Heat2dConfig::default());
-        let mut actual = RowHalo { top: vec![0.5; cols], bottom: vec![0.5; cols] };
+        let mut actual = RowHalo {
+            top: vec![0.5; cols],
+            bottom: vec![0.5; cols],
+        };
         let mut spec = actual.clone();
         // Rank 0 is the top neighbour: its *bottom* row is what we consume.
         spec.bottom[3] = 0.9;
@@ -390,8 +448,20 @@ mod tests {
         let ranges = even_ranges(rows, 3);
         let app = Heat2dApp::new(rows, cols, &ranges, 1, Heat2dConfig::default());
         let mut h = History::new(3);
-        h.record(0, RowHalo { top: vec![0.0; cols], bottom: vec![1.0; cols] });
-        h.record(1, RowHalo { top: vec![0.1; cols], bottom: vec![0.9; cols] });
+        h.record(
+            0,
+            RowHalo {
+                top: vec![0.0; cols],
+                bottom: vec![1.0; cols],
+            },
+        );
+        h.record(
+            1,
+            RowHalo {
+                top: vec![0.1; cols],
+                bottom: vec![0.9; cols],
+            },
+        );
         let (s, _) = app.speculate(Rank(0), &h, 1).unwrap();
         assert!(s.top.iter().all(|v| (v - 0.2).abs() < 1e-12));
         assert!(s.bottom.iter().all(|v| (v - 0.8).abs() < 1e-12));
@@ -399,7 +469,10 @@ mod tests {
 
     #[test]
     fn wire_size_counts_both_rows() {
-        let h = RowHalo { top: vec![0.0; 10], bottom: vec![0.0; 10] };
+        let h = RowHalo {
+            top: vec![0.0; 10],
+            bottom: vec![0.0; 10],
+        };
         assert_eq!(h.wire_size(), 2 * (8 + 80));
     }
 }

@@ -75,7 +75,10 @@ pub struct JacobiConfig {
 
 impl Default for JacobiConfig {
     fn default() -> Self {
-        JacobiConfig { theta: 0.01, ops_per_entry: 4 }
+        JacobiConfig {
+            theta: 0.01,
+            ops_per_entry: 4,
+        }
     }
 }
 
@@ -275,7 +278,9 @@ mod tests {
                 app.finish_iteration();
             }
         }
-        apps.iter().flat_map(|a| a.values().iter().copied()).collect()
+        apps.iter()
+            .flat_map(|a| a.values().iter().copied())
+            .collect()
     }
 
     #[test]
@@ -283,8 +288,12 @@ mod tests {
         let sys = LinearSystem::random(30, 5);
         for i in 0..sys.n {
             let row = &sys.a[i * sys.n..(i + 1) * sys.n];
-            let off: f64 =
-                row.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(row[i] > off, "row {i} not dominant");
         }
     }
@@ -302,7 +311,10 @@ mod tests {
         let got = run_by_hand(&sys, 4, 30);
         let want = jacobi_reference(&sys, 30);
         for (a, b) in got.iter().zip(&want) {
-            assert!((a - b).abs() < 1e-12, "parallel jacobi diverged: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "parallel jacobi diverged: {a} vs {b}"
+            );
         }
     }
 

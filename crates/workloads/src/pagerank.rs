@@ -64,7 +64,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, theta: 0.01, ops_per_edge: 10 }
+        PageRankConfig {
+            damping: 0.85,
+            theta: 0.01,
+            ops_per_edge: 10,
+        }
     }
 }
 
@@ -86,7 +90,14 @@ impl PageRankApp {
         let mine = ranges[me].clone();
         let r = vec![1.0 / graph.n as f64; mine.len()];
         let acc = vec![0.0; mine.len()];
-        PageRankApp { cfg, graph, ranges: ranges.to_vec(), me, r, acc }
+        PageRankApp {
+            cfg,
+            graph,
+            ranges: ranges.to_vec(),
+            me,
+            r,
+            acc,
+        }
     }
 
     /// My nodes' current scores.
@@ -256,7 +267,9 @@ mod tests {
                 app.finish_iteration();
             }
         }
-        apps.iter().flat_map(|a| a.scores().iter().copied()).collect()
+        apps.iter()
+            .flat_map(|a| a.scores().iter().copied())
+            .collect()
     }
 
     #[test]
@@ -271,7 +284,10 @@ mod tests {
     #[test]
     fn graph_is_seeded() {
         assert_eq!(Graph::random(20, 3, 9).edges, Graph::random(20, 3, 9).edges);
-        assert_ne!(Graph::random(20, 3, 9).edges, Graph::random(20, 3, 10).edges);
+        assert_ne!(
+            Graph::random(20, 3, 9).edges,
+            Graph::random(20, 3, 10).edges
+        );
     }
 
     #[test]
@@ -289,7 +305,10 @@ mod tests {
         let got = run_by_hand(&g, 4, 30);
         let want = pagerank_reference(&g, PageRankConfig::default(), 30);
         for (a, b) in got.iter().zip(&want) {
-            assert!((a - b).abs() < 1e-12, "parallel pagerank diverged: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "parallel pagerank diverged: {a} vs {b}"
+            );
         }
     }
 

@@ -85,8 +85,18 @@ impl SyntheticApp {
     /// of variable `i` is `1 + i/N`, a smooth deterministic ramp.
     pub fn new(n_total: usize, ranges: &[Range<usize>], me: usize, cfg: SyntheticConfig) -> Self {
         let range = ranges[me].clone();
-        let x = range.clone().map(|i| 1.0 + i as f64 / n_total as f64).collect();
-        SyntheticApp { cfg, n_total, range, x, iter: 0, sum: 0.0 }
+        let x = range
+            .clone()
+            .map(|i| 1.0 + i as f64 / n_total as f64)
+            .collect();
+        SyntheticApp {
+            cfg,
+            n_total,
+            range,
+            x,
+            iter: 0,
+            sum: 0.0,
+        }
     }
 
     /// Current values of this rank's variables.
@@ -234,7 +244,10 @@ mod tests {
 
     #[test]
     fn jump_is_deterministic() {
-        let cfg = SyntheticConfig { jump_prob: 0.3, ..Default::default() };
+        let cfg = SyntheticConfig {
+            jump_prob: 0.3,
+            ..Default::default()
+        };
         for var in 0..50 {
             for iter in 0..10 {
                 assert_eq!(jump(&cfg, var, iter), jump(&cfg, var, iter));
@@ -244,12 +257,16 @@ mod tests {
 
     #[test]
     fn jump_rate_tracks_probability() {
-        let cfg = SyntheticConfig { jump_prob: 0.2, ..Default::default() };
-        let fired = (0..10_000)
-            .filter(|&v| jump(&cfg, v, 0) != 0.0)
-            .count();
+        let cfg = SyntheticConfig {
+            jump_prob: 0.2,
+            ..Default::default()
+        };
+        let fired = (0..10_000).filter(|&v| jump(&cfg, v, 0) != 0.0).count();
         let rate = fired as f64 / 10_000.0;
-        assert!((rate - 0.2).abs() < 0.02, "jump rate {rate} too far from 0.2");
+        assert!(
+            (rate - 0.2).abs() < 0.02,
+            "jump rate {rate} too far from 0.2"
+        );
     }
 
     #[test]
@@ -266,7 +283,10 @@ mod tests {
         let x = synthetic_reference(n, &ranges, cfg, 200);
         let mean = x.iter().sum::<f64>() / n as f64;
         for v in &x {
-            assert!((v - mean).abs() < 1e-3, "variables should converge, got {v} vs {mean}");
+            assert!(
+                (v - mean).abs() < 1e-3,
+                "variables should converge, got {v} vs {mean}"
+            );
         }
     }
 

@@ -8,7 +8,10 @@
 use speculative_computation::prelude::*;
 
 fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
-    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -59,7 +62,11 @@ fn main() {
     println!(
         "speculative: {t1:.4} s  ({:+.1}% — {} halo values speculated, {:.2}% rejected)",
         100.0 * (t0 / t1 - 1.0),
-        stats1.per_rank.iter().map(|r| r.speculated_partitions).sum::<u64>(),
+        stats1
+            .per_rank
+            .iter()
+            .map(|r| r.speculated_partitions)
+            .sum::<u64>(),
         100.0 * stats1.recomputation_fraction(),
     );
     println!("max |ΔT| between the two solutions: {max_diff:.2e}\n");
@@ -72,7 +79,11 @@ fn main() {
         let mut line = String::new();
         for b in 0..buckets {
             let idx = b * n / buckets;
-            line.push(if cells1[idx] >= level - 0.125 { '█' } else { ' ' });
+            line.push(if cells1[idx] >= level - 0.125 {
+                '█'
+            } else {
+                ' '
+            });
         }
         println!("  |{line}|");
     }

@@ -16,12 +16,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .map(|pct: f64| pct / 100.0)
         .unwrap_or(0.02);
-    let comm_ratio: f64 =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let comm_ratio: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
 
     let mut params = ModelParams::paper_example().with_k(k);
     if let CommModel::QuadraticInP { coef } = params.comm {
-        params.comm = CommModel::QuadraticInP { coef: coef * comm_ratio };
+        params.comm = CommModel::QuadraticInP {
+            coef: coef * comm_ratio,
+        };
     }
 
     println!(

@@ -28,40 +28,70 @@ fn main() {
 
     // The paper's testbed shape: 120 MIPS down to 10 MIPS, shared Ethernet.
     let cluster = ClusterSpec::paper_testbed().fastest(p);
-    let net = Jitter::new(SharedMedium::new(SimDuration::from_micros(500), 13.6e6), 0.3, 7);
+    let net = Jitter::new(
+        SharedMedium::new(SimDuration::from_micros(500), 13.6e6),
+        0.3,
+        7,
+    );
     let particles = centered_cloud(n, 42);
 
     let mut cfg = ParallelRunConfig::new(iters, fw);
-    cfg.nbody = NBodyConfig { g: 1.0, softening: 0.01, dt: 1e-2, theta };
+    cfg.nbody = NBodyConfig {
+        g: 1.0,
+        softening: 0.01,
+        dt: 1e-2,
+        theta,
+    };
 
     let before_energy = nbody::integrate::total_energy(&particles, &cfg.nbody);
 
-    let result = run_parallel(&particles, &cluster, net, Unloaded, cfg.clone())
-        .expect("simulation failed");
+    let result =
+        run_parallel(&particles, &cluster, net, Unloaded, cfg.clone()).expect("simulation failed");
 
     let after_energy = nbody::integrate::total_energy(&result.particles, &cfg.nbody);
     let ph = result.stats.mean_per_iteration();
 
-    println!("\nvirtual run time: {:.4} s  ({:.4} s/iteration)", result.elapsed_secs(),
-        result.elapsed_secs() / iters as f64);
+    println!(
+        "\nvirtual run time: {:.4} s  ({:.4} s/iteration)",
+        result.elapsed_secs(),
+        result.elapsed_secs() / iters as f64
+    );
     println!("per-iteration phases (mean over ranks):");
-    println!("  computation   {:.4} s", ph.compute.as_secs_f64() + ph.correct.as_secs_f64());
+    println!(
+        "  computation   {:.4} s",
+        ph.compute.as_secs_f64() + ph.correct.as_secs_f64()
+    );
     println!("  communication {:.4} s", ph.comm_wait.as_secs_f64());
     println!("  speculation   {:.5} s", ph.speculate.as_secs_f64());
     println!("  checking      {:.5} s", ph.check.as_secs_f64());
 
-    let spec: u64 = result.stats.per_rank.iter().map(|r| r.speculated_partitions).sum();
-    let miss: u64 = result.stats.per_rank.iter().map(|r| r.misspeculated_partitions).sum();
+    let spec: u64 = result
+        .stats
+        .per_rank
+        .iter()
+        .map(|r| r.speculated_partitions)
+        .sum();
+    let miss: u64 = result
+        .stats
+        .per_rank
+        .iter()
+        .map(|r| r.misspeculated_partitions)
+        .sum();
     let rollbacks = result.stats.total_rollbacks();
     println!("\nspeculated partition messages: {spec}   rejected: {miss}   rollbacks: {rollbacks}");
-    println!("recomputation fraction k = {:.2}%", 100.0 * result.stats.recomputation_fraction());
+    println!(
+        "recomputation fraction k = {:.2}%",
+        100.0 * result.stats.recomputation_fraction()
+    );
     println!(
         "max accepted speculation error = {:.4} (θ = {theta})",
         result.stats.max_accepted_error()
     );
 
-    println!("\nphysics sanity: energy {before_energy:.4} -> {after_energy:.4} (drift {:.2}%)",
-        100.0 * ((after_energy - before_energy) / before_energy.abs()));
+    println!(
+        "\nphysics sanity: energy {before_energy:.4} -> {after_energy:.4} (drift {:.2}%)",
+        100.0 * ((after_energy - before_energy) / before_energy.abs())
+    );
 
     // Compare against the no-speculation baseline for the same inputs.
     if fw > 0 {
@@ -70,7 +100,11 @@ fn main() {
         let base = run_parallel(
             &particles,
             &cluster,
-            Jitter::new(SharedMedium::new(SimDuration::from_micros(500), 13.6e6), 0.3, 7),
+            Jitter::new(
+                SharedMedium::new(SimDuration::from_micros(500), 13.6e6),
+                0.3,
+                7,
+            ),
             Unloaded,
             base_cfg,
         )

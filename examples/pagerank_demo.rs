@@ -11,7 +11,10 @@
 use speculative_computation::prelude::*;
 
 fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
-    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -42,7 +45,10 @@ fn main() {
                     graph.clone(),
                     &ranges,
                     t.rank().0,
-                    PageRankConfig { theta: 0.05, ..Default::default() },
+                    PageRankConfig {
+                        theta: 0.05,
+                        ..Default::default()
+                    },
                 );
                 let cfg = if fw == 0 {
                     SpecConfig::baseline()
@@ -63,10 +69,16 @@ fn main() {
     let (scores1, stats1, t1) = run(1);
 
     let reference = workloads::pagerank_reference(&graph, PageRankConfig::default(), iters);
-    let err_base: f64 =
-        scores0.iter().zip(&reference).map(|(a, b)| (a - b).abs()).sum();
-    let err_spec: f64 =
-        scores1.iter().zip(&reference).map(|(a, b)| (a - b).abs()).sum();
+    let err_base: f64 = scores0
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    let err_spec: f64 = scores1
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
 
     println!("baseline:    {t0:.4} s   L1 error vs sequential reference {err_base:.2e}");
     println!(
@@ -75,7 +87,11 @@ fn main() {
     );
     println!(
         "speculated {} score vectors, {:.2}% of scores rejected (θ = {})",
-        stats1.per_rank.iter().map(|r| r.speculated_partitions).sum::<u64>(),
+        stats1
+            .per_rank
+            .iter()
+            .map(|r| r.speculated_partitions)
+            .sum::<u64>(),
         100.0 * stats1.recomputation_fraction(),
         0.05,
     );

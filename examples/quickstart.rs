@@ -32,12 +32,8 @@ fn main() {
             Unloaded,
             false,
             move |t| {
-                let mut app = SyntheticApp::new(
-                    n_vars,
-                    &ranges,
-                    t.rank().0,
-                    SyntheticConfig::default(),
-                );
+                let mut app =
+                    SyntheticApp::new(n_vars, &ranges, t.rank().0, SyntheticConfig::default());
                 let cfg = if forward_window == 0 {
                     SpecConfig::baseline()
                 } else {
@@ -66,8 +62,16 @@ fn main() {
             ph.check.as_secs_f64());
         println!(
             "  speculated partitions {} | misspeculated {} | k = {:.2}%\n",
-            stats.per_rank.iter().map(|r| r.speculated_partitions).sum::<u64>(),
-            stats.per_rank.iter().map(|r| r.misspeculated_partitions).sum::<u64>(),
+            stats
+                .per_rank
+                .iter()
+                .map(|r| r.speculated_partitions)
+                .sum::<u64>(),
+            stats
+                .per_rank
+                .iter()
+                .map(|r| r.misspeculated_partitions)
+                .sum::<u64>(),
             100.0 * stats.recomputation_fraction()
         );
     };

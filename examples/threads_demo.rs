@@ -30,13 +30,20 @@ fn main() {
         let opts = opts.clone();
         let started = Instant::now();
         let stats = run_thread_cluster::<IterMsg<Vec<f64>>, _, _>(p, opts, move |t| {
-            let ranges: Vec<_> =
-                (0..p).map(|i| i * n_vars / p..(i + 1) * n_vars / p).collect();
+            let ranges: Vec<_> = (0..p)
+                .map(|i| i * n_vars / p..(i + 1) * n_vars / p)
+                .collect();
             let mut app = SyntheticApp::new(
                 n_vars,
                 &ranges,
                 t.rank().0,
-                SyntheticConfig { f_comp: 300, f_spec: 2, f_check: 2, theta: 0.05, ..Default::default() },
+                SyntheticConfig {
+                    f_comp: 300,
+                    f_spec: 2,
+                    f_check: 2,
+                    theta: 0.05,
+                    ..Default::default()
+                },
             );
             let cfg = if fw == 0 {
                 SpecConfig::baseline()
@@ -62,7 +69,10 @@ fn main() {
         "FW = 1: {:>8.1?} wall  (mean waiting/iter {:.2} ms, {} speculations, {:.1}% rejected)",
         t1,
         1e3 * s1.mean_per_iteration().comm_wait.as_secs_f64(),
-        s1.per_rank.iter().map(|r| r.speculated_partitions).sum::<u64>(),
+        s1.per_rank
+            .iter()
+            .map(|r| r.speculated_partitions)
+            .sum::<u64>(),
         100.0 * s1.recomputation_fraction(),
     );
 

@@ -23,6 +23,7 @@
 //! | [`nbody`] | The §5 case study: O(N²) N-body with eq. 10 speculation and eq. 11 checking (plus Barnes–Hut) |
 //! | [`perfmodel`] | The §4 empirical performance model (eqs. 3–9, Figures 5/6/9) |
 //! | [`workloads`] | More synchronous iterative apps: §4 synthetic, Jacobi heat, PageRank |
+//! | [`obs`] | Structured telemetry: typed spans/counters, Chrome-trace export, run reports |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use desim;
 pub use mpk;
 pub use nbody;
 pub use netsim;
+pub use obs;
 pub use perfmodel;
 pub use speccore;
 pub use workloads;
@@ -62,25 +64,25 @@ pub use workloads;
 pub mod prelude {
     pub use desim::{SimDuration, SimTime, Simulation};
     pub use mpk::{
-        run_sim_cluster, run_thread_cluster, Envelope, Rank, Tag, ThreadClusterOptions,
-        Transport, WireSize,
+        run_sim_cluster, run_thread_cluster, Envelope, Rank, Tag, ThreadClusterOptions, Transport,
+        WireSize,
     };
     pub use nbody::{
-        binary_pair, centered_cloud, colliding_clouds, rotating_disk, run_parallel,
-        uniform_cloud, NBodyApp, NBodyConfig, ParallelRunConfig, SpeculationOrder, Vec3,
+        binary_pair, centered_cloud, colliding_clouds, rotating_disk, run_parallel, uniform_cloud,
+        NBodyApp, NBodyConfig, ParallelRunConfig, SpeculationOrder, Vec3,
     };
     pub use netsim::{
-        ClusterSpec, ConstantLatency, Jitter, LinkLatency, MachineSpec, NetworkModel,
-        RandomSpikes, ScriptedDelays, SharedMedium, TransientDelays, Unloaded,
+        ClusterSpec, ConstantLatency, Jitter, LinkLatency, MachineSpec, NetworkModel, RandomSpikes,
+        ScriptedDelays, SharedMedium, TransientDelays, Unloaded,
     };
+    pub use obs::{chrome_trace_string, RunReport, RunTrace, SharedRecorder};
     pub use perfmodel::{CommModel, ModelParams};
     pub use speccore::{
         run_baseline, run_speculative, CheckOutcome, ClusterStats, CorrectionMode, History,
-        IterMsg, IterationLog, PhaseBreakdown, RunStats, SpecConfig, SpeculativeApp,
-        WindowPolicy,
+        IterMsg, IterationLog, PhaseBreakdown, RunStats, SpecConfig, SpeculativeApp, WindowPolicy,
     };
     pub use workloads::{
-        Graph, Heat2dApp, Heat2dConfig, HeatApp, HeatConfig, JacobiApp, JacobiConfig,
-        LinearSystem, PageRankApp, PageRankConfig, RowHalo, SyntheticApp, SyntheticConfig,
+        Graph, Heat2dApp, Heat2dConfig, HeatApp, HeatConfig, JacobiApp, JacobiConfig, LinearSystem,
+        PageRankApp, PageRankConfig, RowHalo, SyntheticApp, SyntheticConfig,
     };
 }

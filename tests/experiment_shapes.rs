@@ -5,17 +5,28 @@
 use spec_bench::{experiments, Scale};
 
 fn quick() -> Scale {
-    Scale { n_particles: 150, iterations: 6, p_values: vec![1, 2, 4, 8, 16], seed: 42 }
+    Scale {
+        n_particles: 150,
+        iterations: 6,
+        p_values: vec![1, 2, 4, 8, 16],
+        seed: 42,
+    }
 }
 
 #[test]
 fn fig5_shape_speculation_wins_at_scale_and_nospec_peaks() {
     let rows = experiments::fig5();
     let last = rows.last().unwrap();
-    assert!(last.spec > last.no_spec * 1.10, "model: ≥10% gain expected at p=16");
+    assert!(
+        last.spec > last.no_spec * 1.10,
+        "model: ≥10% gain expected at p=16"
+    );
     // The no-speculation curve declines somewhere before 16 (its peak).
     let peak = rows.iter().map(|r| r.no_spec).fold(0.0f64, f64::max);
-    assert!(peak > last.no_spec, "no-spec curve must decline after its peak");
+    assert!(
+        peak > last.no_spec,
+        "no-spec curve must decline after its peak"
+    );
     // Nothing beats the capacity bound.
     for r in &rows {
         assert!(r.spec <= r.max + 1e-9);
@@ -26,7 +37,10 @@ fn fig5_shape_speculation_wins_at_scale_and_nospec_peaks() {
 #[test]
 fn fig6_shape_speculation_loses_beyond_some_k() {
     let rows = experiments::fig6();
-    assert!(rows[0].spec > rows[0].no_spec, "k=0 must favour speculation");
+    assert!(
+        rows[0].spec > rows[0].no_spec,
+        "k=0 must favour speculation"
+    );
     assert!(
         rows.last().unwrap().spec < rows.last().unwrap().no_spec,
         "k=30% must favour the baseline"
@@ -110,8 +124,18 @@ fn fig9_model_tracks_measurements() {
     let rows = experiments::fig9(&scale);
     for r in &rows {
         let e0 = (r.model_nospec - r.measured_nospec).abs() / r.measured_nospec;
-        assert!(e0 < 0.40, "no-spec model error {:.0}% at p={}", 100.0 * e0, r.p);
+        assert!(
+            e0 < 0.40,
+            "no-spec model error {:.0}% at p={}",
+            100.0 * e0,
+            r.p
+        );
         let e1 = (r.model_spec - r.measured_spec).abs() / r.measured_spec;
-        assert!(e1 < 0.40, "spec model error {:.0}% at p={}", 100.0 * e1, r.p);
+        assert!(
+            e1 < 0.40,
+            "spec model error {:.0}% at p={}",
+            100.0 * e1,
+            r.p
+        );
     }
 }

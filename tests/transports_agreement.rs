@@ -10,13 +10,14 @@ fn even_ranges(n: usize, p: usize) -> Vec<std::ops::Range<usize>> {
 
 /// Run the synthetic workload with exact semantics (θ = 0 + recompute) on
 /// any transport and return the final values.
-fn run_exact<T: Transport<Msg = IterMsg<Vec<f64>>>>(
-    t: &mut T,
-    n: usize,
-    iters: u64,
-) -> Vec<f64> {
+fn run_exact<T: Transport<Msg = IterMsg<Vec<f64>>>>(t: &mut T, n: usize, iters: u64) -> Vec<f64> {
     let ranges = even_ranges(n, t.size());
-    let scfg = SyntheticConfig { theta: 0.0, jump_prob: 0.1, seed: 5, ..Default::default() };
+    let scfg = SyntheticConfig {
+        theta: 0.0,
+        jump_prob: 0.1,
+        seed: 5,
+        ..Default::default()
+    };
     let mut app = SyntheticApp::new(n, &ranges, t.rank().0, scfg);
     let cfg = SpecConfig::speculative(1).with_correction(CorrectionMode::Recompute);
     run_speculative(t, &mut app, iters, cfg);
@@ -48,7 +49,10 @@ fn sim_and_thread_backends_agree_exactly() {
         move |t| run_exact(t, n, iters),
     );
 
-    assert_eq!(sim_out, thread_out, "backends must agree bit-for-bit under θ=0+recompute");
+    assert_eq!(
+        sim_out, thread_out,
+        "backends must agree bit-for-bit under θ=0+recompute"
+    );
 }
 
 #[test]
@@ -70,13 +74,19 @@ fn thread_backend_handles_speculation_under_real_latency() {
                 n,
                 &ranges,
                 t.rank().0,
-                SyntheticConfig { theta: 0.5, ..Default::default() },
+                SyntheticConfig {
+                    theta: 0.5,
+                    ..Default::default()
+                },
             );
             run_speculative(t, &mut app, 10, SpecConfig::speculative(1))
         },
     );
     let total_spec: u64 = stats.iter().map(|s| s.speculated_partitions).sum();
-    assert!(total_spec > 0, "thread backend never speculated under 5 ms latency");
+    assert!(
+        total_spec > 0,
+        "thread backend never speculated under 5 ms latency"
+    );
     for s in &stats {
         assert_eq!(s.iterations, 10);
     }
@@ -95,8 +105,7 @@ fn thread_backend_baseline_equals_sim_baseline() {
         false,
         move |t| {
             let ranges = even_ranges(n, t.size());
-            let mut app =
-                SyntheticApp::new(n, &ranges, t.rank().0, SyntheticConfig::default());
+            let mut app = SyntheticApp::new(n, &ranges, t.rank().0, SyntheticConfig::default());
             run_baseline(t, &mut app, iters);
             app.values().to_vec()
         },
@@ -108,8 +117,7 @@ fn thread_backend_baseline_equals_sim_baseline() {
         ThreadClusterOptions::default(),
         move |t| {
             let ranges = even_ranges(n, t.size());
-            let mut app =
-                SyntheticApp::new(n, &ranges, t.rank().0, SyntheticConfig::default());
+            let mut app = SyntheticApp::new(n, &ranges, t.rank().0, SyntheticConfig::default());
             run_baseline(t, &mut app, iters);
             app.values().to_vec()
         },

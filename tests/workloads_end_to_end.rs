@@ -14,7 +14,11 @@ fn synthetic_theta_zero_recompute_is_exact() {
     let p = 4;
     let iters = 10;
     let ranges = even_ranges(n, p);
-    let scfg = SyntheticConfig { theta: 0.0, jump_prob: 0.05, ..Default::default() };
+    let scfg = SyntheticConfig {
+        theta: 0.0,
+        jump_prob: 0.05,
+        ..Default::default()
+    };
     let cluster = ClusterSpec::homogeneous(p, 100.0);
     let (outs, _) = run_sim_cluster::<IterMsg<Vec<f64>>, _, _>(
         &cluster,
@@ -34,7 +38,10 @@ fn synthetic_theta_zero_recompute_is_exact() {
     .unwrap();
     let got: Vec<f64> = outs.iter().flat_map(|(v, _)| v.iter().copied()).collect();
     let want = synthetic_reference(n, &ranges, scfg, iters);
-    assert_eq!(got, want, "θ=0 + recompute must match the sequential reference exactly");
+    assert_eq!(
+        got, want,
+        "θ=0 + recompute must match the sequential reference exactly"
+    );
     // Jumps must actually break speculation for this to be meaningful.
     let rollbacks: u64 = outs.iter().map(|(_, s)| s.rollbacks).sum();
     assert!(rollbacks > 0, "jump process never broke a speculation");
@@ -50,7 +57,11 @@ fn synthetic_jump_rate_drives_measured_k() {
     let ranges = even_ranges(n, p);
     let cluster = ClusterSpec::homogeneous(p, 100.0);
     let measure = |jump_prob: f64| {
-        let scfg = SyntheticConfig { theta: 1e-6, jump_prob, ..Default::default() };
+        let scfg = SyntheticConfig {
+            theta: 1e-6,
+            jump_prob,
+            ..Default::default()
+        };
         let (outs, _) = run_sim_cluster::<IterMsg<Vec<f64>>, _, _>(
             &cluster,
             ConstantLatency(SimDuration::from_millis(2)),
@@ -69,8 +80,14 @@ fn synthetic_jump_rate_drives_measured_k() {
     };
     let low = measure(0.01);
     let high = measure(0.2);
-    assert!(high > low, "higher jump rate must produce higher k ({low} vs {high})");
-    assert!(high > 0.1, "20% jumps should reject >10% of units, got {high}");
+    assert!(
+        high > low,
+        "higher jump rate must produce higher k ({low} vs {high})"
+    );
+    assert!(
+        high > 0.1,
+        "20% jumps should reject >10% of units, got {high}"
+    );
 }
 
 #[test]
@@ -98,9 +115,15 @@ fn heat_full_driver_matches_reference_when_accepted() {
     .unwrap();
     let got: Vec<f64> = outs.iter().flat_map(|(v, _)| v.iter().copied()).collect();
     let want = heat_reference(n, hcfg, iters);
-    let max_diff =
-        got.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
-    assert!(max_diff < 5e-3, "speculative heat drifted {max_diff} beyond the θ bound");
+    let max_diff = got
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_diff < 5e-3,
+        "speculative heat drifted {max_diff} beyond the θ bound"
+    );
     let spec: u64 = outs.iter().map(|(_, s)| s.speculated_partitions).sum();
     assert!(spec > 0);
 }
@@ -134,10 +157,21 @@ fn heat2d_full_driver_conserves_heat_and_stays_close() {
     let total_got: f64 = got.iter().sum();
     let total_want: f64 = want.iter().sum();
     assert!((total_got - total_want).abs() / total_want < 0.01);
-    let max_diff =
-        got.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
-    assert!(max_diff < 5e-3, "2-D heat drifted {max_diff} beyond the θ bound");
-    assert!(outs.iter().map(|(_, s)| s.speculated_partitions).sum::<u64>() > 0);
+    let max_diff = got
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_diff < 5e-3,
+        "2-D heat drifted {max_diff} beyond the θ bound"
+    );
+    assert!(
+        outs.iter()
+            .map(|(_, s)| s.speculated_partitions)
+            .sum::<u64>()
+            > 0
+    );
 }
 
 #[test]
@@ -161,7 +195,10 @@ fn pagerank_full_driver_stays_normalized() {
                     graph.clone(),
                     &ranges,
                     t.rank().0,
-                    PageRankConfig { theta: 0.02, ..Default::default() },
+                    PageRankConfig {
+                        theta: 0.02,
+                        ..Default::default()
+                    },
                 );
                 let stats = run_speculative(t, &mut app, iters, SpecConfig::speculative(1));
                 (app.scores().to_vec(), stats)
@@ -194,7 +231,8 @@ fn jacobi_full_driver_solves_the_system() {
             let sys = sys.clone();
             let ranges = ranges.clone();
             move |t| {
-                let mut app = JacobiApp::new(sys.clone(), &ranges, t.rank().0, JacobiConfig::default());
+                let mut app =
+                    JacobiApp::new(sys.clone(), &ranges, t.rank().0, JacobiConfig::default());
                 let stats = run_speculative(t, &mut app, iters, SpecConfig::speculative(1));
                 (app.values().to_vec(), stats)
             }
@@ -206,7 +244,12 @@ fn jacobi_full_driver_solves_the_system() {
     // accepted θ-bounded errors vanish as the iterate stabilizes.
     let res = sys.residual(&x);
     assert!(res < 1e-6, "speculative Jacobi residual {res}");
-    assert!(outs.iter().map(|(_, s)| s.speculated_partitions).sum::<u64>() > 0);
+    assert!(
+        outs.iter()
+            .map(|(_, s)| s.speculated_partitions)
+            .sum::<u64>()
+            > 0
+    );
 }
 
 #[test]
@@ -230,10 +273,19 @@ fn all_workloads_benefit_from_speculation_when_comm_bound() {
                     40,
                     &ranges,
                     t.rank().0,
-                    SyntheticConfig { f_comp: 300, f_spec: 1, f_check: 1, theta: 0.5, ..Default::default() },
+                    SyntheticConfig {
+                        f_comp: 300,
+                        f_spec: 1,
+                        f_check: 1,
+                        theta: 0.5,
+                        ..Default::default()
+                    },
                 );
-                let cfg =
-                    if fw == 0 { SpecConfig::baseline() } else { SpecConfig::speculative(fw) };
+                let cfg = if fw == 0 {
+                    SpecConfig::baseline()
+                } else {
+                    SpecConfig::speculative(fw)
+                };
                 run_speculative(t, &mut app, 10, cfg)
             },
         )
@@ -255,10 +307,17 @@ fn all_workloads_benefit_from_speculation_when_comm_bound() {
                     200,
                     &ranges,
                     t.rank().0,
-                    HeatConfig { ops_per_cell: 500, theta: 0.5, ..Default::default() },
+                    HeatConfig {
+                        ops_per_cell: 500,
+                        theta: 0.5,
+                        ..Default::default()
+                    },
                 );
-                let cfg =
-                    if fw == 0 { SpecConfig::baseline() } else { SpecConfig::speculative(fw) };
+                let cfg = if fw == 0 {
+                    SpecConfig::baseline()
+                } else {
+                    SpecConfig::speculative(fw)
+                };
                 run_speculative(t, &mut app, 10, cfg)
             },
         )
@@ -281,10 +340,16 @@ fn all_workloads_benefit_from_speculation_when_comm_bound() {
                     graph.clone(),
                     &ranges,
                     t.rank().0,
-                    PageRankConfig { theta: 0.5, ..Default::default() },
+                    PageRankConfig {
+                        theta: 0.5,
+                        ..Default::default()
+                    },
                 );
-                let cfg =
-                    if fw == 0 { SpecConfig::baseline() } else { SpecConfig::speculative(fw) };
+                let cfg = if fw == 0 {
+                    SpecConfig::baseline()
+                } else {
+                    SpecConfig::speculative(fw)
+                };
                 run_speculative(t, &mut app, 10, cfg)
             },
         )
