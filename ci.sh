@@ -12,4 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q
 
+echo "== kernels bench smoke (release)"
+# Emits BENCH_kernels.json: wall-clock pairs/sec for the scalar and SoA
+# force kernels at N ∈ {1024, 4096}. SPEC_BENCH_OUT pins the artifact to
+# the repo root (cargo bench -p runs with the package dir as cwd).
+SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench kernels
+
 echo "CI green."

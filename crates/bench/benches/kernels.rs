@@ -1,14 +1,34 @@
-//! Criterion microbenchmarks of the computational kernels: the O(N²)
+//! Criterion microbenchmarks of the computational kernels — the O(N²)
 //! force accumulation, the eq. 10 speculation and eq. 11 check (the paper's
-//! 70/12/24-operation cost trio), and the Barnes–Hut comparator.
+//! 70/12/24-operation cost trio), the Barnes–Hut comparator — plus a
+//! wall-clock throughput A/B of the scalar reference force kernels against
+//! the cache-blocked SoA engine, persisted as `BENCH_kernels.json`.
+//!
+//! The throughput numbers are wall-clock only: both engines charge the
+//! identical modelled op counts to the virtual-time simulation, so nothing
+//! here feeds back into the paper-reproduction figures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use mpk::Rank;
 use nbody::barnes_hut::{BhConfig, Octree};
-use nbody::{partition_proportional, uniform_cloud, NBodyApp, NBodyConfig, SpeculationOrder};
+use nbody::forces::{
+    accumulate_partition, accumulate_partition_soa, accumulate_self, accumulate_self_soa,
+};
+use nbody::{
+    partition_proportional, split_soa, uniform_cloud, NBodyApp, NBodyConfig, PartitionShared, Soa3,
+    SoaBodies, SpeculationOrder, Vec3, ZERO3,
+};
+use spec_bench::artifact::{kernels_json, KernelRow};
 use speccore::{History, SpeculativeApp};
+
+fn remote_share(particles: &[nbody::Particle], range: std::ops::Range<usize>) -> PartitionShared {
+    let pos: Vec<Vec3> = particles[range.clone()].iter().map(|p| p.pos).collect();
+    let vel: Vec<Vec3> = particles[range].iter().map(|p| p.vel).collect();
+    PartitionShared::from_vec3s(&pos, &vel)
+}
 
 fn bench_force_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("force_kernel");
@@ -24,10 +44,7 @@ fn bench_force_kernel(c: &mut Criterion) {
                 NBodyConfig::default(),
                 SpeculationOrder::Linear,
             );
-            let remote = nbody::PartitionShared {
-                pos: particles[n / 2..].iter().map(|p| p.pos).collect(),
-                vel: particles[n / 2..].iter().map(|p| p.vel).collect(),
-            };
+            let remote = std::sync::Arc::new(remote_share(&particles, n / 2..n));
             b.iter(|| {
                 app.begin_iteration();
                 let ops = app.absorb(Rank(1), black_box(&remote));
@@ -52,10 +69,7 @@ fn bench_speculate_and_check(c: &mut Criterion) {
         NBodyConfig::default(),
         SpeculationOrder::Linear,
     );
-    let remote = nbody::PartitionShared {
-        pos: particles[n / 2..].iter().map(|p| p.pos).collect(),
-        vel: particles[n / 2..].iter().map(|p| p.vel).collect(),
-    };
+    let remote = std::sync::Arc::new(remote_share(&particles, n / 2..n));
     let mut hist = History::new(3);
     hist.record(0, remote.clone());
     hist.record(1, remote.clone());
@@ -112,4 +126,153 @@ criterion_group!(
     bench_barnes_hut_vs_direct,
     bench_partitioning
 );
-criterion_main!(benches);
+
+/// Median wall-clock seconds for one call of `eval`, over `samples`
+/// batches of `reps` calls each (reps sized so a batch is long enough for
+/// `Instant` resolution).
+fn median_secs(samples: usize, reps: u32, mut eval: impl FnMut()) -> f64 {
+    eval(); // warm caches and page in the buffers
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                eval();
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Scalar-vs-SoA throughput A/B at the ISSUE's N ∈ {1024, 4096}, reported
+/// in modelled pairs/sec (the desim accounting's pair counts, so the SoA
+/// self-kernel's Newton's-third-law halving shows up as throughput).
+fn throughput_ab() -> Vec<KernelRow> {
+    let samples = 5;
+    let mut rows = Vec::new();
+    for n in [1024usize, 4096] {
+        // Each sample batch should take O(10ms): one N=4096 self-eval is
+        // already ~10⁷ pair updates, so scale reps down as N² grows.
+        let reps: u32 = if n <= 1024 { 8 } else { 1 };
+        let bodies = SoaBodies::from_particles(&uniform_cloud(n, 42));
+        let ranges = partition_proportional(n, &[1.0, 1.0]);
+        let parts = split_soa(&bodies, &ranges);
+        let (half_a, half_b) = (&parts[0], &parts[1]);
+
+        // AoS mirrors for the scalar reference kernels.
+        let pos = bodies.pos.to_vec3s();
+        let mass = bodies.mass.clone();
+        let a_pos = half_a.pos.to_vec3s();
+        let b_pos = half_b.pos.to_vec3s();
+        let b_mass = half_b.mass.clone();
+
+        let self_pairs = (n as u64) * (n as u64 - 1);
+        let part_pairs = (half_a.len() as u64) * (half_b.len() as u64);
+
+        let mut acc_aos = vec![ZERO3; n];
+        rows.push(KernelRow {
+            kernel: "scalar_self".into(),
+            n,
+            pairs: self_pairs,
+            secs: median_secs(samples, reps, || {
+                acc_aos.iter_mut().for_each(|a| *a = ZERO3);
+                black_box(accumulate_self(
+                    black_box(&pos),
+                    &mass,
+                    &mut acc_aos,
+                    1.0,
+                    0.05,
+                ));
+            }),
+        });
+        let mut acc_soa = Soa3::zeros(n);
+        rows.push(KernelRow {
+            kernel: "soa_self".into(),
+            n,
+            pairs: self_pairs,
+            secs: median_secs(samples, reps, || {
+                acc_soa.fill(ZERO3);
+                black_box(accumulate_self_soa(
+                    black_box(&bodies.pos),
+                    &mass,
+                    &mut acc_soa,
+                    1.0,
+                    0.05,
+                ));
+            }),
+        });
+
+        let mut acc_aos = vec![ZERO3; half_a.len()];
+        rows.push(KernelRow {
+            kernel: "scalar_partition".into(),
+            n,
+            pairs: part_pairs,
+            secs: median_secs(samples, reps, || {
+                acc_aos.iter_mut().for_each(|a| *a = ZERO3);
+                black_box(accumulate_partition(
+                    black_box(&a_pos),
+                    &mut acc_aos,
+                    &b_pos,
+                    &b_mass,
+                    1.0,
+                    0.05,
+                ));
+            }),
+        });
+        let mut acc_soa = Soa3::zeros(half_a.len());
+        rows.push(KernelRow {
+            kernel: "soa_partition".into(),
+            n,
+            pairs: part_pairs,
+            secs: median_secs(samples, reps, || {
+                acc_soa.fill(ZERO3);
+                black_box(accumulate_partition_soa(
+                    black_box(&half_a.pos),
+                    &mut acc_soa,
+                    &half_b.pos,
+                    &b_mass,
+                    1.0,
+                    0.05,
+                ));
+            }),
+        });
+    }
+    rows
+}
+
+fn main() {
+    benches();
+
+    println!("\nforce-kernel throughput (modelled pairs/sec):");
+    let rows = throughput_ab();
+    for row in &rows {
+        println!(
+            "  {:<18} N={:<5} {:>8.2} Mpairs/s  ({:.3} ms/eval)",
+            row.kernel,
+            row.n,
+            row.pairs_per_sec() / 1e6,
+            row.secs * 1e3
+        );
+    }
+    let speedup_at = |n: usize| {
+        let get = |k: &str| {
+            rows.iter()
+                .find(|r| r.kernel == k && r.n == n)
+                .map(KernelRow::pairs_per_sec)
+                .unwrap_or(f64::NAN)
+        };
+        (
+            get("soa_self") / get("scalar_self"),
+            get("soa_partition") / get("scalar_partition"),
+        )
+    };
+    for n in [1024usize, 4096] {
+        let (s, p) = speedup_at(n);
+        println!("  N={n}: SoA speedup self {s:.2}x, partition {p:.2}x");
+    }
+    match spec_bench::artifact::write("kernels", &kernels_json(&rows)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write kernels artifact: {e}"),
+    }
+}

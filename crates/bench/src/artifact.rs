@@ -110,6 +110,54 @@ pub fn fig8_json(data: &Fig8Data, report: &RunReport) -> Json {
     ])
 }
 
+/// One wall-clock throughput measurement of a force kernel: `pairs`
+/// modelled pair interactions evaluated in `secs` median seconds.
+#[derive(Clone, Debug)]
+pub struct KernelRow {
+    /// Kernel under test (`"scalar_self"`, `"soa_self"`, …).
+    pub kernel: String,
+    /// Problem size N.
+    pub n: usize,
+    /// Modelled pair interactions per evaluation (N·(N−1) for the
+    /// self-kernel, N_t·N_s for the partition kernel) — the same count the
+    /// desim op accounting charges, so speedups here never touch the
+    /// simulated-time results.
+    pub pairs: u64,
+    /// Median seconds per evaluation.
+    pub secs: f64,
+}
+
+impl KernelRow {
+    /// Throughput in modelled pair interactions per second.
+    pub fn pairs_per_sec(&self) -> f64 {
+        self.pairs as f64 / self.secs
+    }
+}
+
+/// Kernel throughput rows (scalar vs SoA A/B) as JSON.
+pub fn kernels_json(rows: &[KernelRow]) -> Json {
+    Json::obj([
+        ("name", Json::Str("kernels".into())),
+        ("kind", Json::Str("force_kernel_throughput".into())),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("kernel", Json::Str(r.kernel.clone())),
+                            ("n", Json::U64(r.n as u64)),
+                            ("pairs", Json::U64(r.pairs)),
+                            ("secs", f(r.secs)),
+                            ("pairs_per_sec", f(r.pairs_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Table 2 rows (per-phase seconds per iteration) as JSON.
 pub fn table2_json(rows: &[Table2Row]) -> Json {
     Json::obj([

@@ -87,6 +87,15 @@ impl WireSize for String {
     }
 }
 
+/// An `Arc` serializes as its payload: sharing is a process-local
+/// optimisation (apps hand out cheap clones of one snapshot), invisible
+/// on the wire.
+impl<T: WireSize + ?Sized> WireSize for std::sync::Arc<T> {
+    fn wire_size(&self) -> usize {
+        (**self).wire_size()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +129,11 @@ mod tests {
     #[test]
     fn string_size() {
         assert_eq!("abc".to_string().wire_size(), 11);
+    }
+
+    #[test]
+    fn arc_is_transparent_on_the_wire() {
+        let v = vec![1.0f64; 10];
+        assert_eq!(std::sync::Arc::new(v.clone()).wire_size(), v.wire_size());
     }
 }

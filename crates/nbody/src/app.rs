@@ -8,17 +8,32 @@
 //! arrival applies the eq. 11 acceptance test
 //! (`‖r* − r‖ / ‖r_a − r_b‖ ≤ θ`), incrementally recomputing the force
 //! contributions of only the offending particles.
+//!
+//! ## Hot-path engineering
+//!
+//! State lives in [`Soa3`] structure-of-arrays storage and forces run
+//! through the cache-blocked SoA kernels of [`crate::forces`] — bit-for-bit
+//! equal to the scalar reference, just faster. The broadcast snapshot is an
+//! `Arc<PartitionShared>` refreshed through a small slot ring
+//! ([`NBodyApp::refresh_snapshot`]): peers, the driver's history, and
+//! in-flight messages hold cheap `Arc` clones, and a slot is rewritten in
+//! place as soon as nobody references it — so the steady-state iteration
+//! path (begin/absorb/finish/checkpoint/shared) performs no heap
+//! allocation. `speculate` is the exception by contract: it returns a
+//! freshly predicted snapshot, which necessarily owns new buffers.
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use mpk::{Rank, WireSize};
 use speccore::{CheckOutcome, History, SpeculativeApp};
 
 use crate::forces::{
-    accel_from, accumulate_partition, accumulate_self, OPS_PER_CHECK, OPS_PER_PAIR,
+    accel_from, accumulate_partition_soa, accumulate_self_soa, OPS_PER_CHECK, OPS_PER_PAIR,
     OPS_PER_SPECULATE, OPS_PER_UPDATE,
 };
 use crate::particle::{NBodyConfig, Particle};
+use crate::soa::Soa3;
 use crate::vec3::{Vec3, ZERO3};
 
 /// One partition's broadcast snapshot: positions and velocities
@@ -27,14 +42,37 @@ use crate::vec3::{Vec3, ZERO3};
 #[derive(Clone, Debug, PartialEq)]
 pub struct PartitionShared {
     /// Positions of the partition's particles, partition-local order.
-    pub pos: Vec<Vec3>,
+    pub pos: Soa3,
     /// Velocities, same order.
-    pub vel: Vec<Vec3>,
+    pub vel: Soa3,
+}
+
+impl PartitionShared {
+    /// Build from AoS slices (cold path: construction, tests, benches).
+    pub fn from_vec3s(pos: &[Vec3], vel: &[Vec3]) -> Self {
+        PartitionShared {
+            pos: Soa3::from_vec3s(pos),
+            vel: Soa3::from_vec3s(vel),
+        }
+    }
+
+    /// Number of particles in the snapshot.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
 }
 
 impl WireSize for PartitionShared {
     fn wire_size(&self) -> usize {
-        self.pos.wire_size() + self.vel.wire_size()
+        // Modelled as the AoS binary encoding this type has always stood
+        // for on the wire — two length-prefixed arrays of 24-byte vectors —
+        // so the network cost model is independent of the in-memory layout.
+        2 * (8 + 24 * self.pos.len())
     }
 }
 
@@ -53,6 +91,15 @@ pub enum SpeculationOrder {
     Quadratic,
 }
 
+/// Rollback snapshot of a partition's dynamic state (positions and
+/// velocities). Reused in place through
+/// [`SpeculativeApp::checkpoint_into`].
+#[derive(Clone, Debug, Default)]
+pub struct NBodyCheckpoint {
+    pos: Soa3,
+    vel: Soa3,
+}
+
 /// One rank's partition of the N-body system.
 pub struct NBodyApp {
     cfg: NBodyConfig,
@@ -61,14 +108,20 @@ pub struct NBodyApp {
     ranges: Vec<Range<usize>>,
     /// Masses of *all* particles (static data, distributed at startup).
     masses: Vec<f64>,
-    /// My particles' state.
-    pos: Vec<Vec3>,
-    vel: Vec<Vec3>,
+    /// My particles' state, structure-of-arrays.
+    pos: Soa3,
+    vel: Soa3,
     /// Per-iteration acceleration accumulator.
-    acc: Vec<Vec3>,
+    acc: Soa3,
     /// My positions at force-accumulation time, kept so corrections can
     /// retract/reapply contributions exactly.
-    pos_at_compute: Vec<Vec3>,
+    pos_at_compute: Soa3,
+    /// Snapshot slot ring: [`shared`](SpeculativeApp::shared) hands out
+    /// `Arc` clones of `snapshots[current]`; a refresh rewrites the first
+    /// slot nobody else references (in place, no allocation) and only
+    /// grows the ring when every slot is still held elsewhere.
+    snapshots: Vec<Arc<PartitionShared>>,
+    current: usize,
 }
 
 impl NBodyApp {
@@ -89,16 +142,26 @@ impl NBodyApp {
         );
         let mine = ranges[me].clone();
         let n_mine = mine.len();
+        let pos: Vec<Vec3> = all[mine.clone()].iter().map(|p| p.pos).collect();
+        let vel: Vec<Vec3> = all[mine].iter().map(|p| p.vel).collect();
+        let pos = Soa3::from_vec3s(&pos);
+        let vel = Soa3::from_vec3s(&vel);
+        let snapshot = Arc::new(PartitionShared {
+            pos: pos.clone(),
+            vel: vel.clone(),
+        });
         NBodyApp {
             cfg,
             order,
             me,
             masses: all.iter().map(|p| p.mass).collect(),
-            pos: all[mine.clone()].iter().map(|p| p.pos).collect(),
-            vel: all[mine].iter().map(|p| p.vel).collect(),
-            acc: vec![ZERO3; n_mine],
-            pos_at_compute: vec![ZERO3; n_mine],
+            pos,
+            vel,
+            acc: Soa3::zeros(n_mine),
+            pos_at_compute: Soa3::zeros(n_mine),
             ranges,
+            snapshots: vec![snapshot],
+            current: 0,
         }
     }
 
@@ -117,19 +180,15 @@ impl NBodyApp {
         let mass = &self.masses[self.ranges[self.me].clone()];
         self.pos
             .iter()
-            .zip(&self.vel)
+            .zip(self.vel.iter())
             .zip(mass)
-            .map(|((&pos, &vel), &mass)| Particle { mass, pos, vel })
+            .map(|((pos, vel), &mass)| Particle { mass, pos, vel })
             .collect()
     }
 
     /// The global index range of this rank's particles.
     pub fn range(&self) -> Range<usize> {
         self.ranges[self.me].clone()
-    }
-
-    fn masses_of(&self, rank: usize) -> &[f64] {
-        &self.masses[self.ranges[rank].clone()]
     }
 
     /// Centroid of my partition, the cheap stand-in for the per-pair
@@ -139,26 +198,100 @@ impl NBodyApp {
         if self.pos.is_empty() {
             return ZERO3;
         }
-        self.pos.iter().fold(ZERO3, |a, &p| a + p) / self.pos.len() as f64
+        self.pos.iter().fold(ZERO3, |a, p| a + p) / self.pos.len() as f64
+    }
+
+    /// Bring the published snapshot up to date with `pos`/`vel`. Rewrites
+    /// an unreferenced ring slot in place when one exists (the steady
+    /// state, once earlier broadcasts have been consumed); allocates a new
+    /// slot only while every existing one is still referenced by history,
+    /// in-flight messages, or pending execution records.
+    fn refresh_snapshot(&mut self) {
+        let free = self
+            .snapshots
+            .iter_mut()
+            .position(|s| Arc::get_mut(s).is_some());
+        match free {
+            Some(i) => {
+                let slot = Arc::get_mut(&mut self.snapshots[i]).expect("checked unreferenced");
+                slot.pos.clone_from(&self.pos);
+                slot.vel.clone_from(&self.vel);
+                self.current = i;
+            }
+            None => {
+                self.snapshots.push(Arc::new(PartitionShared {
+                    pos: self.pos.clone(),
+                    vel: self.vel.clone(),
+                }));
+                self.current = self.snapshots.len() - 1;
+            }
+        }
+    }
+
+    /// Shared body of `correct`/`correct_deep`: re-derive which particles
+    /// of `from`'s partition exceeded θ (the same test as `check`), then
+    /// retract their speculated force contribution and apply the actual
+    /// one. Forces are linear in per-source terms, and with semi-implicit
+    /// Euler a force delta δ present for `steps` integration steps moves v
+    /// by δ·Δt and x by δ·Δt²·steps — so the post-integration state is
+    /// fixed in place, the paper's `correct(X_j(t+1))`.
+    fn apply_correction(
+        &mut self,
+        from: Rank,
+        speculated: &PartitionShared,
+        actual: &PartitionShared,
+        steps: f64,
+    ) -> u64 {
+        let centroid = self.centroid();
+        let dt = self.cfg.dt;
+        let (g, softening, theta) = (self.cfg.g, self.cfg.softening, self.cfg.theta);
+        let NBodyApp {
+            masses,
+            ranges,
+            pos,
+            vel,
+            pos_at_compute,
+            ..
+        } = self;
+        let masses = &masses[ranges[from.0].clone()];
+        let n_mine = pos.len();
+        let mut ops = 0u64;
+        for (i, &mass_i) in masses.iter().enumerate().take(actual.pos.len()) {
+            let err_abs = speculated.pos.get(i).distance(actual.pos.get(i));
+            let denom = actual.pos.get(i).distance(centroid).max(softening);
+            if err_abs / denom <= theta {
+                continue;
+            }
+            for b in 0..n_mine {
+                let target = pos_at_compute.get(b);
+                let delta = accel_from(target, actual.pos.get(i), mass_i, g, softening)
+                    - accel_from(target, speculated.pos.get(i), mass_i, g, softening);
+                vel.set(b, vel.get(b) + delta * dt);
+                pos.set(b, pos.get(b) + delta * (dt * dt * steps));
+            }
+            ops += 2 * OPS_PER_PAIR * n_mine as u64;
+        }
+        if ops > 0 {
+            // The live state moved; the driver re-reads `shared()` next.
+            self.refresh_snapshot();
+        }
+        ops
     }
 }
 
 impl SpeculativeApp for NBodyApp {
-    type Shared = PartitionShared;
-    type Checkpoint = (Vec<Vec3>, Vec<Vec3>);
+    type Shared = Arc<PartitionShared>;
+    type Checkpoint = NBodyCheckpoint;
 
-    fn shared(&self) -> PartitionShared {
-        PartitionShared {
-            pos: self.pos.clone(),
-            vel: self.vel.clone(),
-        }
+    fn shared(&self) -> Arc<PartitionShared> {
+        Arc::clone(&self.snapshots[self.current])
     }
 
     fn begin_iteration(&mut self) -> u64 {
         self.acc.fill(ZERO3);
         self.pos_at_compute.clone_from(&self.pos);
         let mine = self.ranges[self.me].clone();
-        accumulate_self(
+        accumulate_self_soa(
             &self.pos,
             &self.masses[mine],
             &mut self.acc,
@@ -167,10 +300,10 @@ impl SpeculativeApp for NBodyApp {
         )
     }
 
-    fn absorb(&mut self, from: Rank, x: &PartitionShared) -> u64 {
+    fn absorb(&mut self, from: Rank, x: &Arc<PartitionShared>) -> u64 {
         debug_assert_eq!(x.pos.len(), self.ranges[from.0].len());
         let src_range = self.ranges[from.0].clone();
-        accumulate_partition(
+        accumulate_partition_soa(
             &self.pos,
             &mut self.acc,
             &x.pos,
@@ -181,70 +314,65 @@ impl SpeculativeApp for NBodyApp {
     }
 
     fn finish_iteration(&mut self) -> u64 {
-        let dt = self.cfg.dt;
-        for ((p, v), a) in self.pos.iter_mut().zip(&mut self.vel).zip(&self.acc) {
-            *v += *a * dt;
-            *p += *v * dt;
+        fn axis(p: &mut [f64], v: &mut [f64], a: &[f64], dt: f64) {
+            for ((p, v), &a) in p.iter_mut().zip(v.iter_mut()).zip(a) {
+                *v += a * dt;
+                *p += *v * dt;
+            }
         }
+        let dt = self.cfg.dt;
+        axis(&mut self.pos.x, &mut self.vel.x, &self.acc.x, dt);
+        axis(&mut self.pos.y, &mut self.vel.y, &self.acc.y, dt);
+        axis(&mut self.pos.z, &mut self.vel.z, &self.acc.z, dt);
+        self.refresh_snapshot();
         OPS_PER_UPDATE * self.pos.len() as u64
     }
 
     fn speculate(
         &self,
         _from: Rank,
-        hist: &History<PartitionShared>,
+        hist: &History<Arc<PartitionShared>>,
         ahead: u32,
-    ) -> Option<(PartitionShared, u64)> {
+    ) -> Option<(Arc<PartitionShared>, u64)> {
         let latest = hist.latest()?;
         let n = latest.pos.len() as u64;
         let h = self.cfg.dt * ahead as f64;
+        let linear = |latest: &PartitionShared| {
+            // Eq. 10: r* = r + v·Δt (velocity held constant).
+            let extrap = |r: &[f64], v: &[f64]| r.iter().zip(v).map(|(&r, &v)| r + v * h).collect();
+            let pos = Soa3 {
+                x: extrap(&latest.pos.x, &latest.vel.x),
+                y: extrap(&latest.pos.y, &latest.vel.y),
+                z: extrap(&latest.pos.z, &latest.vel.z),
+            };
+            Arc::new(PartitionShared {
+                pos,
+                vel: latest.vel.clone(),
+            })
+        };
         match self.order {
-            SpeculationOrder::Hold => Some((latest.clone(), n)),
-            SpeculationOrder::Linear => {
-                // Eq. 10: r* = r + v·Δt (velocity held constant).
-                let pos = latest
-                    .pos
-                    .iter()
-                    .zip(&latest.vel)
-                    .map(|(&r, &v)| r + v * h)
-                    .collect();
-                Some((
-                    PartitionShared {
-                        pos,
-                        vel: latest.vel.clone(),
-                    },
-                    OPS_PER_SPECULATE * n,
-                ))
-            }
+            SpeculationOrder::Hold => Some((Arc::clone(latest), n)),
+            SpeculationOrder::Linear => Some((linear(latest), OPS_PER_SPECULATE * n)),
             SpeculationOrder::Quadratic => {
                 let Some((prev_iter, prev)) = hist.nth_back(1) else {
                     // Not enough history for an acceleration estimate;
                     // degrade to eq. 10.
-                    let pos = latest
-                        .pos
-                        .iter()
-                        .zip(&latest.vel)
-                        .map(|(&r, &v)| r + v * h)
-                        .collect();
-                    return Some((
-                        PartitionShared {
-                            pos,
-                            vel: latest.vel.clone(),
-                        },
-                        OPS_PER_SPECULATE * n,
-                    ));
+                    return Some((linear(latest), OPS_PER_SPECULATE * n));
                 };
                 let latest_iter = hist.latest_iter().expect("non-empty");
                 let span = (latest_iter - prev_iter) as f64 * self.cfg.dt;
-                let mut pos = Vec::with_capacity(latest.pos.len());
-                let mut vel = Vec::with_capacity(latest.vel.len());
+                let mut pos = Soa3::new();
+                let mut vel = Soa3::new();
                 for i in 0..latest.pos.len() {
-                    let a_est = (latest.vel[i] - prev.vel[i]) / span;
-                    let v = latest.vel[i] + a_est * h;
-                    pos.push(latest.pos[i] + latest.vel[i] * h + a_est * (0.5 * h * h));
+                    let a_est = (latest.vel.get(i) - prev.vel.get(i)) / span;
+                    let v = latest.vel.get(i) + a_est * h;
+                    pos.push(latest.pos.get(i) + latest.vel.get(i) * h + a_est * (0.5 * h * h));
                     vel.push(v);
                 }
-                Some((PartitionShared { pos, vel }, 2 * OPS_PER_SPECULATE * n))
+                Some((
+                    Arc::new(PartitionShared { pos, vel }),
+                    2 * OPS_PER_SPECULATE * n,
+                ))
             }
         }
     }
@@ -252,8 +380,8 @@ impl SpeculativeApp for NBodyApp {
     fn check(
         &self,
         _from: Rank,
-        actual: &PartitionShared,
-        speculated: &PartitionShared,
+        actual: &Arc<PartitionShared>,
+        speculated: &Arc<PartitionShared>,
     ) -> CheckOutcome {
         let centroid = self.centroid();
         let n = actual.pos.len();
@@ -261,9 +389,9 @@ impl SpeculativeApp for NBodyApp {
         let mut max_accepted: f64 = 0.0;
         let mut bad = 0u64;
         for i in 0..n {
-            let err_abs = speculated.pos[i].distance(actual.pos[i]);
+            let err_abs = speculated.pos.get(i).distance(actual.pos.get(i));
             // Eq. 11 with the local centroid standing in for particle b.
-            let denom = actual.pos[i].distance(centroid).max(self.cfg.softening);
+            let denom = actual.pos.get(i).distance(centroid).max(self.cfg.softening);
             let err = err_abs / denom;
             max_error = max_error.max(err);
             if err > self.cfg.theta {
@@ -282,58 +410,20 @@ impl SpeculativeApp for NBodyApp {
         }
     }
 
-    #[allow(clippy::needless_range_loop)] // i couples actual/speculated/masses
     fn correct(
         &mut self,
         from: Rank,
-        speculated: &PartitionShared,
-        actual: &PartitionShared,
+        speculated: &Arc<PartitionShared>,
+        actual: &Arc<PartitionShared>,
     ) -> u64 {
-        // Re-derive which particles exceeded the threshold (same test as
-        // `check`), then retract their speculated force contribution and
-        // apply the actual one. Forces are linear in per-source terms, and
-        // with semi-implicit Euler a force delta δ moves v by δ·Δt and x by
-        // δ·Δt², so the post-integration state can be fixed in place — the
-        // paper's `correct(X_j(t+1))`.
-        let centroid = self.centroid();
-        let dt = self.cfg.dt;
-        let masses = self.masses_of(from.0).to_vec();
-        let mut ops = 0u64;
-        for i in 0..actual.pos.len() {
-            let err_abs = speculated.pos[i].distance(actual.pos[i]);
-            let denom = actual.pos[i].distance(centroid).max(self.cfg.softening);
-            if err_abs / denom <= self.cfg.theta {
-                continue;
-            }
-            for b in 0..self.pos.len() {
-                let target = self.pos_at_compute[b];
-                let delta = accel_from(
-                    target,
-                    actual.pos[i],
-                    masses[i],
-                    self.cfg.g,
-                    self.cfg.softening,
-                ) - accel_from(
-                    target,
-                    speculated.pos[i],
-                    masses[i],
-                    self.cfg.g,
-                    self.cfg.softening,
-                );
-                self.vel[b] += delta * dt;
-                self.pos[b] += delta * (dt * dt);
-            }
-            ops += 2 * OPS_PER_PAIR * self.pos.len() as u64;
-        }
-        ops
+        self.apply_correction(from, speculated, actual, 1.0)
     }
 
-    #[allow(clippy::needless_range_loop)] // i couples actual/speculated/masses
     fn correct_deep(
         &mut self,
         from: Rank,
-        speculated: &PartitionShared,
-        actual: &PartitionShared,
+        speculated: &Arc<PartitionShared>,
+        actual: &Arc<PartitionShared>,
         depth: u64,
     ) -> Option<u64> {
         // First-order propagation of the force correction through the
@@ -343,47 +433,30 @@ impl SpeculativeApp for NBodyApp {
         // forces used in the interim iterations) is second-order in a
         // θ-bounded quantity — the same accept-small-errors trade the
         // paper makes throughout.
-        let centroid = self.centroid();
-        let dt = self.cfg.dt;
-        let steps = (depth + 1) as f64;
-        let masses = self.masses_of(from.0).to_vec();
-        let mut ops = 0u64;
-        for i in 0..actual.pos.len() {
-            let err_abs = speculated.pos[i].distance(actual.pos[i]);
-            let denom = actual.pos[i].distance(centroid).max(self.cfg.softening);
-            if err_abs / denom <= self.cfg.theta {
-                continue;
-            }
-            for b in 0..self.pos.len() {
-                let target = self.pos_at_compute[b];
-                let delta = accel_from(
-                    target,
-                    actual.pos[i],
-                    masses[i],
-                    self.cfg.g,
-                    self.cfg.softening,
-                ) - accel_from(
-                    target,
-                    speculated.pos[i],
-                    masses[i],
-                    self.cfg.g,
-                    self.cfg.softening,
-                );
-                self.vel[b] += delta * dt;
-                self.pos[b] += delta * (dt * dt * steps);
-            }
-            ops += 2 * OPS_PER_PAIR * self.pos.len() as u64;
+        Some(self.apply_correction(from, speculated, actual, (depth + 1) as f64))
+    }
+
+    fn checkpoint(&self) -> NBodyCheckpoint {
+        NBodyCheckpoint {
+            pos: self.pos.clone(),
+            vel: self.vel.clone(),
         }
-        Some(ops)
     }
 
-    fn checkpoint(&self) -> (Vec<Vec3>, Vec<Vec3>) {
-        (self.pos.clone(), self.vel.clone())
+    fn checkpoint_into(&self, slot: &mut Option<NBodyCheckpoint>) {
+        match slot {
+            Some(c) => {
+                c.pos.clone_from(&self.pos);
+                c.vel.clone_from(&self.vel);
+            }
+            None => *slot = Some(self.checkpoint()),
+        }
     }
 
-    fn restore(&mut self, c: &(Vec<Vec3>, Vec<Vec3>)) {
-        self.pos.clone_from(&c.0);
-        self.vel.clone_from(&c.1);
+    fn restore(&mut self, c: &NBodyCheckpoint) {
+        self.pos.clone_from(&c.pos);
+        self.vel.clone_from(&c.vel);
+        self.refresh_snapshot();
     }
 }
 
@@ -393,16 +466,16 @@ mod tests {
     use crate::particle::{rotating_disk, uniform_cloud};
     use crate::partition::partition_proportional;
 
-    fn hist_of(shares: &[PartitionShared]) -> History<PartitionShared> {
+    fn hist_of(shares: &[Arc<PartitionShared>]) -> History<Arc<PartitionShared>> {
         let mut h = History::new(4);
         for (i, s) in shares.iter().enumerate() {
-            h.record(i as u64, s.clone());
+            h.record(i as u64, Arc::clone(s));
         }
         h
     }
 
-    fn share(pos: Vec<Vec3>, vel: Vec<Vec3>) -> PartitionShared {
-        PartitionShared { pos, vel }
+    fn share(pos: Vec<Vec3>, vel: Vec<Vec3>) -> Arc<PartitionShared> {
+        Arc::new(PartitionShared::from_vec3s(&pos, &vel))
     }
 
     fn make_app(n: usize, p: usize, me: usize, theta: f64) -> NBodyApp {
@@ -433,8 +506,8 @@ mod tests {
         let h = hist_of(&[share(vec![r], vec![v])]);
         let (spec, ops) = app.speculate(Rank(1), &h, 1).unwrap();
         let dt = NBodyConfig::default().dt;
-        assert_eq!(spec.pos[0], r + v * dt);
-        assert_eq!(spec.vel[0], v);
+        assert_eq!(spec.pos.get(0), r + v * dt);
+        assert_eq!(spec.vel.get(0), v);
         assert_eq!(ops, OPS_PER_SPECULATE);
     }
 
@@ -447,8 +520,8 @@ mod tests {
         let dt = NBodyConfig::default().dt;
         let (s1, _) = app.speculate(Rank(1), &h, 1).unwrap();
         let (s3, _) = app.speculate(Rank(1), &h, 3).unwrap();
-        assert_eq!(s1.pos[0].x, dt);
-        assert_eq!(s3.pos[0].x, 3.0 * dt);
+        assert_eq!(s1.pos.get(0).x, dt);
+        assert_eq!(s3.pos.get(0).x, 3.0 * dt);
     }
 
     #[test]
@@ -473,14 +546,34 @@ mod tests {
         ]);
         let (spec, _) = app.speculate(Rank(1), &h, 1).unwrap();
         // v* = 2 + (1/dt)·dt = 3; r* = dt + 2·dt + ½·(1/dt)·dt² = 3.5·dt.
-        assert!((spec.vel[0].x - 3.0).abs() < 1e-12);
-        assert!((spec.pos[0].x - 3.5 * dt).abs() < 1e-12);
+        assert!((spec.vel.get(0).x - 3.0).abs() < 1e-12);
+        assert!((spec.pos.get(0).x - 3.5 * dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hold_speculation_shares_the_history_snapshot() {
+        let particles = uniform_cloud(10, 1);
+        let ranges = partition_proportional(10, &[1.0, 1.0]);
+        let app = NBodyApp::new(
+            &particles,
+            ranges,
+            0,
+            NBodyConfig::default(),
+            SpeculationOrder::Hold,
+        );
+        let s = share(vec![ZERO3], vec![Vec3::new(1.0, 0.0, 0.0)]);
+        let h = hist_of(std::slice::from_ref(&s));
+        let (spec, _) = app.speculate(Rank(1), &h, 1).unwrap();
+        assert!(
+            Arc::ptr_eq(&spec, &s),
+            "Hold must hand out an Arc clone, not a copy"
+        );
     }
 
     #[test]
     fn empty_history_cannot_speculate() {
         let app = make_app(10, 2, 0, 0.01);
-        let h: History<PartitionShared> = History::new(4);
+        let h: History<Arc<PartitionShared>> = History::new(4);
         assert!(app.speculate(Rank(1), &h, 1).is_none());
     }
 
@@ -528,14 +621,14 @@ mod tests {
         let cfg = NBodyConfig::default().with_theta(0.0);
         let particles = uniform_cloud(20, 2);
         let ranges = partition_proportional(20, &[1.0, 1.0]);
-        let remote_actual = share(
-            particles[10..].iter().map(|p| p.pos).collect(),
-            particles[10..].iter().map(|p| p.vel).collect(),
-        );
-        let mut remote_spec = remote_actual.clone();
-        for p in &mut remote_spec.pos {
-            *p += Vec3::new(0.05, -0.02, 0.01);
-        }
+        let remote_pos: Vec<Vec3> = particles[10..].iter().map(|p| p.pos).collect();
+        let remote_vel: Vec<Vec3> = particles[10..].iter().map(|p| p.vel).collect();
+        let remote_actual = share(remote_pos.clone(), remote_vel.clone());
+        let spec_pos: Vec<Vec3> = remote_pos
+            .iter()
+            .map(|p| *p + Vec3::new(0.05, -0.02, 0.01))
+            .collect();
+        let remote_spec = share(spec_pos, remote_vel);
 
         let mut golden =
             NBodyApp::new(&particles, ranges.clone(), 0, cfg, SpeculationOrder::Linear);
@@ -550,11 +643,11 @@ mod tests {
         let ops = fixed.correct(Rank(1), &remote_spec, &remote_actual);
         assert!(ops > 0);
 
-        for (a, b) in golden.pos.iter().zip(&fixed.pos) {
-            assert!(a.distance(*b) < 1e-12, "correction left position residue");
+        for (a, b) in golden.pos.iter().zip(fixed.pos.iter()) {
+            assert!(a.distance(b) < 1e-12, "correction left position residue");
         }
-        for (a, b) in golden.vel.iter().zip(&fixed.vel) {
-            assert!(a.distance(*b) < 1e-12, "correction left velocity residue");
+        for (a, b) in golden.vel.iter().zip(fixed.vel.iter()) {
+            assert!(a.distance(b) < 1e-12, "correction left velocity residue");
         }
     }
 
@@ -566,12 +659,12 @@ mod tests {
         let ranges = partition_proportional(20, &[1.0, 1.0]);
         let mut app = NBodyApp::new(&particles, ranges, 0, cfg, SpeculationOrder::Linear);
         app.begin_iteration();
-        let actual = share(
-            particles[10..].iter().map(|p| p.pos).collect(),
-            particles[10..].iter().map(|p| p.vel).collect(),
-        );
-        let mut spec = actual.clone();
-        spec.pos[0] += Vec3::new(0.001, 0.0, 0.0);
+        let remote_pos: Vec<Vec3> = particles[10..].iter().map(|p| p.pos).collect();
+        let remote_vel: Vec<Vec3> = particles[10..].iter().map(|p| p.vel).collect();
+        let actual = share(remote_pos.clone(), remote_vel.clone());
+        let mut spec_pos = remote_pos;
+        spec_pos[0] += Vec3::new(0.001, 0.0, 0.0);
+        let spec = share(spec_pos, remote_vel);
         app.absorb(Rank(1), &spec);
         app.finish_iteration();
         let before = app.pos.clone();
@@ -588,10 +681,54 @@ mod tests {
         app.begin_iteration();
         app.absorb(Rank(1), &actual);
         app.finish_iteration();
-        assert_ne!(app.pos, c.0);
+        assert_ne!(app.pos, c.pos);
         app.restore(&c);
-        assert_eq!(app.pos, c.0);
-        assert_eq!(app.vel, c.1);
+        assert_eq!(app.pos, c.pos);
+        assert_eq!(app.vel, c.vel);
+    }
+
+    #[test]
+    fn checkpoint_into_reuses_the_slot() {
+        let mut app = make_app(12, 2, 0, 0.01);
+        let mut slot = None;
+        app.checkpoint_into(&mut slot);
+        let ptr = slot.as_ref().unwrap().pos.x.as_ptr();
+        let actual = share(vec![Vec3::new(1.0, 1.0, 1.0); 6], vec![ZERO3; 6]);
+        app.begin_iteration();
+        app.absorb(Rank(1), &actual);
+        app.finish_iteration();
+        app.checkpoint_into(&mut slot);
+        let c = slot.as_ref().unwrap();
+        assert_eq!(c.pos.x.as_ptr(), ptr, "slot buffers must be reused");
+        assert_eq!(c.pos, app.pos);
+        assert_eq!(c.vel, app.vel);
+    }
+
+    #[test]
+    fn shared_tracks_state_through_a_snapshot_ring() {
+        let mut app = make_app(12, 2, 0, 0.01);
+        let s0 = app.shared();
+        assert_eq!(s0.pos, app.pos, "initial snapshot reflects initial state");
+        let actual = share(vec![Vec3::new(1.0, 1.0, 1.0); 6], vec![ZERO3; 6]);
+        app.begin_iteration();
+        app.absorb(Rank(1), &actual);
+        app.finish_iteration();
+        let s1 = app.shared();
+        assert_eq!(s1.pos, app.pos, "refresh must publish the new state");
+        assert!(!Arc::ptr_eq(&s0, &s1), "s0 is still held, so a new slot");
+        // Drop both outstanding clones: the next refresh may rewrite a
+        // slot in place, and shared() must still agree with the state.
+        drop(s0);
+        drop(s1);
+        app.begin_iteration();
+        app.absorb(Rank(1), &actual);
+        app.finish_iteration();
+        assert_eq!(app.shared().pos, app.pos);
+        assert!(
+            app.snapshots.len() <= 2,
+            "ring must not grow when slots free up (len {})",
+            app.snapshots.len()
+        );
     }
 
     #[test]

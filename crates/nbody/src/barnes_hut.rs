@@ -8,7 +8,48 @@
 //! kernel with the tree code.
 
 use crate::particle::Particle;
+use crate::soa::Soa3;
 use crate::vec3::{Vec3, ZERO3};
+
+/// The flat list of point-mass sources a tree walk selects for one target:
+/// real bodies from opened leaves plus cell centres-of-mass accepted by the
+/// multipole criterion. Kept in SoA layout so evaluation runs through the
+/// vector-friendly [`crate::forces::accel_point_soa`] kernel, and reused
+/// across targets so the walk allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct InteractionList {
+    pts: Soa3,
+    mass: Vec<f64>,
+}
+
+impl InteractionList {
+    /// Empty list (buffers grow on first use, then are reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sources currently gathered.
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// True when no sources are gathered.
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.pts.x.clear();
+        self.pts.y.clear();
+        self.pts.z.clear();
+        self.mass.clear();
+    }
+
+    fn push(&mut self, pos: Vec3, mass: f64) {
+        self.pts.push(pos);
+        self.mass.push(mass);
+    }
+}
 
 /// Parameters of the tree code.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +127,18 @@ pub struct Octree {
 impl Octree {
     /// Build a tree over `particles`.
     pub fn build(particles: &[Particle], cfg: BhConfig) -> Self {
+        let mut tree = Octree {
+            nodes: Vec::new(),
+            cfg,
+        };
+        tree.rebuild(particles);
+        tree
+    }
+
+    /// Rebuild the tree over a new particle set, reusing the node storage
+    /// (trees are rebuilt every timestep; this keeps the per-step build
+    /// allocation-free once the node vector has grown to steady size).
+    pub fn rebuild(&mut self, particles: &[Particle]) {
         assert!(!particles.is_empty(), "cannot build a tree over nothing");
         // Bounding cube, padded so points on the boundary insert cleanly.
         let mut lo = particles[0].pos;
@@ -101,14 +154,11 @@ impl Octree {
         let center = (lo + hi) * 0.5;
         let half = ((hi.x - lo.x).max(hi.y - lo.y).max(hi.z - lo.z) * 0.5 + 1e-9) * 1.001;
 
-        let mut tree = Octree {
-            nodes: vec![Node::new(center, half)],
-            cfg,
-        };
+        self.nodes.clear();
+        self.nodes.push(Node::new(center, half));
         for p in particles {
-            tree.insert(0, p.pos, p.mass, 0);
+            self.insert(0, p.pos, p.mass, 0);
         }
-        tree
     }
 
     fn insert(&mut self, node: usize, pos: Vec3, mass: f64, depth: usize) {
@@ -204,9 +254,79 @@ impl Octree {
         acc
     }
 
-    /// Accelerations on every particle.
+    /// Collect into `out` the point-mass sources the tree walk would use
+    /// for a query at `point` — the same acceptance decisions as
+    /// [`accel_at`](Self::accel_at), flattened for SoA evaluation.
+    fn gather(&self, node: usize, point: Vec3, out: &mut InteractionList) {
+        let n = &self.nodes[node];
+        if n.count == 0 {
+            return;
+        }
+        let com = n.com_sum / n.mass;
+        let d = point.distance(com);
+
+        if n.count == 1 || (2.0 * n.half) < self.cfg.opening_angle * d {
+            if d * d >= 1e-24 {
+                out.push(com, n.mass);
+            }
+            return;
+        }
+
+        let mut seen = 0;
+        for &c in &n.children {
+            if c != NO_CHILD {
+                self.gather(c as usize, point, out);
+                seen += self.nodes[c as usize].count;
+            }
+        }
+        if seen < n.count && d * d >= 1e-24 {
+            let residual_mass = n.mass
+                - n.children
+                    .iter()
+                    .filter(|&&c| c != NO_CHILD)
+                    .map(|&c| self.nodes[c as usize].mass)
+                    .sum::<f64>();
+            if residual_mass > 0.0 {
+                out.push(com, residual_mass);
+            }
+        }
+    }
+
+    /// Acceleration at `point` via gather-then-evaluate: the tree walk only
+    /// selects sources into `scratch`, and the force sum runs over the flat
+    /// SoA list. Agrees with [`accel_at`](Self::accel_at) to summation
+    /// reordering (the walk's tree-shaped sum becomes a flat left-to-right
+    /// sum), and reuses `scratch`'s buffers across calls.
+    pub fn accel_at_with(&self, point: Vec3, scratch: &mut InteractionList) -> Vec3 {
+        scratch.clear();
+        self.gather(0, point, scratch);
+        crate::forces::accel_point_soa(
+            &scratch.pts,
+            &scratch.mass,
+            point,
+            self.cfg.g,
+            self.cfg.softening,
+        )
+    }
+
+    /// Accelerations on every particle (gather-based hot path).
     pub fn accel_on_all(&self, particles: &[Particle]) -> Vec<Vec3> {
-        particles.iter().map(|p| self.accel_at(p.pos)).collect()
+        let mut acc = Vec::new();
+        let mut scratch = InteractionList::new();
+        self.accel_on_all_into(particles, &mut acc, &mut scratch);
+        acc
+    }
+
+    /// [`accel_on_all`](Self::accel_on_all) into caller-owned buffers:
+    /// `acc` is cleared and refilled, `scratch` is reused per target.
+    pub fn accel_on_all_into(
+        &self,
+        particles: &[Particle],
+        acc: &mut Vec<Vec3>,
+        scratch: &mut InteractionList,
+    ) {
+        acc.clear();
+        acc.extend(particles.iter().map(|p| self.accel_at_with(p.pos, scratch)));
     }
 
     /// Number of tree nodes (diagnostics).
@@ -215,11 +335,47 @@ impl Octree {
     }
 }
 
+/// Reusable buffers for a Barnes–Hut stepping loop: the tree's node
+/// storage, the per-step acceleration vector, and the gather scratch.
+#[derive(Default)]
+pub struct BhWorkspace {
+    tree: Option<Octree>,
+    acc: Vec<Vec3>,
+    scratch: InteractionList,
+}
+
+impl BhWorkspace {
+    /// Fresh workspace; buffers are sized lazily on the first step.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// One Barnes–Hut timestep (build + force + semi-implicit Euler update).
 pub fn step_barnes_hut(particles: &mut [Particle], cfg: BhConfig, dt: f64) {
-    let tree = Octree::build(particles, cfg);
-    let acc = tree.accel_on_all(particles);
-    crate::integrate::apply_kick_drift(particles, &acc, dt);
+    let mut ws = BhWorkspace::new();
+    step_barnes_hut_with(&mut ws, particles, cfg, dt);
+}
+
+/// [`step_barnes_hut`] against a persistent [`BhWorkspace`]: after the
+/// first step sizes the buffers, subsequent steps rebuild the tree and
+/// evaluate forces without heap allocation (up to node-count jitter).
+pub fn step_barnes_hut_with(
+    ws: &mut BhWorkspace,
+    particles: &mut [Particle],
+    cfg: BhConfig,
+    dt: f64,
+) {
+    match &mut ws.tree {
+        Some(tree) => {
+            tree.cfg = cfg;
+            tree.rebuild(particles);
+        }
+        None => ws.tree = Some(Octree::build(particles, cfg)),
+    }
+    let tree = ws.tree.as_ref().expect("just built");
+    tree.accel_on_all_into(particles, &mut ws.acc, &mut ws.scratch);
+    crate::integrate::apply_kick_drift(particles, &ws.acc, dt);
 }
 
 #[cfg(test)]
@@ -338,6 +494,52 @@ mod tests {
         let acc = tree.accel_at(Vec3::new(5.0, 0.0, 0.0));
         assert!(acc.is_finite());
         assert!(acc.x < 0.0, "must pull toward the cluster");
+    }
+
+    #[test]
+    fn gather_matches_recursive_walk() {
+        // The gather path makes identical acceptance decisions, so per
+        // particle it differs from the recursive sum only by reassociation
+        // of the same terms.
+        let ps = uniform_cloud(300, 6);
+        let tree = Octree::build(&ps, BhConfig::default());
+        let mut scratch = InteractionList::new();
+        for p in &ps {
+            let rec = tree.accel_at(p.pos);
+            let flat = tree.accel_at_with(p.pos, &mut scratch);
+            assert!(
+                rec.distance(flat) < 1e-12 * (1.0 + rec.norm()),
+                "gather diverged from walk: {rec:?} vs {flat:?}"
+            );
+        }
+        assert!(!scratch.is_empty());
+    }
+
+    #[test]
+    fn rebuild_reuses_node_storage() {
+        let ps = uniform_cloud(200, 7);
+        let mut tree = Octree::build(&ps, BhConfig::default());
+        let cap = tree.nodes.capacity();
+        let ptr = tree.nodes.as_ptr();
+        tree.rebuild(&ps);
+        assert_eq!(tree.nodes.capacity(), cap);
+        assert_eq!(tree.nodes.as_ptr(), ptr, "rebuild must not reallocate");
+        assert_eq!(tree.nodes[0].count, 200);
+    }
+
+    #[test]
+    fn workspace_step_matches_fresh_step() {
+        let mut a = uniform_cloud(80, 8);
+        let mut b = a.clone();
+        let mut ws = BhWorkspace::new();
+        for _ in 0..5 {
+            step_barnes_hut(&mut a, BhConfig::default(), 1e-3);
+            step_barnes_hut_with(&mut ws, &mut b, BhConfig::default(), 1e-3);
+        }
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pos, y.pos, "workspace path must be bit-identical");
+            assert_eq!(x.vel, y.vel);
+        }
     }
 
     #[test]

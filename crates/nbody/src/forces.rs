@@ -5,6 +5,7 @@
 //! check one; those constants parameterize the cost model so the simulated
 //! timings keep the paper's compute/speculate/check ratios.
 
+use crate::soa::Soa3;
 use crate::vec3::Vec3;
 
 /// Paper's cost of one pairwise force evaluation, in operations.
@@ -66,6 +67,269 @@ pub fn accumulate_self(pos: &[Vec3], mass: &[f64], acc: &mut [Vec3], g: f64, eps
         acc[b] = a;
     }
     (n as u64) * (n.saturating_sub(1) as u64) * OPS_PER_PAIR
+}
+
+// ---------------------------------------------------------------------------
+// SoA engine
+// ---------------------------------------------------------------------------
+//
+// The kernels below are the production hot path. They are *bit-identical*
+// to the AoS reference kernels above: every pair is evaluated with the
+// same expression tree (`d = r_src − r_on`, `q = |d|² + ε²`,
+// `inv = 1/(q·√q)`, `scale = (G·m)·inv`, `a += d·scale`) and every
+// target accumulates its sources in the same ascending order — blocking
+// only changes *when* a partial sum is spilled to memory, never the
+// sequence of rounded additions. The modelled op counts are unchanged,
+// so simulated (virtual-time) results cannot move; only wall-clock does.
+
+/// Source-tile size for cache blocking: 512 elements × four f64 arrays
+/// (x, y, z, mass) = 16 KiB, half a typical 32 KiB L1d, leaving room for
+/// the target block and accumulators.
+const TILE: usize = 512;
+
+/// Register-block width for targets: eight independent accumulator chains
+/// let the out-of-order core overlap the sqrt/div latency of consecutive
+/// pairs, and give the autovectorizer a clean 4-lane inner loop
+/// (IEEE-754 sqrt/div/mul/add are exactly rounded, so SIMD lanes produce
+/// the same bits as scalar evaluation).
+const LANES: usize = 8;
+
+/// SoA twin of [`accumulate_partition`]: accelerations from every source
+/// in `(src, src_mass)` onto every target, accumulated into `acc`.
+/// Bit-identical to the AoS kernel; returns the same modelled op count.
+pub fn accumulate_partition_soa(
+    targets: &Soa3,
+    acc: &mut Soa3,
+    src: &Soa3,
+    src_mass: &[f64],
+    g: f64,
+    eps: f64,
+) -> u64 {
+    let nt = targets.len();
+    let ns = src.len();
+    debug_assert_eq!(nt, acc.len());
+    debug_assert_eq!(ns, src_mass.len());
+    let eps2 = eps * eps;
+    let (tx, ty, tz) = (&targets.x[..nt], &targets.y[..nt], &targets.z[..nt]);
+    let (ax, ay, az) = (&mut acc.x, &mut acc.y, &mut acc.z);
+
+    let mut s0 = 0usize;
+    while s0 < ns {
+        let s1 = (s0 + TILE).min(ns);
+        let (sx, sy, sz) = (&src.x[s0..s1], &src.y[s0..s1], &src.z[s0..s1]);
+        let sm = &src_mass[s0..s1];
+
+        let mut i = 0usize;
+        while i + LANES <= nt {
+            let px: [f64; LANES] = tx[i..i + LANES].try_into().unwrap();
+            let py: [f64; LANES] = ty[i..i + LANES].try_into().unwrap();
+            let pz: [f64; LANES] = tz[i..i + LANES].try_into().unwrap();
+            let mut lx: [f64; LANES] = ax[i..i + LANES].try_into().unwrap();
+            let mut ly: [f64; LANES] = ay[i..i + LANES].try_into().unwrap();
+            let mut lz: [f64; LANES] = az[i..i + LANES].try_into().unwrap();
+            for (((&qx, &qy), &qz), &qm) in sx.iter().zip(sy).zip(sz).zip(sm) {
+                let gm = g * qm;
+                for l in 0..LANES {
+                    let dx = qx - px[l];
+                    let dy = qy - py[l];
+                    let dz = qz - pz[l];
+                    let dist_sq = (dx * dx + dy * dy + dz * dz) + eps2;
+                    let inv = 1.0 / (dist_sq * dist_sq.sqrt());
+                    let s = gm * inv;
+                    lx[l] += dx * s;
+                    ly[l] += dy * s;
+                    lz[l] += dz * s;
+                }
+            }
+            ax[i..i + LANES].copy_from_slice(&lx);
+            ay[i..i + LANES].copy_from_slice(&ly);
+            az[i..i + LANES].copy_from_slice(&lz);
+            i += LANES;
+        }
+        while i < nt {
+            let (pxi, pyi, pzi) = (tx[i], ty[i], tz[i]);
+            let (mut aix, mut aiy, mut aiz) = (ax[i], ay[i], az[i]);
+            for (((&qx, &qy), &qz), &qm) in sx.iter().zip(sy).zip(sz).zip(sm) {
+                let dx = qx - pxi;
+                let dy = qy - pyi;
+                let dz = qz - pzi;
+                let dist_sq = (dx * dx + dy * dy + dz * dz) + eps2;
+                let inv = 1.0 / (dist_sq * dist_sq.sqrt());
+                let s = (g * qm) * inv;
+                aix += dx * s;
+                aiy += dy * s;
+                aiz += dz * s;
+            }
+            ax[i] = aix;
+            ay[i] = aiy;
+            az[i] = aiz;
+            i += 1;
+        }
+        s0 = s1;
+    }
+    (nt as u64) * (ns as u64) * OPS_PER_PAIR
+}
+
+/// One symmetric sweep: target `i` against sources `js`, applying each
+/// pair to both endpoints (Newton's third law). The reverse contribution
+/// is written with the exact expressions the one-sided kernel would use
+/// (`d' = r_i − r_j` recomputed, not `−d`, so even the sign of zero
+/// matches), and `dist²`/`inv` are shared — bitwise equal both ways
+/// because `(−a)² ≡ a²` under IEEE-754.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn symmetric_sweep(
+    px: &[f64],
+    py: &[f64],
+    pz: &[f64],
+    mass: &[f64],
+    ax: &mut [f64],
+    ay: &mut [f64],
+    az: &mut [f64],
+    i: usize,
+    js: std::ops::Range<usize>,
+    g: f64,
+    eps2: f64,
+) {
+    // The i-side accumulation is a serial FP reduction (order is part of
+    // the bit contract), which would chain the expensive divide/sqrt into
+    // it if fused. Split each block: pass 1 computes displacements and
+    // `inv` with no cross-iteration dependency (autovectorizes, including
+    // the division and square root — both exactly rounded per IEEE lane),
+    // pass 2 replays the cheap multiply/adds in serial order.
+    const BLK: usize = 8;
+    let (pxi, pyi, pzi) = (px[i], py[i], pz[i]);
+    let gmi = g * mass[i];
+    let (mut aix, mut aiy, mut aiz) = (ax[i], ay[i], az[i]);
+    let mut j = js.start;
+    while j + BLK <= js.end {
+        let pxs: &[f64; BLK] = px[j..j + BLK].try_into().unwrap();
+        let pys: &[f64; BLK] = py[j..j + BLK].try_into().unwrap();
+        let pzs: &[f64; BLK] = pz[j..j + BLK].try_into().unwrap();
+        let ms: &[f64; BLK] = mass[j..j + BLK].try_into().unwrap();
+        let mut fix = [0.0f64; BLK];
+        let mut fiy = [0.0f64; BLK];
+        let mut fiz = [0.0f64; BLK];
+        let mut gx = [0.0f64; BLK];
+        let mut gy = [0.0f64; BLK];
+        let mut gz = [0.0f64; BLK];
+        for l in 0..BLK {
+            let dx = pxs[l] - pxi;
+            let dy = pys[l] - pyi;
+            let dz = pzs[l] - pzi;
+            let dist_sq = (dx * dx + dy * dy + dz * dz) + eps2;
+            let inv = 1.0 / (dist_sq * dist_sq.sqrt());
+            let si = (g * ms[l]) * inv;
+            let sj = gmi * inv;
+            fix[l] = dx * si;
+            fiy[l] = dy * si;
+            fiz[l] = dz * si;
+            gx[l] = (pxi - pxs[l]) * sj;
+            gy[l] = (pyi - pys[l]) * sj;
+            gz[l] = (pzi - pzs[l]) * sj;
+        }
+        // The only irreducibly serial piece: the i-side sum in ascending
+        // j order (three independent add chains).
+        for l in 0..BLK {
+            aix += fix[l];
+            aiy += fiy[l];
+            aiz += fiz[l];
+        }
+        // Each j in the block is distinct, so the reverse updates are a
+        // contiguous vector add — no reduction, no ordering concern.
+        let axs: &mut [f64; BLK] = (&mut ax[j..j + BLK]).try_into().unwrap();
+        for l in 0..BLK {
+            axs[l] += gx[l];
+        }
+        let ays: &mut [f64; BLK] = (&mut ay[j..j + BLK]).try_into().unwrap();
+        for l in 0..BLK {
+            ays[l] += gy[l];
+        }
+        let azs: &mut [f64; BLK] = (&mut az[j..j + BLK]).try_into().unwrap();
+        for l in 0..BLK {
+            azs[l] += gz[l];
+        }
+        j += BLK;
+    }
+    for j in j..js.end {
+        let dx = px[j] - pxi;
+        let dy = py[j] - pyi;
+        let dz = pz[j] - pzi;
+        let dist_sq = (dx * dx + dy * dy + dz * dz) + eps2;
+        let inv = 1.0 / (dist_sq * dist_sq.sqrt());
+        let si = (g * mass[j]) * inv;
+        let sj = gmi * inv;
+        aix += dx * si;
+        aiy += dy * si;
+        aiz += dz * si;
+        let ex = pxi - px[j];
+        let ey = pyi - py[j];
+        let ez = pzi - pz[j];
+        ax[j] += ex * sj;
+        ay[j] += ey * sj;
+        az[j] += ez * sj;
+    }
+    ax[i] = aix;
+    ay[i] = aiy;
+    az[i] = aiz;
+}
+
+/// SoA twin of [`accumulate_self`], evaluating each unordered pair once
+/// and applying it to both endpoints — half the pair evaluations of the
+/// reference kernel for the same bits. Tiles are visited in
+/// lexicographic order (diagonal first, then off-diagonals ascending),
+/// which delivers every target its sources in exactly the ascending
+/// order of the one-sided loop. The returned modelled op count is
+/// unchanged: the *paper's* cost model still pays `n·(n−1)` pair
+/// evaluations; only our wall-clock exploits the symmetry.
+pub fn accumulate_self_soa(pos: &Soa3, mass: &[f64], acc: &mut Soa3, g: f64, eps: f64) -> u64 {
+    let n = pos.len();
+    debug_assert_eq!(n, mass.len());
+    debug_assert_eq!(n, acc.len());
+    let eps2 = eps * eps;
+    let (px, py, pz) = (&pos.x[..n], &pos.y[..n], &pos.z[..n]);
+    let (ax, ay, az) = (&mut acc.x, &mut acc.y, &mut acc.z);
+
+    let mut t0 = 0usize;
+    while t0 < n {
+        let t1 = (t0 + TILE).min(n);
+        // Diagonal tile: triangular sweep within [t0, t1).
+        for i in t0..t1 {
+            symmetric_sweep(px, py, pz, mass, ax, ay, az, i, i + 1..t1, g, eps2);
+        }
+        // Off-diagonal tiles [t0, t1) × [u0, u1), ascending.
+        let mut u0 = t1;
+        while u0 < n {
+            let u1 = (u0 + TILE).min(n);
+            for i in t0..t1 {
+                symmetric_sweep(px, py, pz, mass, ax, ay, az, i, u0..u1, g, eps2);
+            }
+            u0 = u1;
+        }
+        t0 = t1;
+    }
+    (n as u64) * (n.saturating_sub(1) as u64) * OPS_PER_PAIR
+}
+
+/// Acceleration at a single `point` from a gathered SoA interaction list
+/// (positions + masses), accumulated in list order. Used by the
+/// Barnes–Hut tree walk after gathering accepted nodes.
+pub fn accel_point_soa(src: &Soa3, mass: &[f64], point: Vec3, g: f64, eps: f64) -> Vec3 {
+    debug_assert_eq!(src.len(), mass.len());
+    let eps2 = eps * eps;
+    let (mut axp, mut ayp, mut azp) = (0.0f64, 0.0f64, 0.0f64);
+    for (((&qx, &qy), &qz), &qm) in src.x.iter().zip(&src.y).zip(&src.z).zip(mass) {
+        let dx = qx - point.x;
+        let dy = qy - point.y;
+        let dz = qz - point.z;
+        let dist_sq = (dx * dx + dy * dy + dz * dz) + eps2;
+        let inv = 1.0 / (dist_sq * dist_sq.sqrt());
+        let s = (g * qm) * inv;
+        axp += dx * s;
+        ayp += dy * s;
+        azp += dz * s;
+    }
+    Vec3::new(axp, ayp, azp)
 }
 
 #[cfg(test)]
@@ -159,6 +423,97 @@ mod tests {
             }
             assert_eq!(acc[b], manual);
         }
+    }
+
+    fn cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let ps = crate::particle::uniform_cloud(n, seed);
+        (
+            ps.iter().map(|p| p.pos).collect(),
+            ps.iter().map(|p| p.mass).collect(),
+        )
+    }
+
+    /// Non-trivial starting accumulator, so the tests also prove the SoA
+    /// kernels *accumulate* (rather than overwrite) exactly like the
+    /// reference.
+    fn seeded_acc(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| Vec3::new(i as f64 * 0.125, -(i as f64), 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn soa_self_kernel_is_bit_identical_across_tiles() {
+        // 1100 > 2·TILE: exercises the diagonal tile, off-diagonal tiles,
+        // and both remainder paths.
+        let (pos, mass) = cloud(1100, 3);
+        let mut want = seeded_acc(pos.len());
+        let ops_want = accumulate_self(&pos, &mass, &mut want, G, 0.05);
+
+        let soa_pos = crate::soa::Soa3::from_vec3s(&pos);
+        let mut got = crate::soa::Soa3::from_vec3s(&seeded_acc(pos.len()));
+        let ops_got = accumulate_self_soa(&soa_pos, &mass, &mut got, G, 0.05);
+
+        assert_eq!(ops_got, ops_want, "modelled op count must not change");
+        for (i, w) in want.iter().enumerate() {
+            let g = got.get(i);
+            assert!(
+                w.x.to_bits() == g.x.to_bits()
+                    && w.y.to_bits() == g.y.to_bits()
+                    && w.z.to_bits() == g.z.to_bits(),
+                "particle {i}: scalar {w:?} != soa {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn soa_partition_kernel_is_bit_identical_across_tiles() {
+        let (all, all_mass) = cloud(1200, 9);
+        let (tp, sp) = all.split_at(150);
+        let sm = &all_mass[150..];
+        let mut want = seeded_acc(tp.len());
+        let ops_want = accumulate_partition(tp, &mut want, sp, sm, G, 0.05);
+
+        let targets = crate::soa::Soa3::from_vec3s(tp);
+        let src = crate::soa::Soa3::from_vec3s(sp);
+        let mut got = crate::soa::Soa3::from_vec3s(&seeded_acc(tp.len()));
+        let ops_got = accumulate_partition_soa(&targets, &mut got, &src, sm, G, 0.05);
+
+        assert_eq!(ops_got, ops_want, "modelled op count must not change");
+        for (i, w) in want.iter().enumerate() {
+            assert_eq!(w.to_bits_triplet(), got.get(i).to_bits_triplet(), "{i}");
+        }
+    }
+
+    #[test]
+    fn soa_kernels_handle_degenerate_sizes() {
+        use crate::soa::Soa3;
+        // Empty.
+        let empty = Soa3::new();
+        let mut acc = Soa3::new();
+        assert_eq!(accumulate_self_soa(&empty, &[], &mut acc, G, 0.05), 0);
+        assert_eq!(
+            accumulate_partition_soa(&empty, &mut acc, &empty, &[], G, 0.05),
+            0
+        );
+        // Single particle feels nothing from itself.
+        let one = Soa3::from_vec3s(&[Vec3::new(1.0, 2.0, 3.0)]);
+        let mut acc = Soa3::zeros(1);
+        assert_eq!(accumulate_self_soa(&one, &[2.0], &mut acc, G, 0.05), 0);
+        assert_eq!(acc.get(0), ZERO3);
+    }
+
+    #[test]
+    fn accel_point_soa_matches_scalar_accumulation() {
+        let (pos, mass) = cloud(37, 21);
+        let point = Vec3::new(0.3, -0.1, 0.8);
+        let mut want = ZERO3;
+        for (j, &p) in pos.iter().enumerate() {
+            want += accel_from(point, p, mass[j], G, 0.02);
+        }
+        let src = crate::soa::Soa3::from_vec3s(&pos);
+        let got = accel_point_soa(&src, &mass, point, G, 0.02);
+        assert_eq!(want.to_bits_triplet(), got.to_bits_triplet());
     }
 }
 

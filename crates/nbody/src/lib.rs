@@ -33,13 +33,15 @@ pub mod integrate;
 pub mod particle;
 pub mod partition;
 pub mod runner;
+pub mod soa;
 mod vec3;
 
-pub use app::{NBodyApp, PartitionShared, SpeculationOrder};
+pub use app::{NBodyApp, NBodyCheckpoint, PartitionShared, SpeculationOrder};
 pub use particle::{
     binary_pair, centered_cloud, colliding_clouds, rotating_disk, uniform_cloud, NBodyConfig,
-    Particle,
+    Particle, SoaBodies,
 };
-pub use partition::{partition_proportional, proportionality_error};
+pub use partition::{partition_proportional, proportionality_error, split_soa};
 pub use runner::{run_parallel, ParallelRunConfig, ParallelRunResult};
+pub use soa::Soa3;
 pub use vec3::{Vec3, ZERO3};

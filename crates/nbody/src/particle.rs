@@ -3,6 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::soa::Soa3;
 use crate::vec3::{Vec3, ZERO3};
 
 /// One point mass.
@@ -14,6 +15,56 @@ pub struct Particle {
     pub pos: Vec3,
     /// Velocity.
     pub vel: Vec3,
+}
+
+/// A body set in structure-of-arrays layout: the form the cache-blocked
+/// force kernels ([`crate::forces`]) consume directly. Conversions to and
+/// from `[Particle]` are cold-path only (setup, output).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SoaBodies {
+    /// Positions, one lane per axis.
+    pub pos: Soa3,
+    /// Velocities.
+    pub vel: Soa3,
+    /// Masses.
+    pub mass: Vec<f64>,
+}
+
+impl SoaBodies {
+    /// Transpose an AoS particle slice into SoA storage.
+    pub fn from_particles(particles: &[Particle]) -> Self {
+        let mut out = SoaBodies {
+            pos: Soa3::new(),
+            vel: Soa3::new(),
+            mass: Vec::with_capacity(particles.len()),
+        };
+        for p in particles {
+            out.pos.push(p.pos);
+            out.vel.push(p.vel);
+            out.mass.push(p.mass);
+        }
+        out
+    }
+
+    /// Transpose back to AoS particles.
+    pub fn to_particles(&self) -> Vec<Particle> {
+        self.pos
+            .iter()
+            .zip(self.vel.iter())
+            .zip(&self.mass)
+            .map(|((pos, vel), &mass)| Particle { mass, pos, vel })
+            .collect()
+    }
+
+    /// Number of bodies.
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// True when there are no bodies.
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
 }
 
 /// Physical and numerical parameters of a simulation.
@@ -224,6 +275,17 @@ mod tests {
             .sum::<f64>();
         assert!(left_mean_vx > 0.0, "left cloud must move right");
         assert!(right_mean_vx < 0.0, "right cloud must move left");
+    }
+
+    #[test]
+    fn soa_bodies_round_trip() {
+        let ps = uniform_cloud(17, 9);
+        let soa = SoaBodies::from_particles(&ps);
+        assert_eq!(soa.len(), 17);
+        assert!(!soa.is_empty());
+        assert_eq!(soa.pos.get(3), ps[3].pos);
+        assert_eq!(soa.to_particles(), ps);
+        assert!(SoaBodies::default().is_empty());
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub fn run_parallel(
     let recorder = cfg.collect_trace.then(SharedRecorder::new);
 
     let (outs, report): (Vec<(Vec<Particle>, RunStats)>, SimReport) =
-        run_sim_cluster::<IterMsg<PartitionShared>, _, _>(cluster, net, load, false, {
+        run_sim_cluster::<IterMsg<Arc<PartitionShared>>, _, _>(cluster, net, load, false, {
             let all = Arc::clone(&all);
             let ranges = Arc::clone(&ranges_shared);
             let cfg = cfg.clone();

@@ -61,6 +61,12 @@ impl Vec3 {
     pub fn is_finite(self) -> bool {
         self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
     }
+
+    /// The raw IEEE-754 bits of each component — for tests that assert
+    /// *bit* equality rather than `==` (which conflates `0.0` and `-0.0`).
+    pub fn to_bits_triplet(self) -> (u64, u64, u64) {
+        (self.x.to_bits(), self.y.to_bits(), self.z.to_bits())
+    }
 }
 
 impl Add for Vec3 {

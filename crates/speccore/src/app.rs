@@ -118,6 +118,16 @@ pub trait SpeculativeApp {
     /// Snapshot the state needed to re-execute from the current point.
     fn checkpoint(&self) -> Self::Checkpoint;
 
+    /// Snapshot into a reusable slot. The driver recycles the checkpoints
+    /// of confirmed (or rolled-back) iterations through this method, so an
+    /// app whose `Checkpoint` owns buffers can overwrite them in place and
+    /// keep the steady-state iteration path allocation-free. The default
+    /// simply stores a fresh [`checkpoint`](Self::checkpoint); `slot` is
+    /// always `Some` on return.
+    fn checkpoint_into(&self, slot: &mut Option<Self::Checkpoint>) {
+        *slot = Some(self.checkpoint());
+    }
+
     /// Restore a snapshot taken by [`checkpoint`](Self::checkpoint).
     fn restore(&mut self, c: &Self::Checkpoint);
 }

@@ -110,6 +110,11 @@ where
         .collect();
     // Executed-but-unconfirmed iterations, oldest first.
     let mut exec_q: VecDeque<ExecRecord<A::Shared, A::Checkpoint>> = VecDeque::new();
+    // Recycled checkpoint buffers: confirmed (or rolled-back) records
+    // donate their `pre` snapshots back, so apps that override
+    // `checkpoint_into` keep the steady-state path allocation-free. Depth
+    // is bounded by the forward window, so the pool never grows past it.
+    let mut checkpoint_pool: Vec<A::Checkpoint> = Vec::new();
 
     let mut t_conf: u64 = 0; // next iteration to confirm
     let mut t_exec: u64 = 0; // next iteration to execute
@@ -259,7 +264,9 @@ where
             if rollback {
                 app.restore(&exec_q[0].pre);
                 t_exec = front_iter;
-                exec_q.clear();
+                for rec in exec_q.drain(..) {
+                    checkpoint_pool.push(rec.pre);
+                }
                 stats.rollbacks += 1;
                 let t_now = transport.now();
                 if let Some(r) = transport.recorder() {
@@ -281,6 +288,7 @@ where
                 .all(|s| matches!(s, InputSlot::Actual | InputSlot::Validated));
             if resolved {
                 let rec = exec_q.pop_front().expect("non-empty queue");
+                checkpoint_pool.push(rec.pre);
                 t_conf = rec.iter + 1;
                 stats.iterations += 1;
                 let t_now = transport.now();
@@ -368,7 +376,9 @@ where
                 stats.executions += 1;
                 stats.max_depth_used = stats.max_depth_used.max(depth + 1);
                 let exec_start = transport.now();
-                let pre = app.checkpoint();
+                let mut pre_slot = checkpoint_pool.pop();
+                app.checkpoint_into(&mut pre_slot);
+                let pre = pre_slot.expect("checkpoint_into must fill the slot");
                 let mut inputs: Vec<InputSlot<A::Shared>> =
                     (0..p).map(|_| InputSlot::Validated).collect();
 

@@ -55,6 +55,9 @@ pub struct Heat2dApp {
     cols: usize,
     rows: usize,
     u: Vec<f64>,
+    /// Scratch grid `finish_iteration` writes into before swapping with
+    /// `u`, so the stencil sweep allocates nothing per step.
+    next: Vec<f64>,
     top_in: Vec<f64>,
     bottom_in: Vec<f64>,
 }
@@ -88,6 +91,7 @@ impl Heat2dApp {
             p: row_ranges.len(),
             cols,
             rows,
+            next: vec![0.0; u.len()],
             u,
             top_in: vec![0.0; cols],
             bottom_in: vec![0.0; cols],
@@ -161,7 +165,6 @@ impl SpeculativeApp for Heat2dApp {
 
     fn finish_iteration(&mut self) -> u64 {
         let (rows, cols, beta) = (self.rows, self.cols, self.cfg.beta);
-        let mut next = vec![0.0; rows * cols];
         for r in 0..rows {
             for c in 0..cols {
                 let centre = self.at(r, c);
@@ -182,10 +185,10 @@ impl SpeculativeApp for Heat2dApp {
                 } else {
                     self.at(r, c + 1)
                 };
-                next[r * cols + c] = centre + beta * (up + down + left + right - 4.0 * centre);
+                self.next[r * cols + c] = centre + beta * (up + down + left + right - 4.0 * centre);
             }
         }
-        self.u = next;
+        std::mem::swap(&mut self.u, &mut self.next);
         self.cfg.ops_per_cell * (rows * cols) as u64
     }
 
@@ -274,6 +277,13 @@ impl SpeculativeApp for Heat2dApp {
 
     fn checkpoint(&self) -> Vec<f64> {
         self.u.clone()
+    }
+
+    fn checkpoint_into(&self, slot: &mut Option<Vec<f64>>) {
+        match slot {
+            Some(c) => c.clone_from(&self.u),
+            None => *slot = Some(self.checkpoint()),
+        }
     }
 
     fn restore(&mut self, c: &Vec<f64>) {

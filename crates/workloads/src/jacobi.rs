@@ -112,28 +112,34 @@ impl JacobiApp {
     pub fn values(&self) -> &[f64] {
         &self.x
     }
+}
 
-    /// Accumulate `a_ij·x_j` for `j` in partition `k`'s column block into
-    /// every owned row. Returns entries touched.
-    fn accumulate(&mut self, k: usize, xs: &[f64]) -> u64 {
-        let mine = self.ranges[self.me].clone();
-        let cols = self.ranges[k].clone();
-        debug_assert_eq!(xs.len(), cols.len());
-        let n = self.sys.n;
-        let mut touched = 0u64;
-        for (local_i, i) in mine.clone().enumerate() {
-            let row = &self.sys.a[i * n..(i + 1) * n];
-            let mut s = 0.0;
-            for (offset, j) in cols.clone().enumerate() {
-                if j != i {
-                    s += row[j] * xs[offset];
-                    touched += 1;
-                }
+/// Accumulate `a_ij·x_j` for `j` in the `cols` column block into every
+/// `mine` row's accumulator. A free function over disjoint borrows so
+/// `begin_iteration` can feed the app's own `x` without cloning it.
+/// Returns entries touched.
+fn accumulate_block(
+    sys: &LinearSystem,
+    mine: Range<usize>,
+    cols: Range<usize>,
+    xs: &[f64],
+    acc: &mut [f64],
+) -> u64 {
+    debug_assert_eq!(xs.len(), cols.len());
+    let n = sys.n;
+    let mut touched = 0u64;
+    for (local_i, i) in mine.enumerate() {
+        let row = &sys.a[i * n..(i + 1) * n];
+        let mut s = 0.0;
+        for (offset, j) in cols.clone().enumerate() {
+            if j != i {
+                s += row[j] * xs[offset];
+                touched += 1;
             }
-            self.acc[local_i] += s;
         }
-        touched
+        acc[local_i] += s;
     }
+    touched
 }
 
 impl SpeculativeApp for JacobiApp {
@@ -146,13 +152,15 @@ impl SpeculativeApp for JacobiApp {
 
     fn begin_iteration(&mut self) -> u64 {
         self.acc.fill(0.0);
-        let mine = self.shared();
-        let touched = self.accumulate(self.me, &mine);
+        let mine = self.ranges[self.me].clone();
+        let touched = accumulate_block(&self.sys, mine.clone(), mine, &self.x, &mut self.acc);
         self.cfg.ops_per_entry * touched
     }
 
     fn absorb(&mut self, from: Rank, xs: &Vec<f64>) -> u64 {
-        let touched = self.accumulate(from.0, xs);
+        let mine = self.ranges[self.me].clone();
+        let cols = self.ranges[from.0].clone();
+        let touched = accumulate_block(&self.sys, mine, cols, xs, &mut self.acc);
         self.cfg.ops_per_entry * touched
     }
 
@@ -224,6 +232,13 @@ impl SpeculativeApp for JacobiApp {
 
     fn checkpoint(&self) -> Vec<f64> {
         self.x.clone()
+    }
+
+    fn checkpoint_into(&self, slot: &mut Option<Vec<f64>>) {
+        match slot {
+            Some(c) => c.clone_from(&self.x),
+            None => *slot = Some(self.checkpoint()),
+        }
     }
 
     fn restore(&mut self, c: &Vec<f64>) {

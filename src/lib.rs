@@ -68,8 +68,9 @@ pub mod prelude {
         WireSize,
     };
     pub use nbody::{
-        binary_pair, centered_cloud, colliding_clouds, rotating_disk, run_parallel, uniform_cloud,
-        NBodyApp, NBodyConfig, ParallelRunConfig, SpeculationOrder, Vec3,
+        binary_pair, centered_cloud, colliding_clouds, partition_proportional, rotating_disk,
+        run_parallel, split_soa, uniform_cloud, NBodyApp, NBodyConfig, ParallelRunConfig,
+        PartitionShared, Soa3, SoaBodies, SpeculationOrder, Vec3,
     };
     pub use netsim::{
         ClusterSpec, ConstantLatency, Jitter, LinkLatency, MachineSpec, NetworkModel, RandomSpikes,

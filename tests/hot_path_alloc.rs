@@ -1,0 +1,194 @@
+//! Zero-allocation contract of the steady-state iteration hot paths.
+//!
+//! After a warm-up iteration has sized every buffer (snapshot ring slots,
+//! checkpoint slots, accumulators, scratch grids), the per-iteration
+//! compute paths of the N-body, heat-2d, and Jacobi apps must not touch
+//! the heap at all. The N-body measurement drives the full speculative
+//! shape by hand — shared → checkpoint → begin → absorb → check → finish,
+//! plus an incremental correction pass — so the claim covers exactly what
+//! the driver executes per iteration.
+//!
+//! Deliberately excluded: `speculate` (by contract it returns a freshly
+//! owned prediction; only the `Hold` order is allocation-free) and the
+//! heat-2d `shared()` (its `RowHalo` rows are genuinely new messages).
+
+use std::ops::Range;
+
+use mpk::Rank;
+use speccore::SpeculativeApp;
+use speculative_computation::prelude::*;
+
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
+use counting_alloc::{allocations_here, CountingAlloc};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn even_ranges(n: usize, p: usize) -> Vec<Range<usize>> {
+    (0..p).map(|i| i * n / p..(i + 1) * n / p).collect()
+}
+
+#[test]
+fn nbody_iteration_hot_path_is_allocation_free() {
+    let n = 96;
+    let particles = uniform_cloud(n, 11);
+    let ranges = partition_proportional(n, &[1.0, 1.0]);
+    let cfg = NBodyConfig::default().with_theta(0.01);
+    let mut a = NBodyApp::new(&particles, ranges.clone(), 0, cfg, SpeculationOrder::Linear);
+    let mut b = NBodyApp::new(&particles, ranges, 1, cfg, SpeculationOrder::Linear);
+    let mut ckpt_a = None;
+    let mut ckpt_b = None;
+
+    let mut iteration = |a: &mut NBodyApp, b: &mut NBodyApp| {
+        // The driver's per-iteration shape: snapshot exchange, checkpoint,
+        // compute, eq. 11 check of a (perfect) speculation, finish.
+        let share_a = a.shared();
+        let share_b = b.shared();
+        a.checkpoint_into(&mut ckpt_a);
+        b.checkpoint_into(&mut ckpt_b);
+        a.begin_iteration();
+        b.begin_iteration();
+        a.absorb(Rank(1), &share_b);
+        b.absorb(Rank(0), &share_a);
+        let out = a.check(Rank(1), &share_b, &share_b);
+        assert!(out.accept);
+        // Correction path with an accepted (θ-passing) speculation: the
+        // scan runs, repairs nothing, and must not allocate either.
+        let ops = a.correct(Rank(1), &share_b, &share_b);
+        assert_eq!(ops, 0);
+        drop(share_a);
+        drop(share_b);
+        a.finish_iteration();
+        b.finish_iteration();
+    };
+
+    // Warm-up: grows the snapshot ring and checkpoint slots to steady size.
+    for _ in 0..3 {
+        iteration(&mut a, &mut b);
+    }
+
+    let before = allocations_here();
+    for _ in 0..5 {
+        iteration(&mut a, &mut b);
+    }
+    assert_eq!(
+        allocations_here() - before,
+        0,
+        "n-body steady-state iteration must not allocate"
+    );
+}
+
+#[test]
+fn nbody_restore_and_hold_speculation_are_allocation_free() {
+    let n = 64;
+    let particles = uniform_cloud(n, 13);
+    let ranges = partition_proportional(n, &[1.0, 1.0]);
+    let cfg = NBodyConfig::default();
+    let mut app = NBodyApp::new(&particles, ranges, 0, cfg, SpeculationOrder::Hold);
+    let mut ckpt = None;
+    let remote = std::sync::Arc::new(PartitionShared::from_vec3s(
+        &particles[n / 2..].iter().map(|p| p.pos).collect::<Vec<_>>(),
+        &particles[n / 2..].iter().map(|p| p.vel).collect::<Vec<_>>(),
+    ));
+    let mut hist = History::new(4);
+    hist.record(0, remote.clone());
+
+    // Warm-up: one rollback cycle sizes everything.
+    app.checkpoint_into(&mut ckpt);
+    app.begin_iteration();
+    app.absorb(Rank(1), &remote);
+    app.finish_iteration();
+    app.restore(ckpt.as_ref().unwrap());
+
+    let before = allocations_here();
+    for _ in 0..4 {
+        app.checkpoint_into(&mut ckpt);
+        app.begin_iteration();
+        app.absorb(Rank(1), &remote);
+        app.finish_iteration();
+        let (spec, _) = app.speculate(Rank(1), &hist, 1).unwrap();
+        drop(spec); // Hold hands out an Arc clone of the history entry
+        app.restore(ckpt.as_ref().unwrap());
+    }
+    assert_eq!(
+        allocations_here() - before,
+        0,
+        "restore + Hold speculation must not allocate"
+    );
+}
+
+#[test]
+fn heat2d_compute_path_is_allocation_free() {
+    let (rows, cols, p) = (24, 16, 3);
+    let ranges = even_ranges(rows, p);
+    let cfg = Heat2dConfig::default();
+    let mut apps: Vec<Heat2dApp> = (0..p)
+        .map(|me| Heat2dApp::new(rows, cols, &ranges, me, cfg))
+        .collect();
+    let mut ckpts: Vec<Option<Vec<f64>>> = vec![None; p];
+
+    let iteration = |apps: &mut Vec<Heat2dApp>, ckpts: &mut Vec<Option<Vec<f64>>>| {
+        // shared() builds RowHalo messages (excluded: genuinely new data);
+        // everything from checkpoint onward is the measured hot path.
+        let halos: Vec<RowHalo> = apps.iter().map(|a| a.shared()).collect();
+        let start = allocations_here();
+        for (me, app) in apps.iter_mut().enumerate() {
+            app.checkpoint_into(&mut ckpts[me]);
+            app.begin_iteration();
+            for (k, halo) in halos.iter().enumerate() {
+                if k != me {
+                    app.absorb(Rank(k), halo);
+                }
+            }
+            app.finish_iteration();
+        }
+        allocations_here() - start
+    };
+
+    iteration(&mut apps, &mut ckpts); // warm-up
+    for _ in 0..4 {
+        assert_eq!(
+            iteration(&mut apps, &mut ckpts),
+            0,
+            "heat2d stencil sweep must not allocate"
+        );
+    }
+}
+
+#[test]
+fn jacobi_compute_path_is_allocation_free() {
+    let (n, p) = (48, 3);
+    let sys = LinearSystem::random(n, 5);
+    let ranges = even_ranges(n, p);
+    let cfg = JacobiConfig::default();
+    let mut apps: Vec<JacobiApp> = (0..p)
+        .map(|me| JacobiApp::new(sys.clone(), &ranges, me, cfg))
+        .collect();
+    let mut ckpts: Vec<Option<Vec<f64>>> = vec![None; p];
+
+    let iteration = |apps: &mut Vec<JacobiApp>, ckpts: &mut Vec<Option<Vec<f64>>>| {
+        let shared: Vec<Vec<f64>> = apps.iter().map(|a| a.shared()).collect();
+        let start = allocations_here();
+        for (me, app) in apps.iter_mut().enumerate() {
+            app.checkpoint_into(&mut ckpts[me]);
+            app.begin_iteration();
+            for (k, xs) in shared.iter().enumerate() {
+                if k != me {
+                    app.absorb(Rank(k), xs);
+                }
+            }
+            app.finish_iteration();
+        }
+        allocations_here() - start
+    };
+
+    iteration(&mut apps, &mut ckpts); // warm-up
+    for _ in 0..4 {
+        assert_eq!(
+            iteration(&mut apps, &mut ckpts),
+            0,
+            "jacobi row-block update must not allocate"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared counting-allocator harness for zero-allocation tests.
+//!
+//! Included via `#[path]` from each test binary that needs it (this
+//! directory is not auto-discovered as a test target); the including
+//! binary must register the allocator itself:
+//!
+//! ```ignore
+//! #[path = "support/counting_alloc.rs"]
+//! mod counting_alloc;
+//! use counting_alloc::{allocations_here, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static GLOBAL: CountingAlloc = CountingAlloc;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Counting allocator: thread-local tallies so concurrently running
+/// tests cannot disturb a measurement window. `Cell<u64>` has no
+/// destructor, so the const-initialised slot stays valid for the whole
+/// thread lifetime and the hooks never allocate themselves.
+pub struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap allocations (alloc + realloc) observed on this thread so far.
+pub fn allocations_here() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
