@@ -12,6 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q
 
+echo "== chaos suite (release, fixed seeds)"
+# Seed-matrix fault injection: composed loss/duplication/partitions plus
+# a scripted crash, asserting liveness, bounded error, and bit-exact
+# determinism per seed. Seeds are fixed inside the tests.
+cargo test --release --test chaos -q
+
 echo "== kernels bench smoke (release)"
 # Emits BENCH_kernels.json: wall-clock pairs/sec for the scalar and SoA
 # force kernels at N ∈ {1024, 4096}. SPEC_BENCH_OUT pins the artifact to

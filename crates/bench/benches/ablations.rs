@@ -119,6 +119,7 @@ fn main() {
             backward_window: 2,
             correction: CorrectionMode::Incremental,
             collect_log: false,
+            fault: None,
         };
         let r = run(&scale, cfg, 40);
         println!(

@@ -23,10 +23,12 @@ mod threads;
 mod transport;
 mod types;
 
-pub use sim::{run_sim_cluster, SimTransport};
-pub use threads::{run_thread_cluster, ThreadClusterOptions, ThreadTransport};
+pub use sim::{run_sim_cluster, run_sim_cluster_with_faults, Corruptor, FaultSpec, SimTransport};
+pub use threads::{
+    run_thread_cluster, run_thread_cluster_with_faults, ThreadClusterOptions, ThreadTransport,
+};
 pub use transport::Transport;
-pub use types::{Envelope, Rank, Tag, WireSize, HEADER_BYTES};
+pub use types::{Envelope, FaultCounters, Rank, Tag, WireSize, HEADER_BYTES};
 
 #[cfg(test)]
 mod tests {

@@ -5,17 +5,73 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use desim::{MailboxId, ProcessHandle, SimError, SimReport, SimTime, Simulation};
-use netsim::{ClusterSpec, LoadModel, MachineSpec, MsgCtx, NetworkModel};
+use desim::{MailboxId, ProcessHandle, SimDuration, SimError, SimReport, SimTime, Simulation};
+use netsim::{
+    ClusterSpec, CrashPlan, FaultModel, LoadModel, MachineSpec, MsgCtx, NetworkModel, NoFaults,
+};
 use obs::{Mark, Recorder};
 use parking_lot::Mutex;
 
 use crate::transport::Transport;
-use crate::types::{Envelope, Rank, Tag, WireSize, HEADER_BYTES};
+use crate::types::{Envelope, FaultCounters, Rank, Tag, WireSize, HEADER_BYTES};
 
-struct SharedNet {
+/// How a corruption amplitude maps onto a concrete payload: called as
+/// `(msg, amp, salt)`, where `salt` is a deterministic per-hit counter so
+/// the perturbation can draw reproducible noise without global state.
+pub type Corruptor<M> = Box<dyn FnMut(&mut M, f64, u64) + Send>;
+
+/// Fault-injection configuration of a simulated cluster run: the
+/// per-message fate model, the scripted machine outages, and (optionally)
+/// how corruption fates apply to this payload type.
+pub struct FaultSpec<M> {
+    /// Per-message fate model (loss, duplication, corruption, partitions).
+    pub model: Box<dyn FaultModel>,
+    /// Scripted machine outages. The transport drops sends addressed to a
+    /// down rank, like datagrams to a rebooting host; the driver side
+    /// (speccore) interprets the same plan to crash and recover ranks.
+    pub crashes: CrashPlan,
+    /// Applies a [`netsim::Fate::corrupt_amp`] to the payload. `None`
+    /// turns corruption fates into no-ops.
+    pub corruptor: Option<Corruptor<M>>,
+}
+
+impl<M> FaultSpec<M> {
+    /// No faults: the configuration [`run_sim_cluster`] uses.
+    pub fn none() -> Self {
+        FaultSpec {
+            model: Box::new(NoFaults),
+            crashes: CrashPlan::none(),
+            corruptor: None,
+        }
+    }
+
+    /// Faults from a fate model alone.
+    pub fn new(model: impl FaultModel + 'static) -> Self {
+        FaultSpec {
+            model: Box::new(model),
+            ..FaultSpec::none()
+        }
+    }
+
+    /// Add scripted machine outages.
+    pub fn with_crashes(mut self, crashes: CrashPlan) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    /// Add a payload corruptor.
+    pub fn with_corruptor(mut self, f: impl FnMut(&mut M, f64, u64) + Send + 'static) -> Self {
+        self.corruptor = Some(Box::new(f));
+        self
+    }
+}
+
+struct SharedNet<M> {
     net: Box<dyn NetworkModel>,
     load: Box<dyn LoadModel>,
+    faults: FaultSpec<M>,
+    counters: Vec<FaultCounters>,
+    corrupt_salt: u64,
 }
 
 /// A rank's endpoint on a simulated cluster.
@@ -27,9 +83,8 @@ pub struct SimTransport<'a, 'h, M> {
     size: usize,
     machine: MachineSpec,
     mailboxes: Vec<MailboxId>,
-    shared: Arc<Mutex<SharedNet>>,
+    shared: Arc<Mutex<SharedNet<M>>>,
     rec: Option<Box<dyn Recorder>>,
-    _marker: PhantomData<fn() -> M>,
     _lifetime: PhantomData<&'h ()>,
 }
 
@@ -60,7 +115,7 @@ impl<M: Send + 'static> SimTransport<'_, '_, M> {
     }
 }
 
-impl<M: WireSize + Send + 'static> Transport for SimTransport<'_, '_, M> {
+impl<M: WireSize + Clone + Send + 'static> Transport for SimTransport<'_, '_, M> {
     type Msg = M;
 
     fn rank(&self) -> Rank {
@@ -81,14 +136,85 @@ impl<M: WireSize + Send + 'static> Transport for SimTransport<'_, '_, M> {
             bytes,
             now: self.h.now(),
         };
-        let delay = self.shared.lock().net.delay(&ctx);
+        // Fate first, then the network: a dropped message never touches
+        // the medium, so fault-free runs see the identical delay stream.
+        let (fate, delay) = {
+            let mut sh = self.shared.lock();
+            let fate = sh.faults.model.fate(&ctx);
+            let down = !sh.faults.crashes.is_empty() && sh.faults.crashes.is_down(to.0, ctx.now);
+            if !fate.deliver || down {
+                sh.counters[self.rank.0].dropped += 1;
+                drop(sh);
+                if let Some(r) = self.rec.as_deref_mut() {
+                    let t_ns = self.h.now().as_nanos();
+                    let rank = self.rank.0 as u32;
+                    r.mark(
+                        rank,
+                        t_ns,
+                        Mark::MsgSent {
+                            to: to.0 as u32,
+                            bytes: bytes as u64,
+                        },
+                    );
+                    r.mark(
+                        rank,
+                        t_ns,
+                        Mark::MessageDropped {
+                            to: to.0 as u32,
+                            bytes: bytes as u64,
+                        },
+                    );
+                }
+                return;
+            }
+            sh.counters[self.rank.0].delivered += 1;
+            if fate.extra_copies > 0 {
+                sh.counters[self.rank.0].duplicated += u64::from(fate.extra_copies);
+            }
+            (fate, sh.net.delay(&ctx))
+        };
+        let mut msg = msg;
+        if fate.corrupt_amp > 0.0 {
+            let mut sh = self.shared.lock();
+            sh.corrupt_salt = sh.corrupt_salt.wrapping_add(1);
+            let salt = sh.corrupt_salt;
+            if let Some(c) = sh.faults.corruptor.as_mut() {
+                c(&mut msg, fate.corrupt_amp, salt);
+            }
+        }
         if let Some(r) = self.rec.as_deref_mut() {
+            let t_ns = self.h.now().as_nanos();
+            let rank = self.rank.0 as u32;
             r.mark(
-                self.rank.0 as u32,
-                self.h.now().as_nanos(),
+                rank,
+                t_ns,
                 Mark::MsgSent {
                     to: to.0 as u32,
                     bytes: bytes as u64,
+                },
+            );
+            if fate.extra_copies > 0 {
+                r.mark(
+                    rank,
+                    t_ns,
+                    Mark::MessageDuplicated {
+                        to: to.0 as u32,
+                        copies: fate.extra_copies,
+                    },
+                );
+            }
+        }
+        // Each extra copy re-consults the network: duplicates occupy the
+        // medium like any other message.
+        for _ in 0..fate.extra_copies {
+            let d = self.shared.lock().net.delay(&ctx);
+            self.h.send(
+                self.mailboxes[to.0],
+                d,
+                Envelope {
+                    src: self.rank,
+                    tag,
+                    msg: msg.clone(),
                 },
             );
         }
@@ -150,6 +276,41 @@ impl<M: WireSize + Send + 'static> Transport for SimTransport<'_, '_, M> {
         self.h.now()
     }
 
+    fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<M>> {
+        if let Some(env) = self.try_recv() {
+            return Some(env);
+        }
+        if timeout == SimDuration::ZERO {
+            return None;
+        }
+        // desim has no timed receive, so a bounded wait is modelled as
+        // polling in quanta; the last step lands exactly on the deadline,
+        // keeping timeout-driven actions at deterministic virtual times.
+        let deadline = self.h.now() + timeout;
+        let quantum = SimDuration::from_nanos((timeout.as_nanos() / 16).max(1));
+        loop {
+            let now = self.h.now();
+            if now >= deadline {
+                return None;
+            }
+            let step = quantum.min(deadline - now);
+            self.h.advance(step);
+            if let Some(env) = self.try_recv() {
+                return Some(env);
+            }
+        }
+    }
+
+    fn sleep(&mut self, d: SimDuration) {
+        if d > SimDuration::ZERO {
+            self.h.advance(d);
+        }
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.shared.lock().counters[self.rank.0]
+    }
+
     fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
         self.rec.as_deref_mut()
     }
@@ -191,7 +352,27 @@ pub fn run_sim_cluster<M, R, F>(
     f: F,
 ) -> Result<(Vec<R>, SimReport), SimError>
 where
-    M: WireSize + Send + 'static,
+    M: WireSize + Clone + Send + 'static,
+    R: Send + 'static,
+    F: for<'a, 'h> Fn(&mut SimTransport<'a, 'h, M>) -> R + Send + Sync + 'static,
+{
+    run_sim_cluster_with_faults(cluster, net, load, FaultSpec::none(), trace, f)
+}
+
+/// [`run_sim_cluster`] with a fault layer: every send is routed through
+/// `faults.model` (and the crash plan) before it may touch the network
+/// model. With [`FaultSpec::none`] this is exactly `run_sim_cluster` —
+/// same delay stream, same schedule, bit for bit.
+pub fn run_sim_cluster_with_faults<M, R, F>(
+    cluster: &ClusterSpec,
+    net: impl NetworkModel + 'static,
+    load: impl LoadModel + 'static,
+    faults: FaultSpec<M>,
+    trace: bool,
+    f: F,
+) -> Result<(Vec<R>, SimReport), SimError>
+where
+    M: WireSize + Clone + Send + 'static,
     R: Send + 'static,
     F: for<'a, 'h> Fn(&mut SimTransport<'a, 'h, M>) -> R + Send + Sync + 'static,
 {
@@ -204,6 +385,9 @@ where
     let shared = Arc::new(Mutex::new(SharedNet {
         net: Box::new(net),
         load: Box::new(load),
+        faults,
+        counters: vec![FaultCounters::default(); p],
+        corrupt_salt: 0,
     }));
     let f = Arc::new(f);
 
@@ -222,7 +406,6 @@ where
                     mailboxes,
                     shared,
                     rec: None,
-                    _marker: PhantomData,
                     _lifetime: PhantomData,
                 };
                 f(&mut t)
@@ -363,6 +546,152 @@ mod tests {
             (outs, report.end_time)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn total_loss_drops_every_send_and_counts_them() {
+        use netsim::Loss;
+        let cluster = ClusterSpec::homogeneous(2, 10.0);
+        let (got, _) = run_sim_cluster_with_faults::<u64, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            FaultSpec::new(Loss::new(1.0, 1)),
+            false,
+            |t| {
+                if t.rank().0 == 0 {
+                    for i in 0..10 {
+                        t.send(Rank(1), Tag(0), i);
+                    }
+                    t.fault_counters().dropped
+                } else {
+                    // Every send was swallowed: the wait must time out.
+                    match t.recv_timeout(SimDuration::from_millis(50)) {
+                        Some(_) => 99,
+                        None => 0,
+                    }
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got, vec![10, 0]);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        use netsim::Duplicate;
+        let cluster = ClusterSpec::homogeneous(2, 10.0);
+        let (got, _) = run_sim_cluster_with_faults::<u64, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            FaultSpec::new(Duplicate::new(1.0, 3)),
+            false,
+            |t| {
+                if t.rank().0 == 0 {
+                    t.send(Rank(1), Tag(0), 7);
+                    t.fault_counters().duplicated
+                } else {
+                    let a = t.recv().msg;
+                    let b = t
+                        .recv_timeout(SimDuration::from_millis(20))
+                        .map(|e| e.msg)
+                        .unwrap_or(0);
+                    let none_after = t.recv_timeout(SimDuration::from_millis(20)).is_none();
+                    assert!(none_after, "exactly two copies expected");
+                    a + b
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got, vec![1, 14]);
+    }
+
+    #[test]
+    fn sends_to_a_crashed_destination_are_lost() {
+        use netsim::MachineCrash;
+        let cluster = ClusterSpec::homogeneous(2, 10.0);
+        let crashes = CrashPlan::new(vec![MachineCrash {
+            rank: 1,
+            at: SimTime::ZERO,
+            restart_after: SimDuration::from_millis(10),
+        }]);
+        let (got, _) = run_sim_cluster_with_faults::<u64, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            FaultSpec::<u64>::none().with_crashes(crashes),
+            false,
+            |t| {
+                if t.rank().0 == 0 {
+                    t.send(Rank(1), Tag(0), 1); // rank 1 is down: lost
+                    t.sleep(SimDuration::from_millis(20));
+                    t.send(Rank(1), Tag(0), 2); // back up: delivered
+                    t.fault_counters().dropped
+                } else {
+                    t.recv().msg
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn recv_timeout_expires_exactly_at_the_deadline() {
+        let cluster = ClusterSpec::homogeneous(2, 10.0);
+        let (got, _) = run_sim_cluster::<u64, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            false,
+            |t| {
+                if t.rank().0 == 0 {
+                    let start = t.now();
+                    let out = t.recv_timeout(SimDuration::from_millis(7));
+                    assert!(out.is_none());
+                    (t.now() - start).as_nanos()
+                } else {
+                    0
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got[0], 7_000_000);
+    }
+
+    #[test]
+    fn no_faults_run_matches_plain_run_bit_for_bit() {
+        let run = |with_faults: bool| {
+            let cluster = ClusterSpec::paper_model_example();
+            let body = |t: &mut SimTransport<'_, '_, (u64, f64)>| {
+                let mut acc = 0.0f64;
+                for round in 0..5u64 {
+                    t.broadcast(Tag(0), (round, t.rank().0 as f64));
+                    for _ in 0..t.size() - 1 {
+                        acc += t.recv().msg.1;
+                    }
+                    t.compute(10_000);
+                }
+                (t.now().as_nanos(), acc)
+            };
+            let net = SharedMedium::new(SimDuration::from_micros(200), 1.25e6);
+            let (outs, report) = if with_faults {
+                run_sim_cluster_with_faults::<(u64, f64), _, _>(
+                    &cluster,
+                    net,
+                    Unloaded,
+                    FaultSpec::none(),
+                    false,
+                    body,
+                )
+                .unwrap()
+            } else {
+                run_sim_cluster::<(u64, f64), _, _>(&cluster, net, Unloaded, false, body).unwrap()
+            };
+            (outs, report.end_time)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

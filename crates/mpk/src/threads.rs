@@ -12,12 +12,13 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use desim::SimTime;
+use desim::{SimDuration, SimTime};
+use netsim::{FaultModel, MsgCtx};
 use obs::{Mark, Recorder};
 use parking_lot::{Condvar, Mutex};
 
 use crate::transport::Transport;
-use crate::types::{Envelope, Rank, Tag, WireSize, HEADER_BYTES};
+use crate::types::{Envelope, FaultCounters, Rank, Tag, WireSize, HEADER_BYTES};
 
 /// Configuration of a thread-backed cluster.
 #[derive(Clone, Debug)]
@@ -120,6 +121,35 @@ impl<M> ThreadMailbox<M> {
             }
         }
     }
+
+    fn pop_deadline(&self, deadline: Instant) -> Option<Envelope<M>> {
+        let mut st = self.state.lock();
+        loop {
+            let now = Instant::now();
+            if let Some(t) = st.heap.peek() {
+                if t.visible_at <= now {
+                    return Some(st.heap.pop().unwrap().env);
+                }
+            }
+            if now >= deadline {
+                return None;
+            }
+            let wake = match st.heap.peek() {
+                Some(t) => t.visible_at.min(deadline),
+                None => deadline,
+            };
+            let _ = self.cv.wait_for(&mut st, wake - now);
+        }
+    }
+}
+
+/// Shared fault state of a thread-backed cluster: one fate model consulted
+/// under a lock (send order between threads is scheduler-dependent, so
+/// thread-backend faults are *not* reproducible across runs — use the sim
+/// backend for quantitative fault experiments) plus per-rank counters.
+struct ThreadFaults {
+    model: Mutex<Box<dyn FaultModel>>,
+    counters: Mutex<Vec<FaultCounters>>,
 }
 
 /// A rank's endpoint on a thread-backed cluster.
@@ -130,6 +160,7 @@ pub struct ThreadTransport<M> {
     mailboxes: Arc<Vec<ThreadMailbox<M>>>,
     epoch: Instant,
     rec: Option<Box<dyn Recorder>>,
+    faults: Option<Arc<ThreadFaults>>,
 }
 
 impl<M> ThreadTransport<M> {
@@ -143,7 +174,7 @@ impl<M> ThreadTransport<M> {
     }
 }
 
-impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
+impl<M: WireSize + Clone + Send + 'static> Transport for ThreadTransport<M> {
     type Msg = M;
 
     fn rank(&self) -> Rank {
@@ -158,6 +189,46 @@ impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
         assert!(to.0 < self.size, "send to out-of-range rank {to}");
         assert_ne!(to, self.rank, "self-sends are not modelled");
         let bytes = msg.wire_size() + HEADER_BYTES;
+        let mut extra_copies = 0;
+        if let Some(fs) = &self.faults {
+            let ctx = MsgCtx {
+                src: self.rank.0,
+                dst: to.0,
+                bytes,
+                now: SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64),
+            };
+            let fate = fs.model.lock().fate(&ctx);
+            if !fate.deliver {
+                fs.counters.lock()[self.rank.0].dropped += 1;
+                if let Some(r) = self.rec.as_deref_mut() {
+                    let t_ns = self.epoch.elapsed().as_nanos() as u64;
+                    let rank = self.rank.0 as u32;
+                    r.mark(
+                        rank,
+                        t_ns,
+                        Mark::MsgSent {
+                            to: to.0 as u32,
+                            bytes: bytes as u64,
+                        },
+                    );
+                    r.mark(
+                        rank,
+                        t_ns,
+                        Mark::MessageDropped {
+                            to: to.0 as u32,
+                            bytes: bytes as u64,
+                        },
+                    );
+                }
+                return;
+            }
+            let mut counters = fs.counters.lock();
+            counters[self.rank.0].delivered += 1;
+            counters[self.rank.0].duplicated += u64::from(fate.extra_copies);
+            extra_copies = fate.extra_copies;
+            // Corruption fates are sim-only (they need a payload-aware
+            // corruptor); the thread backend models loss and duplication.
+        }
         let delay = self.opts.latency + self.opts.per_byte * bytes as u32;
         let visible_at = Instant::now() + delay;
         if let Some(r) = self.rec.as_deref_mut() {
@@ -168,6 +239,26 @@ impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
                 Mark::MsgSent {
                     to: to.0 as u32,
                     bytes: bytes as u64,
+                },
+            );
+            if extra_copies > 0 {
+                r.mark(
+                    self.rank.0 as u32,
+                    t_ns,
+                    Mark::MessageDuplicated {
+                        to: to.0 as u32,
+                        copies: extra_copies,
+                    },
+                );
+            }
+        }
+        for _ in 0..extra_copies {
+            self.mailboxes[to.0].push(
+                visible_at,
+                Envelope {
+                    src: self.rank,
+                    tag,
+                    msg: msg.clone(),
                 },
             );
         }
@@ -227,6 +318,37 @@ impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
         SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
     }
 
+    fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<M>> {
+        let deadline = Instant::now() + Duration::from_nanos(timeout.as_nanos());
+        let env = self.mailboxes[self.rank.0].pop_deadline(deadline)?;
+        if let Some(r) = self.rec.as_deref_mut() {
+            let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+            let t_ns = self.epoch.elapsed().as_nanos() as u64;
+            r.mark(
+                self.rank.0 as u32,
+                t_ns,
+                Mark::MsgRecv {
+                    from: env.src.0 as u32,
+                    bytes,
+                },
+            );
+        }
+        Some(env)
+    }
+
+    fn sleep(&mut self, d: SimDuration) {
+        if d > SimDuration::ZERO {
+            std::thread::sleep(Duration::from_nanos(d.as_nanos()));
+        }
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(|fs| fs.counters.lock()[self.rank.0])
+            .unwrap_or_default()
+    }
+
     fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
         self.rec.as_deref_mut()
     }
@@ -237,7 +359,45 @@ impl<M: WireSize + Send + 'static> Transport for ThreadTransport<M> {
 /// Returns each rank's result in rank order. Panics in any rank propagate.
 pub fn run_thread_cluster<M, R, F>(p: usize, opts: ThreadClusterOptions, f: F) -> Vec<R>
 where
-    M: WireSize + Send + 'static,
+    M: WireSize + Clone + Send + 'static,
+    R: Send,
+    F: Fn(&mut ThreadTransport<M>) -> R + Send + Sync,
+{
+    run_thread_cluster_inner(p, opts, None, f)
+}
+
+/// [`run_thread_cluster`] with a message-fault layer.
+///
+/// Unlike the sim backend, thread-backend fates depend on the real
+/// interleaving of sends, so runs are *not* reproducible; this exists for
+/// liveness demos and cross-backend smoke tests. Crash plans and payload
+/// corruption are sim-only.
+pub fn run_thread_cluster_with_faults<M, R, F>(
+    p: usize,
+    opts: ThreadClusterOptions,
+    model: impl FaultModel + 'static,
+    f: F,
+) -> Vec<R>
+where
+    M: WireSize + Clone + Send + 'static,
+    R: Send,
+    F: Fn(&mut ThreadTransport<M>) -> R + Send + Sync,
+{
+    let faults = Arc::new(ThreadFaults {
+        model: Mutex::new(Box::new(model)),
+        counters: Mutex::new(vec![FaultCounters::default(); p]),
+    });
+    run_thread_cluster_inner(p, opts, Some(faults), f)
+}
+
+fn run_thread_cluster_inner<M, R, F>(
+    p: usize,
+    opts: ThreadClusterOptions,
+    faults: Option<Arc<ThreadFaults>>,
+    f: F,
+) -> Vec<R>
+where
+    M: WireSize + Clone + Send + 'static,
     R: Send,
     F: Fn(&mut ThreadTransport<M>) -> R + Send + Sync,
 {
@@ -251,6 +411,7 @@ where
             .map(|r| {
                 let mailboxes = Arc::clone(&mailboxes);
                 let opts = opts.clone();
+                let faults = faults.clone();
                 let f = &f;
                 s.spawn(move || {
                     let mut t = ThreadTransport {
@@ -260,6 +421,7 @@ where
                         mailboxes,
                         epoch,
                         rec: None,
+                        faults,
                     };
                     f(&mut t)
                 })
@@ -354,6 +516,52 @@ mod tests {
             },
         );
         assert!(mb.try_pop().is_none());
+    }
+
+    #[test]
+    fn thread_fault_layer_drops_everything_under_total_loss() {
+        use netsim::Loss;
+        let results = run_thread_cluster_with_faults::<u64, _, _>(
+            2,
+            ThreadClusterOptions::default(),
+            Loss::new(1.0, 7),
+            |t| {
+                if t.rank().0 == 0 {
+                    for i in 0..5 {
+                        t.send(Rank(1), Tag(0), i);
+                    }
+                    t.fault_counters().dropped
+                } else {
+                    // Nothing ever arrives; the bounded wait must expire.
+                    let got = t.recv_timeout(SimDuration::from_millis(20));
+                    assert!(got.is_none(), "total loss delivered a message");
+                    0
+                }
+            },
+        );
+        assert_eq!(results[0], 5);
+    }
+
+    #[test]
+    fn thread_recv_timeout_delivers_when_a_message_is_in_flight() {
+        let results = run_thread_cluster::<u64, _, _>(
+            2,
+            ThreadClusterOptions {
+                latency: Duration::from_millis(2),
+                ..ThreadClusterOptions::default()
+            },
+            |t| {
+                if t.rank().0 == 0 {
+                    t.send(Rank(1), Tag(0), 42);
+                    0
+                } else {
+                    t.recv_timeout(SimDuration::from_millis(5_000))
+                        .expect("message should arrive before the timeout")
+                        .msg
+                }
+            },
+        );
+        assert_eq!(results[1], 42);
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! and on the real-thread backend
 //! ([`ThreadTransport`](crate::ThreadTransport)).
 
-use desim::SimTime;
+use desim::{SimDuration, SimTime};
 use obs::Recorder;
 
-use crate::types::{Envelope, Rank, Tag};
+use crate::types::{Envelope, FaultCounters, Rank, Tag};
 
 /// A process's connection to its peers.
 pub trait Transport {
@@ -33,6 +33,33 @@ pub trait Transport {
 
     /// Block until a message arrives and take it.
     fn recv(&mut self) -> Envelope<Self::Msg>;
+
+    /// Block until a message arrives or `timeout` elapses, whichever is
+    /// first; `None` on timeout. This is the primitive fault-tolerant
+    /// drivers build loss detection on: a bounded wait instead of the
+    /// deadlock-prone unconditional [`Transport::recv`].
+    ///
+    /// The default falls back to the blocking receive (no timeout), which
+    /// is correct for fault-free transports where every expected message
+    /// eventually arrives. Backends with a fault layer override this.
+    fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<Self::Msg>> {
+        let _ = timeout;
+        Some(self.recv())
+    }
+
+    /// Let `d` pass without computing or receiving — a crashed rank's
+    /// outage, not work. The default is a no-op (an instantaneous
+    /// transport has nothing to wait on); real backends advance their
+    /// clock.
+    fn sleep(&mut self, d: SimDuration) {
+        let _ = d;
+    }
+
+    /// What the fault layer did to this rank's sends so far. All zeros on
+    /// transports without a fault layer (the default).
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
 
     /// Perform `ops` operations' worth of computation. On the simulated
     /// backend this advances virtual time by `ops / M_i` (scaled by any

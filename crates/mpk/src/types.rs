@@ -40,6 +40,22 @@ pub trait WireSize {
 /// packet header plus PVM-style task routing.
 pub const HEADER_BYTES: usize = 64;
 
+/// Per-rank tallies of what the fault layer did to this rank's *sends*.
+///
+/// Zero everywhere when no fault layer is installed. `delivered` counts
+/// messages that reached the destination mailbox at least once; `dropped`
+/// counts messages no copy of which arrived (loss, partition, or a crashed
+/// destination); `duplicated` counts extra copies beyond the original.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Sends that reached the destination mailbox.
+    pub delivered: u64,
+    /// Sends the fault layer swallowed entirely.
+    pub dropped: u64,
+    /// Extra copies injected beyond the originals.
+    pub duplicated: u64,
+}
+
 impl WireSize for () {
     fn wire_size(&self) -> usize {
         0

@@ -42,6 +42,6 @@ pub use particle::{
     Particle, SoaBodies,
 };
 pub use partition::{partition_proportional, proportionality_error, split_soa};
-pub use runner::{run_parallel, ParallelRunConfig, ParallelRunResult};
+pub use runner::{run_parallel, run_parallel_with_faults, ParallelRunConfig, ParallelRunResult};
 pub use soa::Soa3;
 pub use vec3::{Vec3, ZERO3};

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use desim::{SimError, SimReport};
-use mpk::{run_sim_cluster, Transport};
+use mpk::{run_sim_cluster_with_faults, FaultSpec, Transport};
 use netsim::{ClusterSpec, LoadModel, NetworkModel};
 use obs::{RunTrace, SharedRecorder};
 use speccore::{run_speculative, ClusterStats, IterMsg, RunStats, SpecConfig};
@@ -86,32 +86,55 @@ pub fn run_parallel(
     load: impl LoadModel + 'static,
     cfg: ParallelRunConfig,
 ) -> Result<ParallelRunResult, SimError> {
+    run_parallel_with_faults(particles, cluster, net, load, FaultSpec::none(), cfg)
+}
+
+/// [`run_parallel`] over an unreliable network: `faults` decides per
+/// message whether it is delivered, duplicated, or corrupted, and can
+/// schedule machine crashes. Pair with
+/// [`SpecConfig::with_fault_tolerance`](speccore::SpecConfig) so the
+/// driver speculates through the losses instead of deadlocking.
+pub fn run_parallel_with_faults(
+    particles: &[Particle],
+    cluster: &ClusterSpec,
+    net: impl NetworkModel + 'static,
+    load: impl LoadModel + 'static,
+    faults: FaultSpec<IterMsg<Arc<PartitionShared>>>,
+    cfg: ParallelRunConfig,
+) -> Result<ParallelRunResult, SimError> {
     let ranges = partition_proportional(particles.len(), &cluster.capacities());
     let all: Arc<Vec<Particle>> = Arc::new(particles.to_vec());
     let ranges_shared = Arc::new(ranges);
     let recorder = cfg.collect_trace.then(SharedRecorder::new);
 
     let (outs, report): (Vec<(Vec<Particle>, RunStats)>, SimReport) =
-        run_sim_cluster::<IterMsg<Arc<PartitionShared>>, _, _>(cluster, net, load, false, {
-            let all = Arc::clone(&all);
-            let ranges = Arc::clone(&ranges_shared);
-            let cfg = cfg.clone();
-            let recorder = recorder.clone();
-            move |t| {
-                if let Some(rec) = &recorder {
-                    t.set_recorder(Box::new(rec.clone()));
+        run_sim_cluster_with_faults::<IterMsg<Arc<PartitionShared>>, _, _>(
+            cluster,
+            net,
+            load,
+            faults,
+            false,
+            {
+                let all = Arc::clone(&all);
+                let ranges = Arc::clone(&ranges_shared);
+                let cfg = cfg.clone();
+                let recorder = recorder.clone();
+                move |t| {
+                    if let Some(rec) = &recorder {
+                        t.set_recorder(Box::new(rec.clone()));
+                    }
+                    let mut app = NBodyApp::new(
+                        &all,
+                        ranges.as_ref().clone(),
+                        t.rank().0,
+                        cfg.nbody,
+                        cfg.order,
+                    );
+                    let stats = run_speculative(t, &mut app, cfg.iterations, cfg.spec.clone());
+                    (app.particles(), stats)
                 }
-                let mut app = NBodyApp::new(
-                    &all,
-                    ranges.as_ref().clone(),
-                    t.rank().0,
-                    cfg.nbody,
-                    cfg.order,
-                );
-                let stats = run_speculative(t, &mut app, cfg.iterations, cfg.spec.clone());
-                (app.particles(), stats)
-            }
-        })?;
+            },
+        )?;
 
     let mut final_particles = Vec::with_capacity(particles.len());
     let mut per_rank = Vec::with_capacity(outs.len());

@@ -13,18 +13,26 @@
 //!   shared-medium with contention, plus [`TransientDelays`], [`Jitter`] and
 //!   [`ScriptedDelays`] decorators;
 //! * [`LoadModel`] — background load on timeshared machines, scaling
-//!   compute phases.
+//!   compute phases;
+//! * [`FaultModel`] — per-message fates (loss, duplication, corruption,
+//!   partitions, scripted fault plans) plus [`CrashPlan`] machine outages,
+//!   composable alongside the latency models.
 //!
 //! All stochastic models take explicit seeds and are deterministic.
 
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 mod load;
 mod machine;
 mod network;
 
 pub use cluster::ClusterSpec;
+pub use fault::{
+    BoxedFaultModel, Corrupt, CrashPlan, Duplicate, Fate, FaultModel, FaultPlan, FaultStack,
+    LinkPartition, Loss, MachineCrash, NoFaults, ScriptedFaults,
+};
 pub use load::{BoxedLoadModel, LoadModel, RandomSpikes, UniformNoise, Unloaded};
 pub use machine::MachineSpec;
 pub use network::{

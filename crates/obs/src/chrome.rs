@@ -121,6 +121,15 @@ fn mark_args(mark: Mark) -> Json {
         ]),
         Mark::Rollback { to_iter } => Json::obj([("to_iter", Json::U64(to_iter))]),
         Mark::Commit { iter } => Json::obj([("iter", Json::U64(iter))]),
+        Mark::MessageDropped { to, bytes } => {
+            Json::obj([("to", Json::U64(to.into())), ("bytes", Json::U64(bytes))])
+        }
+        Mark::MessageDuplicated { to, copies } => Json::obj([
+            ("to", Json::U64(to.into())),
+            ("copies", Json::U64(copies.into())),
+        ]),
+        Mark::PeerCrashed { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
+        Mark::PeerRecovered { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
     }
 }
 

@@ -95,6 +95,31 @@ pub enum Mark {
         /// The confirmed iteration.
         iter: u64,
     },
+    /// The fault layer dropped a message at send time (loss, partition, or
+    /// a crashed destination).
+    MessageDropped {
+        /// Destination rank the message never reached.
+        to: u32,
+        /// Payload plus header bytes that were lost.
+        bytes: u64,
+    },
+    /// The fault layer delivered extra copies of a message.
+    MessageDuplicated {
+        /// Destination rank.
+        to: u32,
+        /// Number of extra copies injected (beyond the original).
+        copies: u32,
+    },
+    /// A rank crashed (scripted), losing its volatile state.
+    PeerCrashed {
+        /// The crashed rank.
+        peer: u32,
+    },
+    /// A crashed rank finished restarting and rejoined the computation.
+    PeerRecovered {
+        /// The recovered rank.
+        peer: u32,
+    },
 }
 
 impl Mark {
@@ -108,6 +133,10 @@ impl Mark {
             Mark::Correction { .. } => "correction",
             Mark::Rollback { .. } => "rollback",
             Mark::Commit { .. } => "commit",
+            Mark::MessageDropped { .. } => "message_dropped",
+            Mark::MessageDuplicated { .. } => "message_duplicated",
+            Mark::PeerCrashed { .. } => "peer_crashed",
+            Mark::PeerRecovered { .. } => "peer_recovered",
         }
     }
 }

@@ -206,6 +206,10 @@ fn counters_json(c: &CounterTotals) -> Json {
         ("corrections", Json::U64(c.corrections)),
         ("rollbacks", Json::U64(c.rollbacks)),
         ("commits", Json::U64(c.commits)),
+        ("messages_dropped", Json::U64(c.messages_dropped)),
+        ("messages_duplicated", Json::U64(c.messages_duplicated)),
+        ("peer_crashes", Json::U64(c.peer_crashes)),
+        ("peer_recoveries", Json::U64(c.peer_recoveries)),
     ])
 }
 

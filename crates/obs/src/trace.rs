@@ -92,6 +92,14 @@ pub struct CounterTotals {
     pub rollbacks: u64,
     /// Iterations confirmed.
     pub commits: u64,
+    /// Messages the fault layer dropped at send time.
+    pub messages_dropped: u64,
+    /// Extra message copies the fault layer injected.
+    pub messages_duplicated: u64,
+    /// Scripted rank crashes.
+    pub peer_crashes: u64,
+    /// Crashed ranks that finished restarting.
+    pub peer_recoveries: u64,
 }
 
 /// The telemetry of one rank over one run, in event order.
@@ -203,6 +211,12 @@ impl RunTrace {
                     Mark::Correction { .. } => c.corrections += 1,
                     Mark::Rollback { .. } => c.rollbacks += 1,
                     Mark::Commit { .. } => c.commits += 1,
+                    Mark::MessageDropped { .. } => c.messages_dropped += 1,
+                    Mark::MessageDuplicated { copies, .. } => {
+                        c.messages_duplicated += u64::from(copies)
+                    }
+                    Mark::PeerCrashed { .. } => c.peer_crashes += 1,
+                    Mark::PeerRecovered { .. } => c.peer_recoveries += 1,
                 }
             }
         }

@@ -1,6 +1,8 @@
-//! Driver configuration: forward-window policy and correction mode.
+//! Driver configuration: forward-window policy, correction mode, and
+//! fault-tolerance knobs.
 
 use desim::SimDuration;
+use netsim::MachineCrash;
 
 /// How misspeculated inputs are repaired.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -134,6 +136,59 @@ impl AdaptiveWindow {
     }
 }
 
+/// Fault-tolerance policy: when to stop waiting for a lossy peer and
+/// speculate *through* the loss instead of around mere delay.
+///
+/// The paper's algorithm tolerates late messages by extrapolating from the
+/// backward window; under an unreliable transport the same machinery covers
+/// *lost* messages, except the driver must decide a message is lost (it
+/// never arrives) rather than merely late. This struct sets that decision:
+/// after `loss_timeout` with the oldest in-flight iteration stuck on a
+/// missing input, the driver promotes its BW extrapolation to a committed
+/// value and moves on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultTolerance {
+    /// How long the oldest unconfirmed iteration may wait on a missing
+    /// input before the driver commits the speculated value in its place.
+    pub loss_timeout: SimDuration,
+    /// How many *consecutive* iterations a peer's input may be promoted
+    /// from speculation before the driver asks that peer to retransmit its
+    /// latest state (and again every further `staleness_budget` promotions).
+    pub staleness_budget: u32,
+    /// Scripted crashes of this run's own ranks. Each rank sleeps through
+    /// its outages and re-seeds from its confirmed checkpoint on restart.
+    pub crashes: Vec<MachineCrash>,
+}
+
+impl FaultTolerance {
+    /// Speculate-through-loss after `loss_timeout`, with a default
+    /// staleness budget of 4 promoted iterations per peer and no crashes.
+    pub fn new(loss_timeout: SimDuration) -> Self {
+        assert!(
+            loss_timeout > SimDuration::ZERO,
+            "loss timeout must be positive"
+        );
+        FaultTolerance {
+            loss_timeout,
+            staleness_budget: 4,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Set the per-peer staleness budget (must be at least 1).
+    pub fn with_staleness_budget(mut self, budget: u32) -> Self {
+        assert!(budget >= 1, "staleness budget must be at least 1");
+        self.staleness_budget = budget;
+        self
+    }
+
+    /// Script machine crashes into the run.
+    pub fn with_crashes(mut self, crashes: Vec<MachineCrash>) -> Self {
+        self.crashes = crashes;
+        self
+    }
+}
+
 /// Complete driver configuration.
 #[derive(Clone, Debug)]
 pub struct SpecConfig {
@@ -146,6 +201,10 @@ pub struct SpecConfig {
     /// Collect per-iteration timing records into
     /// [`RunStats::iteration_log`](crate::RunStats::iteration_log).
     pub collect_log: bool,
+    /// Fault-tolerance policy; `None` (the default) assumes a reliable
+    /// transport and keeps the driver's behavior bit-identical to the
+    /// fault-unaware implementation.
+    pub fault: Option<FaultTolerance>,
 }
 
 impl SpecConfig {
@@ -156,6 +215,7 @@ impl SpecConfig {
             backward_window: 1,
             correction: CorrectionMode::Incremental,
             collect_log: false,
+            fault: None,
         }
     }
 
@@ -166,6 +226,7 @@ impl SpecConfig {
             backward_window: 2,
             correction: CorrectionMode::Incremental,
             collect_log: false,
+            fault: None,
         }
     }
 
@@ -184,6 +245,13 @@ impl SpecConfig {
     /// Set the correction mode.
     pub fn with_correction(mut self, mode: CorrectionMode) -> Self {
         self.correction = mode;
+        self
+    }
+
+    /// Enable fault tolerance (speculate-through-loss, retransmit
+    /// requests, crash recovery).
+    pub fn with_fault_tolerance(mut self, ft: FaultTolerance) -> Self {
+        self.fault = Some(ft);
         self
     }
 }
@@ -248,6 +316,30 @@ mod tests {
         assert_eq!(c.window.current(), 2);
         assert_eq!(c.backward_window, 3);
         assert_eq!(c.correction, CorrectionMode::Recompute);
+        assert!(c.fault.is_none());
         assert_eq!(SpecConfig::baseline().window.current(), 0);
+    }
+
+    #[test]
+    fn fault_tolerance_builder() {
+        use desim::SimTime;
+        let ft = FaultTolerance::new(SimDuration::from_millis(5))
+            .with_staleness_budget(2)
+            .with_crashes(vec![MachineCrash {
+                rank: 1,
+                at: SimTime::from_nanos(100),
+                restart_after: SimDuration::from_nanos(50),
+            }]);
+        assert_eq!(ft.loss_timeout, SimDuration::from_millis(5));
+        assert_eq!(ft.staleness_budget, 2);
+        assert_eq!(ft.crashes.len(), 1);
+        let c = SpecConfig::speculative(1).with_fault_tolerance(ft.clone());
+        assert_eq!(c.fault, Some(ft));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss timeout must be positive")]
+    fn zero_loss_timeout_is_rejected() {
+        let _ = FaultTolerance::new(SimDuration::ZERO);
     }
 }

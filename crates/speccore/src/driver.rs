@@ -21,7 +21,7 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use desim::SimDuration;
+use desim::{SimDuration, SimTime};
 use mpk::{Envelope, Rank, Tag, Transport, WireSize};
 use obs::{Gauge, Mark, Phase};
 
@@ -48,6 +48,13 @@ impl<S: WireSize> WireSize for IterMsg<S> {
 
 /// Tag used for iteration data messages.
 pub const DATA_TAG: Tag = Tag(1);
+
+/// Tag used for retransmit requests. The request's payload is the
+/// *requester's* latest broadcast (so even the request refreshes the
+/// receiver's view of the requester); the reply is an ordinary
+/// [`DATA_TAG`] re-send of the receiver's latest broadcast, which doubles
+/// as the acknowledgement.
+pub const RETRANS_REQ_TAG: Tag = Tag(2);
 
 enum InputSlot<S> {
     /// Received actual value was used.
@@ -116,6 +123,36 @@ where
     // is bounded by the forward window, so the pool never grows past it.
     let mut checkpoint_pool: Vec<A::Checkpoint> = Vec::new();
 
+    // ---- fault-tolerance state (inert when `config.fault` is None) ----
+    let ft = config.fault.clone();
+    // Latest state this rank put on the wire, re-sent on retransmit
+    // requests and after crash recovery.
+    let mut last_broadcast: (u64, A::Shared) = (0, app.shared());
+    // Consecutive speculate-through-loss promotions per peer since its
+    // last heard-from message.
+    let mut staleness: Vec<u32> = vec![0; p];
+    // (front iteration, when we first saw it stuck at the queue head).
+    let mut front_waiting_since: Option<(u64, SimTime)> = None;
+    // When the rank first found itself with nothing in flight and nothing
+    // executable (starved — e.g. iteration 0 under loss, before any
+    // history exists to extrapolate from).
+    let mut starved_since: Option<SimTime> = None;
+    // This rank's own scripted outages, in schedule order.
+    let my_crashes: Vec<_> = ft
+        .as_ref()
+        .map(|f| {
+            let mut v: Vec<_> = f
+                .crashes
+                .iter()
+                .filter(|c| c.rank == me.0)
+                .copied()
+                .collect();
+            v.sort_by_key(|c| c.at);
+            v
+        })
+        .unwrap_or_default();
+    let mut next_crash = 0usize;
+
     let mut t_conf: u64 = 0; // next iteration to confirm
     let mut t_exec: u64 = 0; // next iteration to execute
     let mut waited_since_confirm = SimDuration::ZERO;
@@ -136,8 +173,163 @@ where
     'main: while t_conf < total_iters {
         // Fold in everything that has arrived.
         while let Some(env) = transport.try_recv() {
+            if ft.is_some() {
+                let src = env.src;
+                staleness[src.0] = 0;
+                if env.tag == RETRANS_REQ_TAG {
+                    // Re-send our latest broadcast; re-delivery is the ack.
+                    transport.send(
+                        src,
+                        DATA_TAG,
+                        IterMsg {
+                            iter: last_broadcast.0,
+                            data: last_broadcast.1.clone(),
+                        },
+                    );
+                    stats.messages_sent += 1;
+                }
+            }
             stash(env, t_conf, &mut inbox, &mut history, &mut stats);
         }
+
+        // ------------------------------------------------------------------
+        // Fault tolerance: scripted crashes, then speculate-through-loss
+        // promotion of the stuck queue head. Both no-ops without a policy.
+        // ------------------------------------------------------------------
+        if let Some(f) = &ft {
+            if next_crash < my_crashes.len() {
+                let c = my_crashes[next_crash];
+                let now = transport.now();
+                if now >= c.at {
+                    next_crash += 1;
+                    stats.peer_restarts += 1;
+                    // Volatile state dies with the machine: roll back to the
+                    // last confirmed checkpoint (the confirmed prefix
+                    // [0, t_conf) is durable — it was validated and
+                    // broadcast before the crash).
+                    if let Some(front) = exec_q.front() {
+                        app.restore(&front.pre);
+                    }
+                    t_exec = t_conf;
+                    for rec in exec_q.drain(..) {
+                        checkpoint_pool.push(rec.pre);
+                    }
+                    inbox.clear();
+                    for h in history.iter_mut() {
+                        *h = History::new(config.backward_window.max(1));
+                    }
+                    staleness.iter_mut().for_each(|s| *s = 0);
+                    front_waiting_since = None;
+                    starved_since = None;
+                    if let Some(r) = transport.recorder() {
+                        r.mark(
+                            obs_rank,
+                            c.at.as_nanos(),
+                            Mark::PeerCrashed { peer: obs_rank },
+                        );
+                        r.gauge(obs_rank, c.at.as_nanos(), Gauge::ExecQueueDepth, 0);
+                    }
+                    let wake = c.at + c.restart_after;
+                    if wake > now {
+                        let outage = wake.duration_since(now);
+                        transport.sleep(outage);
+                        stats.downtime += outage;
+                    }
+                    // Mail delivered while the machine was down is lost.
+                    while transport.try_recv().is_some() {}
+                    let t_up = transport.now();
+                    if let Some(r) = transport.recorder() {
+                        r.mark(
+                            obs_rank,
+                            t_up.as_nanos(),
+                            Mark::PeerRecovered { peer: obs_rank },
+                        );
+                    }
+                    // Ask every peer for its latest state to rebuild the
+                    // backward windows; the requests carry our own state.
+                    for k in 0..p {
+                        if k != me.0 {
+                            transport.send(
+                                Rank(k),
+                                RETRANS_REQ_TAG,
+                                IterMsg {
+                                    iter: last_broadcast.0,
+                                    data: last_broadcast.1.clone(),
+                                },
+                            );
+                            stats.messages_sent += 1;
+                            stats.retransmit_requests += 1;
+                        }
+                    }
+                    continue 'main;
+                }
+            }
+
+            let now = transport.now();
+            match exec_q.front() {
+                Some(rec) => {
+                    let changed = match front_waiting_since {
+                        Some((i, _)) => i != rec.iter,
+                        None => true,
+                    };
+                    if changed {
+                        front_waiting_since = Some((rec.iter, now));
+                    }
+                }
+                None => front_waiting_since = None,
+            }
+            if let Some((front_iter, since)) = front_waiting_since {
+                if now.duration_since(since) >= f.loss_timeout {
+                    // The oldest iteration has been stuck past the loss
+                    // timeout: declare its still-missing inputs lost and
+                    // promote their speculated values to committed ones.
+                    // Recording the promoted value keeps the backward
+                    // window anchored (a late actual for the same
+                    // iteration is ignored by the history's freshness
+                    // guard, so the promotion is final).
+                    let mut ask_retransmit: Vec<usize> = Vec::new();
+                    for k in 0..p {
+                        let have_actual = inbox
+                            .get(&front_iter)
+                            .map(|m| m.contains_key(&k))
+                            .unwrap_or(false);
+                        if have_actual {
+                            continue;
+                        }
+                        if matches!(exec_q[0].inputs[k], InputSlot::Speculated(_)) {
+                            let sv = match std::mem::replace(
+                                &mut exec_q[0].inputs[k],
+                                InputSlot::Validated,
+                            ) {
+                                InputSlot::Speculated(s) => s,
+                                _ => unreachable!(),
+                            };
+                            history[k].record(front_iter, sv);
+                            stats.speculate_through_loss_commits += 1;
+                            staleness[k] += 1;
+                            if staleness[k] >= f.staleness_budget
+                                && staleness[k].is_multiple_of(f.staleness_budget)
+                            {
+                                ask_retransmit.push(k);
+                            }
+                        }
+                    }
+                    for k in ask_retransmit {
+                        transport.send(
+                            Rank(k),
+                            RETRANS_REQ_TAG,
+                            IterMsg {
+                                iter: last_broadcast.0,
+                                data: last_broadcast.1.clone(),
+                            },
+                        );
+                        stats.messages_sent += 1;
+                        stats.retransmit_requests += 1;
+                    }
+                }
+            }
+        }
+
         let inbox_depth = inbox.len() as u64;
         if last_inbox_depth != Some(inbox_depth) {
             last_inbox_depth = Some(inbox_depth);
@@ -317,6 +509,9 @@ where
                 checked_at_confirm = stats.checked_partitions;
                 waited_since_confirm = SimDuration::ZERO;
                 if t_conf < total_iters {
+                    if ft.is_some() {
+                        last_broadcast = (t_conf, rec.produced.clone());
+                    }
                     broadcast(transport, &mut stats, p, me, t_conf, rec.produced);
                 }
                 // Everything below t_conf is fully consumed.
@@ -342,6 +537,16 @@ where
             }
         }
         let depth = t_exec - t_conf;
+        // Starvation breaker: with fault tolerance on, a rank that has had
+        // nothing in flight and nothing executable for a full loss timeout
+        // executes anyway, skipping inputs it cannot even extrapolate
+        // (e.g. iteration 0 under total loss, where no history exists).
+        let force_execute = match (&ft, starved_since) {
+            (Some(f), Some(s)) if exec_q.is_empty() => {
+                transport.now().duration_since(s) >= f.loss_timeout
+            }
+            _ => false,
+        };
         if t_exec < total_iters && depth < u64::from(window.max(1)) {
             let empty = HashMap::new();
             let avail = inbox.get(&t_exec).unwrap_or(&empty);
@@ -366,13 +571,18 @@ where
                         Some((sv, ops, a)) => speculations.push((k, sv, ops, a)),
                         None => {
                             speculable = false;
-                            break;
+                            if ft.is_none() {
+                                break;
+                            }
+                            // Under fault tolerance, keep collecting what
+                            // *can* be speculated: a forced execution uses
+                            // every extrapolation it has.
                         }
                     }
                 }
             }
 
-            if missing.is_empty() || speculable {
+            if missing.is_empty() || speculable || force_execute {
                 stats.executions += 1;
                 stats.max_depth_used = stats.max_depth_used.max(depth + 1);
                 let exec_start = transport.now();
@@ -384,6 +594,10 @@ where
 
                 let mut comp_ops = app.begin_iteration();
                 let mut spec_ops = 0u64;
+                // Peers whose staleness budget ran out during a forced
+                // execution (empty unless fault tolerance forced the skip
+                // path below, so the fault-free hot path never allocates).
+                let mut ask_retransmit: Vec<usize> = Vec::new();
                 for k in 0..p {
                     if k == me.0 {
                         continue;
@@ -391,11 +605,9 @@ where
                     if let Some(actual) = avail.get(&k) {
                         comp_ops += app.absorb(Rank(k), actual);
                         inputs[k] = InputSlot::Actual;
-                    } else {
-                        let (_, sv, ops, ahead) = speculations
-                            .iter()
-                            .find(|(kk, _, _, _)| *kk == k)
-                            .expect("speculation prepared for every missing peer");
+                    } else if let Some((_, sv, ops, ahead)) =
+                        speculations.iter().find(|(kk, _, _, _)| *kk == k)
+                    {
                         spec_ops += ops;
                         comp_ops += app.absorb(Rank(k), sv);
                         stats.speculated_partitions += 1;
@@ -410,9 +622,35 @@ where
                             );
                         }
                         inputs[k] = InputSlot::Speculated(sv.clone());
+                    } else {
+                        // Forced execution with no history to extrapolate
+                        // from: proceed without this peer's contribution.
+                        // Only reachable with fault tolerance on.
+                        debug_assert!(force_execute);
+                        stats.speculate_through_loss_commits += 1;
+                        staleness[k] += 1;
+                        if let Some(f) = &ft {
+                            if staleness[k] >= f.staleness_budget
+                                && staleness[k].is_multiple_of(f.staleness_budget)
+                            {
+                                ask_retransmit.push(k);
+                            }
+                        }
                     }
                 }
                 comp_ops += app.finish_iteration();
+                for k in ask_retransmit {
+                    transport.send(
+                        Rank(k),
+                        RETRANS_REQ_TAG,
+                        IterMsg {
+                            iter: last_broadcast.0,
+                            data: last_broadcast.1.clone(),
+                        },
+                    );
+                    stats.messages_sent += 1;
+                    stats.retransmit_requests += 1;
+                }
 
                 if spec_ops > 0 {
                     let t0 = transport.now();
@@ -483,26 +721,80 @@ where
                     );
                 }
                 t_exec += 1;
+                starved_since = None;
                 continue 'main;
             }
         }
 
         // ------------------------------------------------------------------
-        // Phase 3: nothing to compute — block for the next message.
+        // Phase 3: nothing to compute — block for the next message. With
+        // fault tolerance on, the wait is bounded by whichever comes first:
+        // the stuck queue head's loss timeout, the starvation timeout, or
+        // this rank's next scripted crash.
         // ------------------------------------------------------------------
         let t0 = transport.now();
-        let env = transport.recv();
+        let env = if let Some(f) = &ft {
+            if exec_q.is_empty() && starved_since.is_none() {
+                starved_since = Some(t0);
+            }
+            let mut deadline: Option<SimTime> = None;
+            let mut consider = |d: SimTime| {
+                deadline = Some(match deadline {
+                    Some(cur) if cur <= d => cur,
+                    _ => d,
+                });
+            };
+            if let Some((_, since)) = front_waiting_since {
+                consider(since + f.loss_timeout);
+            }
+            if let Some(s) = starved_since {
+                consider(s + f.loss_timeout);
+            }
+            if let Some(c) = my_crashes.get(next_crash) {
+                consider(c.at);
+            }
+            match deadline {
+                Some(d) if d > t0 => transport.recv_timeout(d.duration_since(t0)),
+                // A deadline is already due: act on it at the loop top.
+                Some(_) => None,
+                // Unreachable with fault tolerance on (one of the waits
+                // above is always armed), kept for safety.
+                None => Some(transport.recv()),
+            }
+        } else {
+            Some(transport.recv())
+        };
         let t1 = transport.now();
         let waited = t1 - t0;
         stats.phases.comm_wait += waited;
         waited_since_confirm += waited;
-        if let Some(r) = transport.recorder() {
-            r.span_begin(obs_rank, t0.as_nanos(), Phase::CommWait, Some(t_conf), None);
-            r.span_end(obs_rank, t1.as_nanos(), Phase::CommWait);
+        if waited > SimDuration::ZERO || ft.is_none() {
+            if let Some(r) = transport.recorder() {
+                r.span_begin(obs_rank, t0.as_nanos(), Phase::CommWait, Some(t_conf), None);
+                r.span_end(obs_rank, t1.as_nanos(), Phase::CommWait);
+            }
         }
-        stash(env, t_conf, &mut inbox, &mut history, &mut stats);
+        if let Some(env) = env {
+            if ft.is_some() {
+                let src = env.src;
+                staleness[src.0] = 0;
+                if env.tag == RETRANS_REQ_TAG {
+                    transport.send(
+                        src,
+                        DATA_TAG,
+                        IterMsg {
+                            iter: last_broadcast.0,
+                            data: last_broadcast.1.clone(),
+                        },
+                    );
+                    stats.messages_sent += 1;
+                }
+            }
+            stash(env, t_conf, &mut inbox, &mut history, &mut stats);
+        }
     }
 
+    stats.messages_lost = transport.fault_counters().dropped;
     stats.total_time = transport.now() - start;
     stats
 }
@@ -868,6 +1160,7 @@ mod tests {
             backward_window: 2,
             correction: CorrectionMode::Incremental,
             collect_log: false,
+            fault: None,
         };
         let iters = 40;
         let (out, _) = run_sim_cluster::<IterMsg<f64>, _, _>(
@@ -965,6 +1258,173 @@ mod tests {
             (xs, specs, end)
         };
         assert_eq!(run(), run());
+    }
+
+    // ---- fault tolerance ------------------------------------------------
+
+    use crate::config::FaultTolerance;
+    use mpk::{run_sim_cluster_with_faults, FaultSpec};
+    use netsim::{Loss, MachineCrash};
+
+    fn run_toy_with_faults(
+        p: usize,
+        iters: u64,
+        theta: f64,
+        config: SpecConfig,
+        latency_ms: u64,
+        faults: FaultSpec<IterMsg<f64>>,
+    ) -> Vec<(f64, RunStats)> {
+        let cluster = ClusterSpec::homogeneous(p, 100.0);
+        let (out, _) = run_sim_cluster_with_faults::<IterMsg<f64>, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(latency_ms)),
+            Unloaded,
+            faults,
+            false,
+            move |t| {
+                let mut app = Toy::new(t.rank().0, t.size(), theta);
+                let stats = run_speculative(t, &mut app, iters, config.clone());
+                (app.x, stats)
+            },
+        )
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn total_loss_with_fault_tolerance_still_terminates() {
+        // Loss(1.0): no message ever crosses the network. The staleness
+        // machinery must still drive every rank through all iterations.
+        let iters = 6;
+        let ft = FaultTolerance::new(SimDuration::from_millis(5)).with_staleness_budget(2);
+        let cfg = SpecConfig::speculative(1).with_fault_tolerance(ft);
+        let out = run_toy_with_faults(3, iters, 1e9, cfg, 1, FaultSpec::new(Loss::new(1.0, 11)));
+        for (x, stats) in &out {
+            assert!(x.is_finite());
+            assert_eq!(stats.iterations, iters, "rank must not deadlock");
+            assert!(stats.messages_lost > 0, "every send should be dropped");
+            assert!(
+                stats.speculate_through_loss_commits > 0,
+                "progress must come from promoted speculations"
+            );
+            assert!(
+                stats.retransmit_requests > 0,
+                "staleness budget should trigger retransmit requests"
+            );
+        }
+    }
+
+    #[test]
+    fn total_loss_without_speculation_window_still_terminates() {
+        // The hardest liveness case: FW=0 (baseline) plus total loss means
+        // no speculation machinery at all — only the starvation breaker
+        // can make progress.
+        let iters = 4;
+        let ft = FaultTolerance::new(SimDuration::from_millis(5));
+        let cfg = SpecConfig::baseline().with_fault_tolerance(ft);
+        let out = run_toy_with_faults(2, iters, 1e9, cfg, 1, FaultSpec::new(Loss::new(1.0, 3)));
+        for (x, stats) in &out {
+            assert!(x.is_finite());
+            assert_eq!(stats.iterations, iters);
+        }
+    }
+
+    #[test]
+    fn moderate_loss_stays_close_to_fault_free_run() {
+        // With a checked θ, every *delivered* speculation is validated or
+        // corrected, so both runs track the true trajectory; only promoted
+        // (lost) inputs carry unchecked extrapolation error. The drift must
+        // stay a small multiple of what θ already tolerates per input.
+        let p = 4;
+        let iters = 30;
+        let theta = 0.01;
+        let ft = FaultTolerance::new(SimDuration::from_millis(10));
+        let cfg = SpecConfig::speculative(2).with_fault_tolerance(ft);
+        let golden = run_toy(p, iters, theta, SpecConfig::speculative(2), 2).0;
+        let lossy =
+            run_toy_with_faults(p, iters, theta, cfg, 2, FaultSpec::new(Loss::new(0.05, 42)));
+        let mut promoted = 0;
+        for (j, (x, stats)) in lossy.iter().enumerate() {
+            assert_eq!(stats.iterations, iters);
+            promoted += stats.speculate_through_loss_commits;
+            let rel = (x - golden[j].0).abs() / golden[j].0.abs().max(1e-12);
+            assert!(
+                rel < 0.15,
+                "rank {j}: 5% loss drifted {rel:.2e} from fault-free"
+            );
+        }
+        assert!(promoted > 0, "5% loss must force some promotions");
+    }
+
+    #[test]
+    fn scripted_crash_recovers_from_checkpoint_and_completes() {
+        let p = 3;
+        let iters = 20;
+        let crash = MachineCrash {
+            rank: 1,
+            at: desim::SimTime::from_nanos(40_000_000),
+            restart_after: SimDuration::from_millis(15),
+        };
+        let ft = FaultTolerance::new(SimDuration::from_millis(8)).with_crashes(vec![crash]);
+        let cfg = SpecConfig::speculative(1).with_fault_tolerance(ft);
+        let out = run_toy_with_faults(p, iters, 1e9, cfg, 2, FaultSpec::none());
+        for (j, (x, stats)) in out.iter().enumerate() {
+            assert!(x.is_finite());
+            assert_eq!(stats.iterations, iters, "rank {j} must finish");
+        }
+        let crashed = &out[1].1;
+        assert_eq!(crashed.peer_restarts, 1);
+        assert!(crashed.downtime >= SimDuration::from_millis(10));
+        assert_eq!(
+            crashed.phases.total() + crashed.downtime,
+            crashed.total_time,
+            "downtime must account for the outage exactly"
+        );
+        assert_eq!(out[0].1.peer_restarts, 0);
+        assert!(
+            crashed.retransmit_requests >= (p as u64 - 1),
+            "restart must ask every peer for its state"
+        );
+    }
+
+    #[test]
+    fn fault_tolerant_config_on_reliable_net_matches_fault_free_values() {
+        // Same network, same app; the only difference is the bounded waits.
+        // Timing may differ (polling granularity) but committed values and
+        // message counts must not, and nothing may be promoted.
+        let p = 4;
+        let iters = 12;
+        let plain = run_toy(p, iters, 0.05, SpecConfig::speculative(1), 2).0;
+        let ft = FaultTolerance::new(SimDuration::from_millis(50));
+        let cfg = SpecConfig::speculative(1).with_fault_tolerance(ft);
+        let tolerant = run_toy_with_faults(p, iters, 0.05, cfg, 2, FaultSpec::none());
+        for (j, (x, stats)) in tolerant.iter().enumerate() {
+            assert_eq!(*x, plain[j].0, "rank {j} values must match exactly");
+            assert_eq!(stats.iterations, iters);
+            assert_eq!(stats.speculate_through_loss_commits, 0);
+            assert_eq!(stats.peer_restarts, 0);
+            assert_eq!(stats.messages_lost, 0);
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let ft = FaultTolerance::new(SimDuration::from_millis(6));
+            let cfg = SpecConfig::speculative(2).with_fault_tolerance(ft);
+            let out = run_toy_with_faults(3, 15, 1e9, cfg, 2, FaultSpec::new(Loss::new(0.2, seed)));
+            out.iter()
+                .map(|(x, s)| {
+                    (
+                        x.to_bits(),
+                        s.messages_lost,
+                        s.speculate_through_loss_commits,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9), "same seed must reproduce bit-exactly");
+        assert_ne!(run(9), run(10), "different seeds should differ");
     }
 }
 

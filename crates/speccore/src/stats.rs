@@ -91,6 +91,20 @@ pub struct RunStats {
     /// the run silently absorbed (drives the paper's Table 3 "max error
     /// in force" column).
     pub max_accepted_error: f64,
+    /// Messages the fault layer dropped from this rank's sends (loss,
+    /// partitions, crashed destinations). Zero on reliable transports.
+    pub messages_lost: u64,
+    /// Speculated inputs promoted to committed values because the actual
+    /// message was declared lost (speculate-through-loss commits).
+    pub speculate_through_loss_commits: u64,
+    /// Retransmit requests this rank sent to stale peers.
+    pub retransmit_requests: u64,
+    /// Times this rank crashed and re-seeded itself from its confirmed
+    /// checkpoint.
+    pub peer_restarts: u64,
+    /// Virtual time this rank spent down (crashed), excluded from the
+    /// phase breakdown: `phases.total() + downtime == total_time`.
+    pub downtime: SimDuration,
     /// Per-iteration timing records (empty unless the config enabled the
     /// iteration log).
     pub iteration_log: Vec<IterationLog>,
@@ -117,6 +131,11 @@ impl RunStats {
             messages_received: 0,
             max_depth_used: 0,
             max_accepted_error: 0.0,
+            messages_lost: 0,
+            speculate_through_loss_commits: 0,
+            retransmit_requests: 0,
+            peer_restarts: 0,
+            downtime: SimDuration::ZERO,
             iteration_log: Vec::new(),
         }
     }
@@ -216,6 +235,24 @@ impl ClusterStats {
     /// Total rollbacks across ranks.
     pub fn total_rollbacks(&self) -> u64 {
         self.per_rank.iter().map(|r| r.rollbacks).sum()
+    }
+
+    /// Total messages the fault layer dropped, across ranks.
+    pub fn total_messages_lost(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.messages_lost).sum()
+    }
+
+    /// Total speculate-through-loss commits, across ranks.
+    pub fn total_loss_commits(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.speculate_through_loss_commits)
+            .sum()
+    }
+
+    /// Total crash/restart cycles, across ranks.
+    pub fn total_restarts(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.peer_restarts).sum()
     }
 
     /// Largest error among accepted speculations, across ranks.

@@ -64,23 +64,28 @@ pub use workloads;
 pub mod prelude {
     pub use desim::{SimDuration, SimTime, Simulation};
     pub use mpk::{
-        run_sim_cluster, run_thread_cluster, Envelope, Rank, Tag, ThreadClusterOptions, Transport,
-        WireSize,
+        run_sim_cluster, run_sim_cluster_with_faults, run_thread_cluster,
+        run_thread_cluster_with_faults, Envelope, FaultCounters, FaultSpec, Rank, Tag,
+        ThreadClusterOptions, Transport, WireSize,
     };
     pub use nbody::{
         binary_pair, centered_cloud, colliding_clouds, partition_proportional, rotating_disk,
-        run_parallel, split_soa, uniform_cloud, NBodyApp, NBodyConfig, ParallelRunConfig,
-        PartitionShared, Soa3, SoaBodies, SpeculationOrder, Vec3,
+        run_parallel, run_parallel_with_faults, split_soa, uniform_cloud, NBodyApp, NBodyConfig,
+        ParallelRunConfig, ParallelRunResult, PartitionShared, Soa3, SoaBodies, SpeculationOrder,
+        Vec3,
     };
     pub use netsim::{
-        ClusterSpec, ConstantLatency, Jitter, LinkLatency, MachineSpec, NetworkModel, RandomSpikes,
-        ScriptedDelays, SharedMedium, TransientDelays, Unloaded,
+        ClusterSpec, ConstantLatency, Corrupt, CrashPlan, Duplicate, Fate, FaultModel, FaultPlan,
+        FaultStack, Jitter, LinkLatency, LinkPartition, Loss, MachineCrash, MachineSpec,
+        NetworkModel, NoFaults, RandomSpikes, ScriptedDelays, ScriptedFaults, SharedMedium,
+        TransientDelays, Unloaded,
     };
     pub use obs::{chrome_trace_string, RunReport, RunTrace, SharedRecorder};
     pub use perfmodel::{CommModel, ModelParams};
     pub use speccore::{
-        run_baseline, run_speculative, CheckOutcome, ClusterStats, CorrectionMode, History,
-        IterMsg, IterationLog, PhaseBreakdown, RunStats, SpecConfig, SpeculativeApp, WindowPolicy,
+        run_baseline, run_speculative, CheckOutcome, ClusterStats, CorrectionMode, FaultTolerance,
+        History, IterMsg, IterationLog, PhaseBreakdown, RunStats, SpecConfig, SpeculativeApp,
+        WindowPolicy,
     };
     pub use workloads::{
         Graph, Heat2dApp, Heat2dConfig, HeatApp, HeatConfig, JacobiApp, JacobiConfig, LinearSystem,

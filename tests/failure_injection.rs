@@ -139,6 +139,7 @@ fn adaptive_window_deepens_then_retreats() {
             backward_window: 2,
             correction: CorrectionMode::Incremental,
             collect_log: false,
+            fault: None,
         };
         let (outs, _) = run_sim_cluster::<IterMsg<Vec<f64>>, _, _>(
             &cluster,
@@ -197,6 +198,141 @@ fn deterministic_under_all_stochastic_models() {
         run(),
         "stochastic models must be reproducible from their seeds"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Real faults: messages that never arrive, not merely late ones.
+// ---------------------------------------------------------------------------
+
+fn run_synthetic_faulty(
+    net: impl NetworkModel + 'static,
+    faults: FaultSpec<IterMsg<Vec<f64>>>,
+    cfg: SpecConfig,
+    p: usize,
+    iters: u64,
+) -> (Vec<Vec<f64>>, Vec<RunStats>, f64) {
+    let n = 40;
+    let cluster = ClusterSpec::homogeneous(p, 10.0);
+    let ranges = even_ranges(n, p);
+    let (outs, report) = run_sim_cluster_with_faults::<IterMsg<Vec<f64>>, _, _>(
+        &cluster,
+        net,
+        Unloaded,
+        faults,
+        false,
+        move |t| {
+            let mut app = SyntheticApp::new(
+                n,
+                &ranges,
+                t.rank().0,
+                SyntheticConfig {
+                    theta: 0.3,
+                    jump_prob: 0.02,
+                    ..Default::default()
+                },
+            );
+            let stats = run_speculative(t, &mut app, iters, cfg.clone());
+            (app.values().to_vec(), stats)
+        },
+    )
+    .expect("run must survive injected faults");
+    let (values, stats): (Vec<_>, Vec<_>) = outs.into_iter().unzip();
+    (values, stats, report.end_time.as_secs_f64())
+}
+
+#[test]
+fn survives_random_message_loss() {
+    let ft = FaultTolerance::new(SimDuration::from_millis(40));
+    let cfg = SpecConfig::speculative(2).with_fault_tolerance(ft);
+    let (vals, stats, _) = run_synthetic_faulty(
+        ConstantLatency(SimDuration::from_millis(5)),
+        FaultSpec::new(Loss::new(0.1, 21)),
+        cfg,
+        4,
+        20,
+    );
+    let total_lost: u64 = stats.iter().map(|s| s.messages_lost).sum();
+    assert!(total_lost > 0, "10% loss over 240+ messages must drop some");
+    for (vs, s) in vals.iter().zip(&stats) {
+        assert_eq!(s.iterations, 20, "rank {} lost iterations", s.rank.0);
+        assert!(vs.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn survives_link_partition_window() {
+    // Ranks 0↔2 cannot talk for a mid-run window; both must speculate
+    // through it and resynchronize afterwards.
+    let part = LinkPartition {
+        a: 0,
+        b: 2,
+        from: SimTime::from_nanos(30_000_000),
+        until: SimTime::from_nanos(120_000_000),
+    };
+    let ft = FaultTolerance::new(SimDuration::from_millis(30));
+    let cfg = SpecConfig::speculative(2).with_fault_tolerance(ft);
+    let (vals, stats, _) = run_synthetic_faulty(
+        ConstantLatency(SimDuration::from_millis(5)),
+        FaultSpec::new(part),
+        cfg,
+        4,
+        25,
+    );
+    for (vs, s) in vals.iter().zip(&stats) {
+        assert_eq!(s.iterations, 25);
+        assert!(vs.iter().all(|v| v.is_finite()));
+    }
+    // Only the partitioned endpoints lose sends.
+    assert!(stats[0].messages_lost > 0);
+    assert!(stats[2].messages_lost > 0);
+    assert_eq!(stats[1].messages_lost, 0);
+    assert_eq!(stats[3].messages_lost, 0);
+    // And they must have promoted speculations to cross the outage.
+    assert!(stats[0].speculate_through_loss_commits > 0);
+    assert!(stats[2].speculate_through_loss_commits > 0);
+}
+
+#[test]
+fn loss_burst_inside_fault_plan_window_only() {
+    // Total loss during a burst window; clean before and after. The run
+    // completes, and losses happen only inside the window.
+    let plan = FaultPlan::new().window(
+        SimTime::from_nanos(50_000_000),
+        SimTime::from_nanos(100_000_000),
+        Loss::new(1.0, 5),
+    );
+    let ft = FaultTolerance::new(SimDuration::from_millis(25));
+    let cfg = SpecConfig::speculative(1).with_fault_tolerance(ft);
+    let (_, stats, _) = run_synthetic_faulty(
+        ConstantLatency(SimDuration::from_millis(4)),
+        FaultSpec::new(plan),
+        cfg,
+        3,
+        20,
+    );
+    let lost: u64 = stats.iter().map(|s| s.messages_lost).sum();
+    assert!(lost > 0, "the burst must drop something");
+    for s in &stats {
+        assert_eq!(s.iterations, 20);
+    }
+}
+
+#[test]
+fn faulty_runs_reproduce_per_seed() {
+    let run = |seed: u64| {
+        let ft = FaultTolerance::new(SimDuration::from_millis(40));
+        let cfg = SpecConfig::speculative(2).with_fault_tolerance(ft);
+        let (vals, stats, elapsed) = run_synthetic_faulty(
+            ConstantLatency(SimDuration::from_millis(5)),
+            FaultSpec::new(Loss::new(0.15, seed)),
+            cfg,
+            4,
+            15,
+        );
+        let lost: Vec<u64> = stats.iter().map(|s| s.messages_lost).collect();
+        (vals, lost, elapsed)
+    };
+    assert_eq!(run(33), run(33), "same fault seed must be bit-reproducible");
 }
 
 #[test]
