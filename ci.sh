@@ -12,6 +12,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q
 
+echo "== speccheck conformance & property suite (64 cases/property, fixed seeds)"
+# Differential conformance (sim vs thread transport, speculative vs
+# baseline under exact semantics), schedule-perturbation determinism,
+# and the invariant-oracle pack. The proptest shim derives a fixed seed
+# per test, so this gate is fully deterministic; the checked-in
+# regression corpus (crates/speccheck/proptest-regressions/) replays
+# every historical counterexample first.
+cargo test -q -p speccheck
+
+echo "== coverage audit (informational)"
+# Name-based audit of perfmodel/workloads public APIs against the test
+# corpus. Informational here; pass --strict to fail on gaps.
+ci/coverage_audit.sh | tail -n 3
+
 echo "== chaos suite (release, fixed seeds)"
 # Seed-matrix fault injection: composed loss/duplication/partitions plus
 # a scripted crash, asserting liveness, bounded error, and bit-exact

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Test-coverage audit: enumerate the public functions of the perfmodel
+# and workloads crates and report any that no test references.
+#
+# "Tested" means the function's name appears in test code somewhere in
+# the workspace: a top-level tests/ file, a crate's tests/ directory, or
+# an in-crate `#[cfg(test)]` module (test modules sit at the end of each
+# source file by workspace convention, so everything from the first
+# `#[cfg(test)]` marker onward counts).
+#
+# Usage:
+#   ci/coverage_audit.sh            # informational: always exits 0
+#   ci/coverage_audit.sh --strict   # exits 1 if any public fn is untested
+#
+# The audit is a heuristic (name-based), deliberately cheap and
+# dependency-free. Close reported gaps with targeted unit tests in
+# crates/speccheck/tests/coverage_gaps.rs.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STRICT=0
+[ "${1:-}" = "--strict" ] && STRICT=1
+
+AUDITED_CRATES="perfmodel workloads"
+
+# Build the test corpus: integration tests plus in-crate test modules.
+CORPUS="$(mktemp)"
+trap 'rm -f "$CORPUS"' EXIT
+for f in tests/*.rs crates/*/tests/*.rs; do
+  [ -f "$f" ] && cat "$f" >> "$CORPUS"
+done
+for f in crates/*/src/*.rs; do
+  awk '/#\[cfg\(test\)\]/{on=1} on' "$f" >> "$CORPUS"
+done
+
+total=0
+untested=0
+for crate in $AUDITED_CRATES; do
+  echo "== $crate =="
+  for src in crates/$crate/src/*.rs; do
+    # Public functions declared outside test modules; skip trait-impl
+    # methods by requiring the `pub` keyword (trait fns are not `pub`).
+    fns=$(awk '/#\[cfg\(test\)\]/{exit} /^[[:space:]]*pub fn [a-z_]/{match($0, /pub fn [a-z_0-9]+/); print substr($0, RSTART+7, RLENGTH-7)}' "$src" | sort -u)
+    for fn in $fns; do
+      # Constructors/accessors named like std conventions give too many
+      # false "tested" positives on bare-word search; require the call
+      # shape `name(` or `::name` to count.
+      total=$((total + 1))
+      if grep -Eq "(\.|::| )$fn\(" "$CORPUS"; then
+        echo "  tested    $fn  ($(basename "$src"))"
+      else
+        echo "  UNTESTED  $fn  ($(basename "$src"))"
+        untested=$((untested + 1))
+      fi
+    done
+  done
+done
+
+echo
+echo "coverage audit: $((total - untested))/$total public functions referenced by tests"
+if [ "$untested" -gt 0 ]; then
+  echo "gaps: $untested (close them in crates/speccheck/tests/coverage_gaps.rs)"
+  [ "$STRICT" = "1" ] && exit 1
+fi
+exit 0

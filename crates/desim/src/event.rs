@@ -1,9 +1,15 @@
 //! The event queue at the heart of the simulator.
 //!
-//! Events are totally ordered by `(time, seq)` where `seq` is a monotonically
-//! increasing counter assigned at insertion. This makes the schedule
-//! deterministic: two events at the same virtual time fire in the order they
-//! were scheduled.
+//! Events are totally ordered by `(time, tie, seq)` where `seq` is a
+//! monotonically increasing counter assigned at insertion and `tie` is
+//! derived from `seq` by the queue's [`TieBreak`] policy. Under the default
+//! [`TieBreak::Fifo`] every `tie` is zero, so two events at the same
+//! virtual time fire in the order they were scheduled — the kernel's
+//! historical behavior, bit for bit. The other policies perturb only the
+//! order of *same-time* events (the schedules a real machine is free to
+//! interleave either way) while keeping the whole run deterministic, which
+//! is what lets a test assert that a result does not secretly depend on
+//! delivery tie-breaks.
 
 use std::any::Any;
 use std::cmp::Ordering;
@@ -40,13 +46,51 @@ pub struct EventKey {
     pub seq: u64,
 }
 
+/// How events scheduled for the *same* virtual time are ordered.
+///
+/// Any policy yields a fully deterministic run (the ordering stays total —
+/// `seq` remains the final tie-break); non-default policies deterministically
+/// permute the same-time delivery order, exposing code whose result quietly
+/// depends on which of two simultaneous events fires first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Insertion order (the default, and the historical behavior).
+    #[default]
+    Fifo,
+    /// Reverse insertion order.
+    Lifo,
+    /// Pseudo-random order, keyed by this salt (splitmix64 of the
+    /// insertion counter). Different salts give different — but each fully
+    /// reproducible — same-time permutations.
+    Seeded(u64),
+}
+
+impl TieBreak {
+    fn tie(self, seq: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => 0,
+            TieBreak::Lifo => u64::MAX - seq,
+            TieBreak::Seeded(salt) => splitmix64(seq ^ salt),
+        }
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 pub(crate) struct Event {
     pub key: EventKey,
     pub kind: EventKind,
+    /// Policy-derived tie value; orders events sharing `key.time`.
+    tie: u64,
 }
 
 // BinaryHeap is a max-heap; invert the comparison so the earliest event pops
-// first. Only the key participates in ordering.
+// first. Only (time, tie, seq) participates in ordering.
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key
@@ -60,7 +104,7 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.key.cmp(&self.key)
+        (other.key.time, other.tie, other.key.seq).cmp(&(self.key.time, self.tie, self.key.seq))
     }
 }
 
@@ -69,12 +113,19 @@ impl Ord for Event {
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
     next_seq: u64,
+    tie_break: TieBreak,
 }
 
 impl EventQueue {
     /// An empty queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the same-time ordering policy. Applies to events pushed from
+    /// now on; call before scheduling anything (the kernel does).
+    pub fn set_tie_break(&mut self, tie_break: TieBreak) {
+        self.tie_break = tie_break;
     }
 
     /// Schedule `kind` to fire at `time`. Returns the assigned key.
@@ -84,7 +135,11 @@ impl EventQueue {
             seq: self.next_seq,
         };
         self.next_seq += 1;
-        self.heap.push(Event { key, kind });
+        self.heap.push(Event {
+            key,
+            kind,
+            tie: self.tie_break.tie(key.seq),
+        });
         key
     }
 
@@ -174,6 +229,63 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn lifo_reverses_same_time_order_only() {
+        let mut q = EventQueue::new();
+        q.set_tie_break(TieBreak::Lifo);
+        let t = SimTime::from_nanos(5);
+        q.push(SimTime::from_nanos(1), wake(9)); // earlier time still first
+        for pid in 0..4 {
+            q.push(t, wake(pid));
+        }
+        assert_eq!(pop_pid(&mut q), (SimTime::from_nanos(1), 9));
+        for pid in (0..4).rev() {
+            assert_eq!(pop_pid(&mut q), (t, pid));
+        }
+    }
+
+    #[test]
+    fn seeded_tiebreak_is_reproducible_and_salt_sensitive() {
+        let order = |salt: u64| {
+            let mut q = EventQueue::new();
+            q.set_tie_break(TieBreak::Seeded(salt));
+            let t = SimTime::from_nanos(3);
+            for pid in 0..16 {
+                q.push(t, wake(pid));
+            }
+            let mut out = Vec::new();
+            while let Some(e) = q.pop() {
+                if let EventKind::Wake(pid) = e.kind {
+                    out.push(pid.0);
+                }
+            }
+            out
+        };
+        assert_eq!(order(7), order(7), "same salt, same permutation");
+        assert_ne!(order(7), order(8), "different salts must differ");
+        let mut sorted = order(7);
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            (0..16).collect::<Vec<_>>(),
+            "a permutation, not a filter"
+        );
+    }
+
+    #[test]
+    fn fifo_is_the_default_and_matches_insertion_order() {
+        assert_eq!(TieBreak::default(), TieBreak::Fifo);
+        let mut q = EventQueue::new();
+        q.set_tie_break(TieBreak::Fifo);
+        let t = SimTime::from_nanos(5);
+        for pid in 0..10 {
+            q.push(t, wake(pid));
+        }
+        for pid in 0..10 {
+            assert_eq!(pop_pid(&mut q), (t, pid));
+        }
     }
 
     #[test]

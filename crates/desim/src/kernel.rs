@@ -156,6 +156,14 @@ impl Simulation {
         self.tracing_enabled.store(true, Ordering::Relaxed);
     }
 
+    /// Set how events scheduled at the same virtual time are ordered
+    /// (default: [`TieBreak::Fifo`], insertion order). Must be called
+    /// before [`run`](Self::run); used by conformance tests to prove a
+    /// result does not depend on same-time delivery tie-breaks.
+    pub fn set_tie_break(&mut self, tie_break: crate::event::TieBreak) {
+        self.queue.set_tie_break(tie_break);
+    }
+
     /// Attach a structured [`Recorder`]. The kernel samples its event-heap
     /// size into it (as [`Gauge::EventHeapSize`] under
     /// [`obs::Event::KERNEL_RANK`]) every [`HEAP_SAMPLE_INTERVAL`] events.

@@ -55,7 +55,7 @@ pub mod rng;
 mod time;
 mod trace;
 
-pub use event::{EventKey, EventKind, EventQueue, Payload};
+pub use event::{EventKey, EventKind, EventQueue, Payload, TieBreak};
 pub use kernel::{preload_message, SimError, SimReport, Simulation};
 pub use mailbox::MailboxId;
 pub use process::{ProcessHandle, ProcessId, ProcessResult};

@@ -23,7 +23,10 @@ mod threads;
 mod transport;
 mod types;
 
-pub use sim::{run_sim_cluster, run_sim_cluster_with_faults, Corruptor, FaultSpec, SimTransport};
+pub use sim::{
+    run_sim_cluster, run_sim_cluster_with_faults, run_sim_cluster_with_options, Corruptor,
+    FaultSpec, SimClusterOptions, SimTransport,
+};
 pub use threads::{
     run_thread_cluster, run_thread_cluster_with_faults, ThreadClusterOptions, ThreadTransport,
 };

@@ -5,7 +5,9 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use desim::{MailboxId, ProcessHandle, SimDuration, SimError, SimReport, SimTime, Simulation};
+use desim::{
+    MailboxId, ProcessHandle, SimDuration, SimError, SimReport, SimTime, Simulation, TieBreak,
+};
 use netsim::{
     ClusterSpec, CrashPlan, FaultModel, LoadModel, MachineSpec, MsgCtx, NetworkModel, NoFaults,
 };
@@ -376,10 +378,53 @@ where
     R: Send + 'static,
     F: for<'a, 'h> Fn(&mut SimTransport<'a, 'h, M>) -> R + Send + Sync + 'static,
 {
+    run_sim_cluster_with_options(
+        cluster,
+        net,
+        load,
+        faults,
+        SimClusterOptions {
+            trace,
+            ..SimClusterOptions::default()
+        },
+        f,
+    )
+}
+
+/// Kernel-level options of a simulated cluster run, beyond the
+/// network/load/fault models. `Default` reproduces
+/// [`run_sim_cluster_with_faults`] exactly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimClusterOptions {
+    /// Record per-process trace annotations into the [`SimReport`].
+    pub trace: bool,
+    /// How simultaneous events are ordered ([`TieBreak::Fifo`] is the
+    /// historical insertion order). Conformance tests re-run a scenario
+    /// under [`TieBreak::Lifo`]/[`TieBreak::Seeded`] to prove its result
+    /// does not hinge on same-virtual-time delivery tie-breaks.
+    pub tie_break: TieBreak,
+}
+
+/// [`run_sim_cluster_with_faults`] with explicit [`SimClusterOptions`]
+/// (trace collection and same-time event ordering).
+pub fn run_sim_cluster_with_options<M, R, F>(
+    cluster: &ClusterSpec,
+    net: impl NetworkModel + 'static,
+    load: impl LoadModel + 'static,
+    faults: FaultSpec<M>,
+    options: SimClusterOptions,
+    f: F,
+) -> Result<(Vec<R>, SimReport), SimError>
+where
+    M: WireSize + Clone + Send + 'static,
+    R: Send + 'static,
+    F: for<'a, 'h> Fn(&mut SimTransport<'a, 'h, M>) -> R + Send + Sync + 'static,
+{
     let mut sim = Simulation::new();
-    if trace {
+    if options.trace {
         sim.enable_tracing();
     }
+    sim.set_tie_break(options.tie_break);
     let p = cluster.len();
     let mailboxes: Vec<MailboxId> = (0..p).map(|_| sim.create_mailbox()).collect();
     let shared = Arc::new(Mutex::new(SharedNet {
@@ -692,6 +737,76 @@ mod tests {
             (outs, report.end_time)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn default_options_match_plain_faulted_run_bit_for_bit() {
+        let body = |t: &mut SimTransport<'_, '_, (u64, f64)>| {
+            let mut acc = 0.0f64;
+            for round in 0..4u64 {
+                t.broadcast(Tag(0), (round, t.rank().0 as f64));
+                for _ in 0..t.size() - 1 {
+                    acc += t.recv().msg.1;
+                }
+                t.compute(5_000);
+            }
+            (t.now().as_nanos(), acc)
+        };
+        let run = |with_options: bool| {
+            let cluster = ClusterSpec::homogeneous(4, 10.0);
+            let net = SharedMedium::new(SimDuration::from_micros(100), 2e6);
+            let (outs, report) = if with_options {
+                run_sim_cluster_with_options::<(u64, f64), _, _>(
+                    &cluster,
+                    net,
+                    Unloaded,
+                    FaultSpec::none(),
+                    SimClusterOptions::default(),
+                    body,
+                )
+                .unwrap()
+            } else {
+                run_sim_cluster_with_faults::<(u64, f64), _, _>(
+                    &cluster,
+                    net,
+                    Unloaded,
+                    FaultSpec::none(),
+                    false,
+                    body,
+                )
+                .unwrap()
+            };
+            (outs, report.end_time)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn seeded_tiebreak_runs_are_reproducible() {
+        let run = |salt: u64| {
+            let cluster = ClusterSpec::homogeneous(4, 10.0);
+            let (outs, report) = run_sim_cluster_with_options::<u64, _, _>(
+                &cluster,
+                ConstantLatency(SimDuration::from_millis(1)),
+                Unloaded,
+                FaultSpec::none(),
+                SimClusterOptions {
+                    trace: false,
+                    tie_break: TieBreak::Seeded(salt),
+                },
+                |t| {
+                    // Every rank broadcasts at t=0: all deliveries are
+                    // simultaneous, so the tie-break decides their order.
+                    t.broadcast(Tag(0), t.rank().0 as u64);
+                    (0..t.size() - 1).map(|_| t.recv().msg).sum::<u64>()
+                },
+            )
+            .unwrap();
+            (outs, report.end_time)
+        };
+        assert_eq!(run(3), run(3), "same salt must reproduce exactly");
+        // Sums are order-independent, so even reordered deliveries agree.
+        assert_eq!(run(3).0, run(4).0);
     }
 
     #[test]

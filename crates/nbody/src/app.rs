@@ -191,6 +191,17 @@ impl NBodyApp {
         self.ranges[self.me].clone()
     }
 
+    /// Bit-exact fingerprint of this rank's positions and velocities.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = obs::Fingerprint::new();
+        for soa in [&self.pos, &self.vel] {
+            fp.write_f64s(&soa.x);
+            fp.write_f64s(&soa.y);
+            fp.write_f64s(&soa.z);
+        }
+        fp.finish()
+    }
+
     /// Centroid of my partition, the cheap stand-in for the per-pair
     /// denominator of eq. 11 (keeps checking at the paper's ~24 ops per
     /// particle instead of another O(N_i·N_k) pass).

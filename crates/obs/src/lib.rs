@@ -27,6 +27,7 @@
 
 pub mod chrome;
 pub mod event;
+pub mod fingerprint;
 pub mod json;
 pub mod recorder;
 pub mod report;
@@ -35,6 +36,7 @@ pub mod trace;
 
 pub use chrome::{chrome_trace, chrome_trace_string};
 pub use event::{Event, EventKind, Gauge, Mark, Phase};
+pub use fingerprint::{fingerprint_f64s, Fingerprint};
 pub use json::Json;
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder, SharedRecorder};
 pub use report::{Histogram, RankReport, RunReport};

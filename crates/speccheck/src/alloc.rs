@@ -1,17 +1,21 @@
-//! Shared counting-allocator harness for zero-allocation tests.
+//! Counting-allocator harness for zero-allocation oracles.
 //!
-//! Included via `#[path]` from each test binary that needs it (this
-//! directory is not auto-discovered as a test target); the including
-//! binary must register the allocator itself:
+//! A test binary that wants to assert "this hot path does not touch the
+//! heap" registers [`CountingAlloc`] as its global allocator and brackets
+//! the measured region with [`allocations_here`] (or uses [`count`]):
 //!
 //! ```ignore
-//! #[path = "support/counting_alloc.rs"]
-//! mod counting_alloc;
-//! use counting_alloc::{allocations_here, CountingAlloc};
+//! use speccheck::alloc::{allocations_here, count, CountingAlloc};
 //!
 //! #[global_allocator]
 //! static GLOBAL: CountingAlloc = CountingAlloc;
+//!
+//! let (allocs, _) = count(|| hot_path());
+//! assert_eq!(allocs, 0);
 //! ```
+//!
+//! The tallies are thread-local so concurrently running tests cannot
+//! disturb each other's measurement windows.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -43,4 +47,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
 /// Heap allocations (alloc + realloc) observed on this thread so far.
 pub fn allocations_here() -> u64 {
     ALLOCS.with(|c| c.get())
+}
+
+/// Run `f` and return how many heap allocations it performed on this
+/// thread, alongside its result. Only meaningful when [`CountingAlloc`]
+/// is the registered global allocator of the running binary.
+pub fn count<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocations_here();
+    let out = f();
+    (allocations_here() - before, out)
 }

@@ -1,0 +1,125 @@
+//! Golden-file comparison with a uniform regeneration workflow.
+//!
+//! Every golden-file test in the workspace funnels through
+//! [`assert_matches_golden`]: on mismatch the failure message names the
+//! first differing line and tells the reader the exact command that
+//! regenerates the file (`SPEC_UPDATE_GOLDENS=1 cargo test ...`), so a
+//! legitimate output change never requires archaeology.
+
+use std::path::Path;
+
+/// Environment variable that switches golden tests from *compare* to
+/// *regenerate*: when set to `1` the expected file is overwritten with
+/// the actual output and the test passes.
+pub const UPDATE_ENV: &str = "SPEC_UPDATE_GOLDENS";
+
+/// True when the current process was asked to regenerate goldens.
+pub fn updating() -> bool {
+    std::env::var(UPDATE_ENV).map(|v| v == "1").unwrap_or(false)
+}
+
+/// Compare `actual` against the golden file at `path`.
+///
+/// With `SPEC_UPDATE_GOLDENS=1` the golden is rewritten instead and the
+/// assertion passes. Otherwise a missing golden or any difference panics
+/// with the first differing line of each side and the regeneration
+/// command.
+pub fn assert_matches_golden(path: &Path, actual: &str) {
+    if updating() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create golden dir");
+        }
+        std::fs::write(path, actual).expect("write golden file");
+        eprintln!("regenerated golden {}", path.display());
+        return;
+    }
+    let expected = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => panic!(
+            "missing golden file {} ({e}); run with {UPDATE_ENV}=1 to create it",
+            path.display()
+        ),
+    };
+    if expected == actual {
+        return;
+    }
+    let (line_no, want, got) = first_diff(&expected, actual);
+    panic!(
+        "output differs from golden {} at line {line_no}:\n  golden: {want}\n  actual: {got}\n\
+         if the change is intentional, regenerate with {UPDATE_ENV}=1 \
+         (e.g. `{UPDATE_ENV}=1 cargo test`) and review the diff",
+        path.display()
+    );
+}
+
+/// First line where the two texts differ: 1-based line number plus each
+/// side's line (`<end of file>` when one side is shorter).
+fn first_diff(expected: &str, actual: &str) -> (usize, String, String) {
+    let mut want = expected.lines();
+    let mut got = actual.lines();
+    let mut line_no = 0;
+    loop {
+        line_no += 1;
+        match (want.next(), got.next()) {
+            (Some(w), Some(g)) if w == g => continue,
+            (Some(w), Some(g)) => return (line_no, w.to_string(), g.to_string()),
+            (Some(w), None) => return (line_no, w.to_string(), "<end of file>".into()),
+            (None, Some(g)) => return (line_no, "<end of file>".into(), g.to_string()),
+            (None, None) => {
+                // Same lines but different raw text (trailing whitespace
+                // or final newline).
+                return (
+                    line_no,
+                    format!("<{} bytes>", expected.len()),
+                    format!(
+                        "<{} bytes> (line split identical; bytes differ)",
+                        actual.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_text_passes() {
+        let dir = std::env::temp_dir().join("speccheck-golden-pass");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.txt");
+        std::fs::write(&path, "one\ntwo\n").unwrap();
+        assert_matches_golden(&path, "one\ntwo\n");
+    }
+
+    #[test]
+    fn first_diff_reports_line_number() {
+        let (n, w, g) = first_diff("a\nb\nc\n", "a\nX\nc\n");
+        assert_eq!((n, w.as_str(), g.as_str()), (2, "b", "X"));
+        let (n, _, g) = first_diff("a\nb\n", "a\n");
+        assert_eq!((n, g.as_str()), (2, "<end of file>"));
+    }
+
+    #[test]
+    fn mismatch_names_the_env_var_and_diff_line() {
+        if updating() {
+            // Under `SPEC_UPDATE_GOLDENS=1` the mismatch path is
+            // unreachable by design; nothing to test.
+            return;
+        }
+        let dir = std::env::temp_dir().join("speccheck-golden-fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.txt");
+        std::fs::write(&path, "one\n").unwrap();
+        let err = std::panic::catch_unwind(|| assert_matches_golden(&path, "two\n"))
+            .expect_err("mismatch must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(
+            msg.contains(UPDATE_ENV),
+            "message must name {UPDATE_ENV}: {msg}"
+        );
+        assert!(msg.contains("line 1"), "message must name the line: {msg}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Differential run harness: execute one described scenario under
+//! different transports, drivers, fault specs, or event tie-breaks, and
+//! reduce each run to per-rank state fingerprints plus driver stats so
+//! properties can compare runs bit-for-bit.
+
+use crate::scenario::{SpecParams, SyntheticScenario};
+use desim::TieBreak;
+use mpk::{
+    run_sim_cluster_with_options, run_thread_cluster, FaultSpec, SimClusterOptions,
+    ThreadClusterOptions, Transport,
+};
+use speccore::{run_baseline, run_speculative, IterMsg, RunStats, SpecConfig};
+
+/// What a conformance run reduces to: one state fingerprint and one
+/// [`RunStats`] per rank, plus the run's virtual end time (0 for thread
+/// runs, whose wall clock is not comparable).
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Per-rank bit-exact fingerprints of the final workload state.
+    pub fingerprints: Vec<u64>,
+    /// Per-rank driver statistics.
+    pub stats: Vec<RunStats>,
+    /// Virtual end time in seconds (simulation runs only).
+    pub elapsed: f64,
+}
+
+/// How to drive the app: the plain non-speculative loop or the
+/// speculative driver under a given configuration.
+#[derive(Clone, Debug)]
+pub enum DriverMode {
+    /// [`run_baseline`]: block on every message (the paper's Figure 1).
+    Baseline,
+    /// [`run_speculative`] under the given config (Figure 3).
+    Speculative(SpecConfig),
+}
+
+impl DriverMode {
+    /// The speculative mode for a grid point.
+    pub fn from_params(params: &SpecParams) -> Self {
+        DriverMode::Speculative(params.build())
+    }
+}
+
+/// Run the scenario's synthetic app on any transport and reduce to
+/// (fingerprint, stats). This is the *one* definition both the simulated
+/// and the threaded differential arms execute — the runs differ only in
+/// the transport handed in.
+pub fn drive_synthetic<T: Transport<Msg = IterMsg<Vec<f64>>>>(
+    t: &mut T,
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+) -> (u64, RunStats) {
+    let ranges = sc.ranges();
+    let mut app = workloads::SyntheticApp::new(sc.n, &ranges, t.rank().0, sc.app_cfg(theta));
+    let stats = match mode {
+        DriverMode::Baseline => run_baseline(t, &mut app, sc.iters),
+        DriverMode::Speculative(cfg) => run_speculative(t, &mut app, sc.iters, cfg.clone()),
+    };
+    (app.fingerprint(), stats)
+}
+
+/// Run the scenario on the virtual-time simulator, fault-free, under the
+/// given event tie-break.
+pub fn run_sim(sc: &SyntheticScenario, theta: f64, mode: &DriverMode, tie: TieBreak) -> RunOutput {
+    run_sim_with_faults(sc, theta, mode, FaultSpec::none(), tie)
+}
+
+/// Run the scenario on the virtual-time simulator with an explicit fault
+/// spec and event tie-break.
+pub fn run_sim_with_faults(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    faults: FaultSpec<IterMsg<Vec<f64>>>,
+    tie: TieBreak,
+) -> RunOutput {
+    let scenario = sc.clone();
+    let mode = mode.clone();
+    let (outs, report) = run_sim_cluster_with_options::<IterMsg<Vec<f64>>, _, _>(
+        &sc.cluster(),
+        sc.net(),
+        netsim::Unloaded,
+        faults,
+        SimClusterOptions {
+            tie_break: tie,
+            ..Default::default()
+        },
+        move |t| drive_synthetic(t, &scenario, theta, &mode),
+    )
+    .expect("generated scenario must complete");
+    let (fingerprints, stats) = outs.into_iter().unzip();
+    RunOutput {
+        fingerprints,
+        stats,
+        elapsed: report.end_time.as_secs_f64(),
+    }
+}
+
+/// Run the scenario on real OS threads (in-process mailboxes, no
+/// injected latency — the values, not the timing, are under test).
+pub fn run_thread(sc: &SyntheticScenario, theta: f64, mode: &DriverMode) -> RunOutput {
+    let scenario = sc.clone();
+    let mode = mode.clone();
+    let outs = run_thread_cluster::<IterMsg<Vec<f64>>, _, _>(
+        sc.p,
+        ThreadClusterOptions::default(),
+        move |t| drive_synthetic(t, &scenario, theta, &mode),
+    );
+    let (fingerprints, stats) = outs.into_iter().unzip();
+    RunOutput {
+        fingerprints,
+        stats,
+        elapsed: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::synthetic_scenario;
+    use proptest::{Strategy, TestRng};
+
+    #[test]
+    fn sim_run_is_reproducible_bit_for_bit() {
+        let sc = synthetic_scenario().sample(&mut TestRng::from_state(7));
+        let mode = DriverMode::Speculative(SpecConfig::speculative(2));
+        let a = run_sim(&sc, 0.2, &mode, TieBreak::Fifo);
+        let b = run_sim(&sc, 0.2, &mode, TieBreak::Fifo);
+        assert_eq!(a.fingerprints, b.fingerprints);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn baseline_mode_never_speculates() {
+        let sc = synthetic_scenario().sample(&mut TestRng::from_state(8));
+        let out = run_sim(&sc, 0.2, &DriverMode::Baseline, TieBreak::Fifo);
+        assert_eq!(out.fingerprints.len(), sc.p);
+        for s in &out.stats {
+            assert_eq!(s.speculated_partitions, 0);
+            assert_eq!(s.iterations, sc.iters);
+        }
+    }
+}

@@ -91,6 +91,11 @@ impl HeatApp {
         &self.u
     }
 
+    /// Bit-exact fingerprint of the strip's temperatures.
+    pub fn fingerprint(&self) -> u64 {
+        obs::fingerprint_f64s(&self.u)
+    }
+
     fn is_left_neighbor(&self, k: usize) -> bool {
         self.me > 0 && k == self.me - 1
     }

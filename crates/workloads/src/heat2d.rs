@@ -103,6 +103,11 @@ impl Heat2dApp {
         &self.u
     }
 
+    /// Bit-exact fingerprint of the strip's cells.
+    pub fn fingerprint(&self) -> u64 {
+        obs::fingerprint_f64s(&self.u)
+    }
+
     /// Grid dimensions of this strip (rows, cols).
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)

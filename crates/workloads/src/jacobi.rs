@@ -112,6 +112,11 @@ impl JacobiApp {
     pub fn values(&self) -> &[f64] {
         &self.x
     }
+
+    /// Bit-exact fingerprint of my slice of the iterate.
+    pub fn fingerprint(&self) -> u64 {
+        obs::fingerprint_f64s(&self.x)
+    }
 }
 
 /// Accumulate `a_ij·x_j` for `j` in the `cols` column block into every

@@ -105,6 +105,11 @@ impl PageRankApp {
         &self.r
     }
 
+    /// Bit-exact fingerprint of my nodes' scores.
+    pub fn fingerprint(&self) -> u64 {
+        obs::fingerprint_f64s(&self.r)
+    }
+
     /// Add the contributions of partition `k` (scores `xs`) into `acc`.
     /// Returns edges scanned.
     fn scatter(&mut self, k: usize, xs: &[f64]) -> u64 {

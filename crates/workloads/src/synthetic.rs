@@ -104,6 +104,11 @@ impl SyntheticApp {
         &self.x
     }
 
+    /// Bit-exact fingerprint of this rank's variables.
+    pub fn fingerprint(&self) -> u64 {
+        obs::fingerprint_f64s(&self.x)
+    }
+
     /// Number of owned variables.
     pub fn len(&self) -> usize {
         self.x.len()

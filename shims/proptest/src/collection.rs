@@ -37,12 +37,35 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.max_exclusive - self.size.min) as u64;
         let len = self.size.min + rng.below(span.max(1)) as usize;
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first (fewer elements), respecting the
+        // minimum length, then per-element shrinks of the survivors.
+        if value.len() > self.size.min {
+            let half = self.size.min.max(value.len() / 2);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

@@ -8,8 +8,13 @@
 //!
 //! Semantics: each property runs [`ProptestConfig::cases`] times with
 //! inputs drawn from a generator seeded deterministically from the test's
-//! module path and name, so failures reproduce run-to-run. There is **no
-//! shrinking** — a failing case reports its case index and message only.
+//! module path and name, so failures reproduce run-to-run. A failing case
+//! is **shrunk** (greedy, per [`Strategy::shrink`] candidates) before the
+//! panic reports it, and its RNG state is appended to a regression-corpus
+//! file under `<crate>/proptest-regressions/` (one `cc <hex>` line per
+//! counterexample, mirroring upstream proptest's `cc` entries). States
+//! already in the corpus are replayed before any fresh cases, so
+//! checked-in counterexamples are re-tested on every run.
 
 #![warn(missing_docs)]
 
@@ -56,6 +61,18 @@ impl TestRng {
         TestRng { state: h }
     }
 
+    /// Resume from a previously captured [`state`](Self::state) — the
+    /// regression corpus stores these, one per failing case.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The current generator state. Captured immediately before a case is
+    /// sampled, it replays that case exactly via [`from_state`](Self::from_state).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -74,6 +91,162 @@ impl TestRng {
     pub fn below(&mut self, bound: u64) -> u64 {
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
+}
+
+/// Regression-corpus bookkeeping: where counterexample RNG states live
+/// and how they are read back. Used by the [`proptest!`] expansion; public
+/// so harnesses that drive strategies by hand can share the format.
+pub mod corpus {
+    use std::cell::Cell;
+    use std::path::{Path, PathBuf};
+
+    thread_local! {
+        static DISABLED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Suppress corpus writes from this thread (tests that fail on
+    /// purpose). Thread-local so parallel tests cannot disturb each other.
+    pub fn disable_persistence_for_this_thread() {
+        DISABLED.with(|d| d.set(true));
+    }
+
+    /// Corpus file for a test, e.g.
+    /// `<manifest>/proptest-regressions/my_mod-my_test.txt`. The `::`
+    /// separators of the test path become `-` so the name stays portable.
+    pub fn path_for(manifest_dir: &str, test_ident: &str) -> PathBuf {
+        let file = test_ident.replace("::", "-");
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{file}.txt"))
+    }
+
+    /// Stored counterexample states: every `cc <hex>` line of the file.
+    /// A missing or unreadable file is an empty corpus, not an error.
+    pub fn states(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|l| l.trim().strip_prefix("cc "))
+            .filter_map(|h| {
+                let h = h.trim().trim_start_matches("0x");
+                u64::from_str_radix(h, 16).ok()
+            })
+            .collect()
+    }
+
+    /// Append one counterexample state (idempotent: already-recorded
+    /// states are skipped). IO failures are ignored — recording a
+    /// regression must never mask the test failure being reported.
+    /// Suppressed by `PROPTEST_DISABLE_PERSISTENCE` in the environment or
+    /// [`disable_persistence_for_this_thread`].
+    pub fn append(path: &Path, state: u64) {
+        if DISABLED.with(|d| d.get()) || std::env::var_os("PROPTEST_DISABLE_PERSISTENCE").is_some()
+        {
+            return;
+        }
+        if states(path).contains(&state) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let header = if path.exists() {
+            String::new()
+        } else {
+            "# proptest regression corpus: one `cc <hex rng state>` per stored\n\
+             # counterexample. Replayed before fresh cases on every run; append\n\
+             # new entries (or let a failing run do it) and check them in.\n"
+                .to_string()
+        };
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = write!(f, "{header}");
+            let _ = writeln!(f, "cc {state:#018x}");
+        }
+    }
+}
+
+/// Identity helper for the [`proptest!`] expansion: ties a test-body
+/// closure's argument type to `S::Value` at the definition site, so the
+/// closure body type-checks without explicit annotations.
+pub fn constrain_body<S, F>(_strategy: &S, body: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    body
+}
+
+/// Greedily shrink a failing value: repeatedly re-test the strategy's
+/// [`Strategy::shrink`] candidates and descend into the first that still
+/// fails, until none fail or the step budget runs out. Returns the
+/// minimal value, its failure message, and accepted shrink steps.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    initial: S::Value,
+    initial_msg: String,
+    body: &F,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    let mut best = initial;
+    let mut best_msg = initial_msg;
+    let mut steps = 0u32;
+    let mut evals = 0u32;
+    'outer: while steps < 256 {
+        for cand in strategy.shrink(&best) {
+            evals += 1;
+            if evals > 4096 {
+                break 'outer;
+            }
+            if let Err(msg) = body(&cand) {
+                best = cand;
+                best_msg = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, best_msg, steps)
+}
+
+/// Shared failure path of the [`proptest!`] expansion: record the case's
+/// RNG state in the regression corpus (fresh cases only), shrink, panic.
+#[allow(clippy::too_many_arguments)] // macro plumbing, not a human-facing API
+pub fn report_failure<S, F>(
+    name: &str,
+    origin: &str,
+    state: u64,
+    strategy: &S,
+    value: S::Value,
+    msg: String,
+    body: &F,
+    corpus_file: &std::path::Path,
+    record: bool,
+) -> !
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    if record {
+        corpus::append(corpus_file, state);
+    }
+    let (minimal, minimal_msg, steps) = shrink_failure(strategy, value, msg, body);
+    panic!(
+        "property {name} failed at {origin} (rng state {state:#x}): {minimal_msg}\n\
+         minimal input after {steps} shrink step(s): {minimal:?}\n\
+         replay: `cc {state:#018x}` in {}",
+        corpus_file.display()
+    );
 }
 
 /// Everything a property test needs, star-importable.
@@ -185,20 +358,40 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
+                // All argument strategies form one tuple strategy, so
+                // sampling order matches the historical per-arg order and
+                // shrinking works componentwise across arguments.
+                let strategy = ($(($strat),)+);
+                let body = $crate::constrain_body(&strategy, |vals| {
+                    let ($($arg,)+) = ::core::clone::Clone::clone(vals);
+                    (|| { $body ::core::result::Result::Ok(()) })()
+                });
+                let corpus_file = $crate::corpus::path_for(
+                    env!("CARGO_MANIFEST_DIR"),
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Checked-in counterexamples replay before fresh cases.
+                for state in $crate::corpus::states(&corpus_file) {
+                    let mut rng = $crate::TestRng::from_state(state);
+                    let vals = $crate::strategy::Strategy::sample(&strategy, &mut rng);
+                    if let ::core::result::Result::Err(message) = body(&vals) {
+                        $crate::report_failure(
+                            stringify!($name), "regression corpus entry", state,
+                            &strategy, vals, message, &body, &corpus_file, false,
+                        );
+                    }
+                }
                 let mut rng = $crate::TestRng::deterministic(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
                 for case in 0..cfg.cases {
-                    $(
-                        let $arg =
-                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
-                    )+
-                    let outcome: ::core::result::Result<(), ::std::string::String> =
-                        (|| { $body ::core::result::Result::Ok(()) })();
-                    if let ::core::result::Result::Err(message) = outcome {
-                        panic!(
-                            "property {} failed at case {}/{}: {}",
-                            stringify!($name), case, cfg.cases, message
+                    let state = rng.state();
+                    let vals = $crate::strategy::Strategy::sample(&strategy, &mut rng);
+                    if let ::core::result::Result::Err(message) = body(&vals) {
+                        let origin = ::std::format!("case {}/{}", case, cfg.cases);
+                        $crate::report_failure(
+                            stringify!($name), &origin, state,
+                            &strategy, vals, message, &body, &corpus_file, true,
                         );
                     }
                 }
@@ -262,6 +455,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "property")]
     fn failing_property_panics_with_case_info() {
+        crate::corpus::disable_persistence_for_this_thread();
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
             #[allow(unused)]
@@ -270,5 +464,69 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal input after")]
+    fn failing_property_shrinks_to_range_start() {
+        crate::corpus::disable_persistence_for_this_thread();
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn fails_everywhere(x in 3u64..1000) {
+                prop_assert!(x > 2000, "x was {}", x);
+            }
+        }
+        fails_everywhere();
+    }
+
+    #[test]
+    fn shrink_failure_finds_boundary() {
+        // Fails for x >= 17: greedy shrinking must land exactly on 17.
+        let strategy = (0u64..1000,);
+        let body = |v: &(u64,)| {
+            if v.0 >= 17 {
+                Err(format!("too big: {}", v.0))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = crate::shrink_failure(&strategy, (800,), "seed".into(), &body);
+        assert_eq!(min, (17,));
+        assert!(msg.contains("17"));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn corpus_round_trips_states() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-shim-corpus-{}-{}",
+            std::process::id(),
+            "round_trip"
+        ));
+        let path = dir.join("prop.txt");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            crate::corpus::states(&path).is_empty(),
+            "missing file is empty"
+        );
+        crate::corpus::append(&path, 0xdead_beef);
+        crate::corpus::append(&path, 0x1234);
+        crate::corpus::append(&path, 0xdead_beef); // idempotent
+        assert_eq!(crate::corpus::states(&path), vec![0xdead_beef, 0x1234]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('#'), "corpus files carry a usage header");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rng_state_resume_replays_exactly() {
+        let mut a = TestRng::deterministic("resume");
+        let _ = a.next_u64();
+        let snap = a.state();
+        let expect: Vec<u64> = (0..5).map(|_| a.next_u64()).collect();
+        let mut b = TestRng::from_state(snap);
+        let got: Vec<u64> = (0..5).map(|_| b.next_u64()).collect();
+        assert_eq!(expect, got);
     }
 }

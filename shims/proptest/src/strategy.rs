@@ -16,6 +16,14 @@ pub trait Strategy {
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Propose strictly "smaller" variants of a failing value, most
+    /// aggressive first. The default (no candidates) opts a strategy out
+    /// of shrinking; `proptest!` greedily re-tests candidates and keeps
+    /// the smallest one that still fails.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Transform generated values with `f`.
     fn prop_map<T, F>(self, f: F) -> Map<Self, F>
     where
@@ -31,12 +39,18 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> S::Value {
         (**self).sample(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     type Value = S::Value;
     fn sample(&self, rng: &mut TestRng) -> S::Value {
         (**self).sample(rng)
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -52,6 +66,9 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// Strategy applying a function to another strategy's output.
+///
+/// Mapped values cannot shrink: the mapping is not invertible, so there
+/// is no way to re-derive a source value to shrink from.
 #[derive(Clone, Copy, Debug)]
 pub struct Map<S, F> {
     inner: S,
@@ -123,6 +140,25 @@ macro_rules! impl_range_strategy_int {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Toward the range start: the start itself, the midpoint
+                // (halving the distance each accepted round), then one
+                // step down so greedy shrinking converges on an exact
+                // failure boundary once halving overshoots.
+                let mut out = Vec::new();
+                if *value != self.start {
+                    out.push(self.start);
+                    let mid = (self.start as i128 + (*value as i128 - self.start as i128) / 2) as $t;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    let dec = *value - 1;
+                    if dec != self.start && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -134,6 +170,17 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "strategy range must be non-empty");
         self.start + rng.unit_f64() * (self.end - self.start)
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != self.start {
+            out.push(self.start);
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid != self.start && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 impl Strategy for Range<f32> {
@@ -142,14 +189,41 @@ impl Strategy for Range<f32> {
         assert!(self.start < self.end, "strategy range must be non-empty");
         self.start + rng.unit_f64() as f32 * (self.end - self.start)
     }
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        let mut out = Vec::new();
+        if *value != self.start {
+            out.push(self.start);
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid != self.start && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Componentwise: each candidate shrinks one component and
+                // clones the rest, so a failing tuple minimises per field.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -161,9 +235,14 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
     (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
 }
 
 /// Uniform choice between boxed strategies; built by `prop_oneof!`.
+///
+/// Cannot shrink: once sampled, there is no record of which branch
+/// produced the value.
 pub struct OneOf<T> {
     options: Vec<Box<dyn Strategy<Value = T>>>,
 }
@@ -180,4 +259,33 @@ impl<T> Strategy for OneOf<T> {
 pub fn one_of<T>(options: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
     assert!(!options.is_empty(), "prop_oneof! needs at least one branch");
     OneOf { options }
+}
+
+#[cfg(test)]
+mod shrink_tests {
+    use super::*;
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let s = 10u64..100;
+        let c = s.shrink(&80);
+        assert_eq!(c, vec![10, 45, 79]);
+        assert!(s.shrink(&10).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let s = (0u64..10, 0u64..10);
+        let c = s.shrink(&(4, 6));
+        assert!(c.contains(&(0, 6)));
+        assert!(c.contains(&(4, 0)));
+        assert!(c.iter().all(|(a, b)| *a <= 4 && *b <= 6));
+    }
+
+    #[test]
+    fn just_and_map_do_not_shrink() {
+        assert!(Just(7u8).shrink(&7).is_empty());
+        let m = (0u64..10).prop_map(|x| x * 2);
+        assert!(m.shrink(&4).is_empty());
+    }
 }

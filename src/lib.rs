@@ -62,11 +62,11 @@ pub use workloads;
 
 /// The names most programs need, re-exported flat.
 pub mod prelude {
-    pub use desim::{SimDuration, SimTime, Simulation};
+    pub use desim::{SimDuration, SimTime, Simulation, TieBreak};
     pub use mpk::{
-        run_sim_cluster, run_sim_cluster_with_faults, run_thread_cluster,
-        run_thread_cluster_with_faults, Envelope, FaultCounters, FaultSpec, Rank, Tag,
-        ThreadClusterOptions, Transport, WireSize,
+        run_sim_cluster, run_sim_cluster_with_faults, run_sim_cluster_with_options,
+        run_thread_cluster, run_thread_cluster_with_faults, Envelope, FaultCounters, FaultSpec,
+        Rank, SimClusterOptions, Tag, ThreadClusterOptions, Transport, WireSize,
     };
     pub use nbody::{
         binary_pair, centered_cloud, colliding_clouds, partition_proportional, rotating_disk,
@@ -80,7 +80,9 @@ pub mod prelude {
         NetworkModel, NoFaults, RandomSpikes, ScriptedDelays, ScriptedFaults, SharedMedium,
         TransientDelays, Unloaded,
     };
-    pub use obs::{chrome_trace_string, RunReport, RunTrace, SharedRecorder};
+    pub use obs::{
+        chrome_trace_string, fingerprint_f64s, Fingerprint, RunReport, RunTrace, SharedRecorder,
+    };
     pub use perfmodel::{CommModel, ModelParams};
     pub use speccore::{
         run_baseline, run_speculative, CheckOutcome, ClusterStats, CorrectionMode, FaultTolerance,

@@ -18,9 +18,7 @@ use mpk::Rank;
 use speccore::SpeculativeApp;
 use speculative_computation::prelude::*;
 
-#[path = "support/counting_alloc.rs"]
-mod counting_alloc;
-use counting_alloc::{allocations_here, CountingAlloc};
+use speccheck::alloc::{allocations_here, CountingAlloc};
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;

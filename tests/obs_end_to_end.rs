@@ -13,9 +13,7 @@
 
 use speculative_computation::prelude::*;
 
-#[path = "support/counting_alloc.rs"]
-mod counting_alloc;
-use counting_alloc::{allocations_here, CountingAlloc};
+use speccheck::alloc::{allocations_here, CountingAlloc};
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
@@ -176,17 +174,9 @@ fn golden_path() -> std::path::PathBuf {
 fn chrome_trace_matches_golden_file() {
     let (traces, _) = traced_synthetic_run(1, 2);
     let rendered = chrome_trace_string(&traces);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(golden_path(), &rendered).expect("writing golden file");
-        return;
-    }
-    let golden = std::fs::read_to_string(golden_path())
-        .expect("golden file missing — regenerate with UPDATE_GOLDEN=1");
-    assert_eq!(
-        rendered, golden,
-        "Chrome-trace output drifted from tests/golden/chrome_trace.json; \
-         if the change is intended, regenerate with UPDATE_GOLDEN=1"
-    );
+    // Drift fails with the first differing line; an intended change is
+    // blessed with `SPEC_UPDATE_GOLDENS=1 cargo test -q chrome_trace`.
+    speccheck::assert_matches_golden(&golden_path(), &rendered);
 }
 
 #[test]
