@@ -21,6 +21,16 @@ echo "== speccheck conformance & property suite (64 cases/property, fixed seeds)
 # every historical counterexample first.
 cargo test -q -p speccheck
 
+echo "== regression corpus replay + full-grid inertness (explicit)"
+# Re-run the two properties whose checked-in counterexamples pinned the
+# polling-quantum and timeout-cascade bugs, by name, so a corpus entry
+# silently skipped by a filter typo can never slip through. The corpus
+# states replay before fresh cases; both must hold with the full
+# assertions on (fingerprint + end-time equality on the whole θ/FW grid,
+# cluster-wide commits ≤ losses).
+cargo test -q -p speccheck --test conformance fault_tolerance_is_inert_without_faults
+cargo test -q -p speccheck --test oracles loss_commits_bounded_by_losses
+
 echo "== coverage audit (informational)"
 # Name-based audit of perfmodel/workloads public APIs against the test
 # corpus. Informational here; pass --strict to fail on gaps.

@@ -35,6 +35,20 @@ pub enum EventKind {
         /// The message payload.
         msg: Payload,
     },
+    /// A deadline armed by a timed receive expires.
+    ///
+    /// The kernel stamps each armed timer with the owning process's current
+    /// timer generation; a delivery that wakes the process first bumps the
+    /// generation, so the already-scheduled timer pops as a stale no-op
+    /// instead of waking anyone. Cancellation is O(1) — nothing is removed
+    /// from the heap.
+    Timer {
+        /// The process whose deadline this is.
+        pid: ProcessId,
+        /// Generation the timer was armed under; stale if it no longer
+        /// matches the process's current generation.
+        generation: u64,
+    },
 }
 
 /// Unique, totally ordered key of a scheduled event.

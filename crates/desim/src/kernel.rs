@@ -67,6 +67,9 @@ pub struct SimReport {
     pub messages_sent: u64,
     /// Number of messages that reached a mailbox.
     pub messages_delivered: u64,
+    /// Number of deadline timers that expired and woke a timed receive
+    /// (stale — cancelled-by-delivery — timers are not counted).
+    pub timers_fired: u64,
     /// `(name, finish time)` per process, in spawn order.
     pub finish_times: Vec<(String, SimTime)>,
     /// Trace annotations, if tracing was enabled.
@@ -80,6 +83,12 @@ struct ProcInfo {
     blocked_on: Option<MailboxId>,
     finish_time: Option<SimTime>,
     join: Option<JoinHandle<()>>,
+    /// Monotone counter stamping armed deadline timers; bumping it is how
+    /// a timer is cancelled without touching the event heap.
+    timer_gen: u64,
+    /// Generation of the currently armed deadline timer, if the process is
+    /// blocked in a timed receive.
+    armed_timer: Option<u64>,
 }
 
 /// A discrete-event simulation under construction (and, during
@@ -115,6 +124,7 @@ pub struct Simulation {
     messages_sent: u64,
     messages_delivered: u64,
     events_processed: u64,
+    timers_fired: u64,
 }
 
 /// How often (in dispatched events) the kernel samples its event-heap size
@@ -146,6 +156,7 @@ impl Simulation {
             messages_sent: 0,
             messages_delivered: 0,
             events_processed: 0,
+            timers_fired: 0,
         }
     }
 
@@ -230,6 +241,8 @@ impl Simulation {
             blocked_on: None,
             finish_time: None,
             join: Some(join),
+            timer_gen: 0,
+            armed_timer: None,
         });
         ProcessResult { slot, pid }
     }
@@ -247,6 +260,14 @@ impl Simulation {
 
         while let Some(ev) = self.queue.pop() {
             self.events_processed += 1;
+            // A cancelled (stale-generation) timer is a no-op: crucially it
+            // must not advance `now`, or a deadline armed and then beaten by
+            // a delivery would still stretch the run's end time.
+            if let EventKind::Timer { pid, generation } = ev.kind {
+                if self.procs[pid.0].armed_timer != Some(generation) || self.procs[pid.0].finished {
+                    continue;
+                }
+            }
             self.now = ev.key.time;
             if self.events_processed.is_multiple_of(HEAP_SAMPLE_INTERVAL) {
                 if let Some(rec) = self.recorder.as_mut() {
@@ -272,6 +293,12 @@ impl Simulation {
                             .pop()
                             .expect("waiter woken on empty mailbox");
                         self.procs[pid.0].blocked_on = None;
+                        // A timed waiter's deadline is now moot: bump the
+                        // generation so the heaped timer pops as a stale
+                        // no-op.
+                        if self.procs[pid.0].armed_timer.take().is_some() {
+                            self.procs[pid.0].timer_gen += 1;
+                        }
                         self.service(
                             pid,
                             Response::Message {
@@ -280,6 +307,26 @@ impl Simulation {
                             },
                         );
                     }
+                }
+                EventKind::Timer { pid, generation } => {
+                    // Stale timers were filtered above; this one is live.
+                    debug_assert_eq!(self.procs[pid.0].armed_timer, Some(generation));
+                    let p = &mut self.procs[pid.0];
+                    p.armed_timer = None;
+                    p.timer_gen += 1;
+                    let mbox = p
+                        .blocked_on
+                        .take()
+                        .expect("timed waiter has no blocking mailbox");
+                    self.mailboxes[mbox.0].remove_waiter(pid);
+                    self.timers_fired += 1;
+                    self.service(
+                        pid,
+                        Response::Message {
+                            now: self.now,
+                            msg: None,
+                        },
+                    );
                 }
             }
             if self.error.is_some() {
@@ -325,6 +372,7 @@ impl Simulation {
         let events_processed = self.events_processed;
         let messages_sent = self.messages_sent;
         let messages_delivered = self.messages_delivered;
+        let timers_fired = self.timers_fired;
         let trace = self.trace.take();
         let error = self.error.take();
         drop(self); // drops resp_tx senders, releasing blocked threads
@@ -339,6 +387,7 @@ impl Simulation {
                 events_processed,
                 messages_sent,
                 messages_delivered,
+                timers_fired,
                 finish_times,
                 trace,
             }),
@@ -393,6 +442,34 @@ impl Simulation {
                     } else {
                         self.mailboxes[mbox.0].add_waiter(pid);
                         self.procs[pid.0].blocked_on = Some(mbox);
+                        return;
+                    }
+                }
+                Request::RecvDeadline { mbox, deadline } => {
+                    if let Some(msg) = self.mailboxes[mbox.0].pop() {
+                        self.reply(
+                            pid,
+                            Response::Message {
+                                now: self.now,
+                                msg: Some(msg),
+                            },
+                        );
+                    } else if deadline <= self.now {
+                        // Already expired: one immediate poll came up empty.
+                        self.reply(
+                            pid,
+                            Response::Message {
+                                now: self.now,
+                                msg: None,
+                            },
+                        );
+                    } else {
+                        self.mailboxes[mbox.0].add_waiter(pid);
+                        self.procs[pid.0].blocked_on = Some(mbox);
+                        let generation = self.procs[pid.0].timer_gen;
+                        self.procs[pid.0].armed_timer = Some(generation);
+                        self.queue
+                            .push(deadline, EventKind::Timer { pid, generation });
                         return;
                     }
                 }

@@ -139,6 +139,105 @@ mod tests {
     }
 
     #[test]
+    fn recv_deadline_times_out_at_the_exact_deadline() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        let out = sim.spawn("rx", move |h| {
+            let msg = h.recv_deadline(mbox, SimTime::from_nanos(7_000_000));
+            (msg.is_none(), h.now())
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(out.take(), Some((true, SimTime::from_nanos(7_000_000))));
+        assert_eq!(report.timers_fired, 1);
+        assert_eq!(report.end_time, SimTime::from_nanos(7_000_000));
+    }
+
+    #[test]
+    fn recv_deadline_wakes_at_the_exact_arrival_time() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("tx", move |h| {
+            h.send(mbox, SimDuration::from_millis(3), 9u8);
+        });
+        let out = sim.spawn("rx", move |h| {
+            let msg = h.recv_deadline(mbox, SimTime::from_nanos(10_000_000));
+            let v = *msg
+                .expect("arrival beats deadline")
+                .downcast::<u8>()
+                .unwrap();
+            (v, h.now())
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(out.take(), Some((9, SimTime::from_nanos(3_000_000))));
+        // The armed 10 ms timer was cancelled by the delivery: it neither
+        // fires nor stretches the run past the last process's activity.
+        assert_eq!(report.timers_fired, 0);
+        assert_eq!(report.end_time, SimTime::from_nanos(3_000_000));
+    }
+
+    #[test]
+    fn recv_deadline_in_the_past_degrades_to_try_recv() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        preload_message(&mut sim, mbox, SimTime::ZERO, 5u8);
+        let out = sim.spawn("rx", move |h| {
+            // Already-delivered message: returned even with an expired deadline.
+            let first = h
+                .recv_deadline(mbox, SimTime::ZERO)
+                .map(|p| *p.downcast::<u8>().unwrap());
+            let t_first = h.now();
+            // Empty mailbox + expired deadline: immediate None, no time passes.
+            let second = h.recv_deadline(mbox, SimTime::ZERO).is_none();
+            (first, t_first, second, h.now())
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(
+            out.take(),
+            Some((Some(5), SimTime::ZERO, true, SimTime::ZERO))
+        );
+        assert_eq!(report.timers_fired, 0);
+    }
+
+    #[test]
+    fn recv_deadline_rearms_cleanly_across_waits() {
+        // Alternate timeouts and arrivals on one process: each wait arms a
+        // fresh timer generation, and cancelled generations stay dead.
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn("tx", move |h| {
+            h.advance(SimDuration::from_millis(5));
+            h.send(mbox, SimDuration::ZERO, 1u32);
+            h.advance(SimDuration::from_millis(10));
+            h.send(mbox, SimDuration::ZERO, 2u32);
+        });
+        let out = sim.spawn("rx", move |h| {
+            let mut log = Vec::new();
+            for _ in 0..5 {
+                let deadline = h.now() + SimDuration::from_millis(4);
+                let got = h
+                    .recv_deadline(mbox, deadline)
+                    .map(|p| *p.downcast::<u32>().unwrap());
+                log.push((got, h.now().as_nanos()));
+            }
+            log
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(
+            out.take(),
+            Some(vec![
+                (None, 4_000_000),     // timeout
+                (Some(1), 5_000_000),  // arrival cancels the 9 ms timer
+                (None, 9_000_000),     // timeout
+                (None, 13_000_000),    // timeout
+                (Some(2), 15_000_000), // arrival cancels the 17 ms timer
+            ])
+        );
+        // Three of the five waits expired; the two arrival-resolved waits
+        // left their timers to pop as cancelled no-ops.
+        assert_eq!(report.timers_fired, 3);
+    }
+
+    #[test]
     fn fifo_between_same_pair() {
         let mut sim = Simulation::new();
         let mbox = sim.create_mailbox();

@@ -52,6 +52,14 @@ impl Mailbox {
         self.waiters.pop_front()
     }
 
+    /// Unregister a specific blocked process (its deadline timer fired and
+    /// it is no longer waiting here). No-op if `pid` is not a waiter.
+    pub fn remove_waiter(&mut self, pid: ProcessId) {
+        if let Some(at) = self.waiters.iter().position(|w| *w == pid) {
+            self.waiters.remove(at);
+        }
+    }
+
     /// True if at least one process is blocked on this mailbox.
     #[allow(dead_code)] // part of the kernel-internal API, exercised in tests
     pub fn has_waiters(&self) -> bool {
@@ -93,6 +101,18 @@ mod tests {
         assert_eq!(m.take_waiter(), Some(ProcessId(7)));
         assert_eq!(m.take_waiter(), Some(ProcessId(8)));
         assert_eq!(m.take_waiter(), None);
+    }
+
+    #[test]
+    fn remove_waiter_unregisters_only_the_given_process() {
+        let mut m = Mailbox::new();
+        m.add_waiter(ProcessId(1));
+        m.add_waiter(ProcessId(2));
+        m.add_waiter(ProcessId(3));
+        m.remove_waiter(ProcessId(2));
+        m.remove_waiter(ProcessId(9)); // absent pid: no-op
+        let ids: Vec<usize> = m.waiters().map(|p| p.0).collect();
+        assert_eq!(ids, vec![1, 3]);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub(crate) enum Request {
     },
     /// Block until a message is available in `mbox`, then take it.
     Recv { mbox: MailboxId },
+    /// Block until a message is available in `mbox` or `deadline` passes,
+    /// whichever comes first.
+    RecvDeadline { mbox: MailboxId, deadline: SimTime },
     /// Take a message from `mbox` if one has been delivered. Non-blocking.
     TryRecv { mbox: MailboxId },
     /// Allocate a fresh mailbox.
@@ -155,6 +158,36 @@ impl ProcessHandle {
             }
             _ => unreachable!("Recv answered with non-Message"),
         }
+    }
+
+    /// Block until a message is available in `mbox` or `deadline` passes.
+    ///
+    /// Purely event-driven: the kernel arms one deadline timer event and
+    /// registers this process as a mailbox waiter, so the process wakes at
+    /// the exact virtual arrival time of the next delivery — or at exactly
+    /// `deadline` with `None`. A message already delivered is returned
+    /// without blocking; a deadline at or before the current time degrades
+    /// to [`try_recv`](Self::try_recv) (one immediate poll, no waiting).
+    pub fn recv_deadline(&mut self, mbox: MailboxId, deadline: SimTime) -> Option<Payload> {
+        match self.call(Request::RecvDeadline { mbox, deadline }) {
+            Response::Message { now, msg } => {
+                self.now = now;
+                msg
+            }
+            _ => unreachable!("RecvDeadline answered with non-Message"),
+        }
+    }
+
+    /// Timed receive with a type downcast.
+    pub fn recv_deadline_as<T: Any + Send>(
+        &mut self,
+        mbox: MailboxId,
+        deadline: SimTime,
+    ) -> Option<T> {
+        self.recv_deadline(mbox, deadline).map(|p| {
+            *p.downcast::<T>()
+                .unwrap_or_else(|_| panic!("message in {mbox:?} had unexpected type"))
+        })
     }
 
     /// Take a message from `mbox` if one has already been delivered.

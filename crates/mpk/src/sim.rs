@@ -285,22 +285,45 @@ impl<M: WireSize + Clone + Send + 'static> Transport for SimTransport<'_, '_, M>
         if timeout == SimDuration::ZERO {
             return None;
         }
-        // desim has no timed receive, so a bounded wait is modelled as
-        // polling in quanta; the last step lands exactly on the deadline,
-        // keeping timeout-driven actions at deterministic virtual times.
-        let deadline = self.h.now() + timeout;
-        let quantum = SimDuration::from_nanos((timeout.as_nanos() / 16).max(1));
-        loop {
+        // Event-driven timed receive: the kernel arms one deadline timer
+        // and wakes this process either at the exact arrival time of the
+        // next message or exactly at the deadline — never in between.
+        let armed_at = self.h.now();
+        let deadline = armed_at + timeout;
+        let env = self
+            .h
+            .recv_deadline_as::<Envelope<M>>(self.mailboxes[self.rank.0], deadline);
+        if let Some(r) = self.rec.as_deref_mut() {
             let now = self.h.now();
-            if now >= deadline {
-                return None;
-            }
-            let step = quantum.min(deadline - now);
-            self.h.advance(step);
-            if let Some(env) = self.try_recv() {
-                return Some(env);
+            let waited_ns = (now - armed_at).as_nanos();
+            match &env {
+                Some(env) => {
+                    let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+                    r.mark(
+                        self.rank.0 as u32,
+                        now.as_nanos(),
+                        Mark::RecvWakeup {
+                            from: env.src.0 as u32,
+                            waited_ns,
+                        },
+                    );
+                    r.mark(
+                        self.rank.0 as u32,
+                        now.as_nanos(),
+                        Mark::MsgRecv {
+                            from: env.src.0 as u32,
+                            bytes,
+                        },
+                    );
+                }
+                None => r.mark(
+                    self.rank.0 as u32,
+                    now.as_nanos(),
+                    Mark::TimerFired { waited_ns },
+                ),
             }
         }
+        env
     }
 
     fn sleep(&mut self, d: SimDuration) {
@@ -703,6 +726,82 @@ mod tests {
         )
         .unwrap();
         assert_eq!(got[0], 7_000_000);
+    }
+
+    #[test]
+    fn recv_timeout_wakes_at_the_exact_arrival_time() {
+        // Event-driven wait: the receiver must observe the message at its
+        // delivery instant (1 ms), not rounded up to a polling quantum of
+        // the 50 ms timeout.
+        let cluster = ClusterSpec::homogeneous(2, 10.0);
+        let (got, _) = run_sim_cluster::<u64, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            false,
+            |t| {
+                if t.rank().0 == 0 {
+                    t.send(Rank(1), Tag(0), 42);
+                    0
+                } else {
+                    let start = t.now();
+                    let env = t
+                        .recv_timeout(SimDuration::from_millis(50))
+                        .expect("message should arrive before the timeout");
+                    assert_eq!(env.msg, 42);
+                    (t.now() - start).as_nanos()
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got[1], 1_000_000);
+    }
+
+    #[test]
+    fn recv_timeout_handles_sub_quantum_timeouts_exactly() {
+        // 10 ns is far below what any polling quantum could resolve; the
+        // single-timer wait must still expire at exactly 10 ns.
+        let cluster = ClusterSpec::homogeneous(1, 10.0);
+        let (got, _) = run_sim_cluster::<u64, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            false,
+            |t| {
+                let start = t.now();
+                assert!(t.recv_timeout(SimDuration::from_nanos(10)).is_none());
+                (t.now() - start).as_nanos()
+            },
+        )
+        .unwrap();
+        assert_eq!(got[0], 10);
+    }
+
+    #[test]
+    fn recv_timeout_zero_degrades_to_try_recv() {
+        let cluster = ClusterSpec::homogeneous(2, 10.0);
+        let (got, _) = run_sim_cluster::<u64, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            false,
+            |t| {
+                if t.rank().0 == 0 {
+                    t.send(Rank(1), Tag(0), 9);
+                    true
+                } else {
+                    t.sleep(SimDuration::from_millis(5)); // message is now waiting
+                    let first = t.recv_timeout(SimDuration::ZERO).map(|e| e.msg);
+                    assert_eq!(first, Some(9));
+                    let before = t.now();
+                    let second = t.recv_timeout(SimDuration::ZERO);
+                    // Empty mailbox + zero timeout: no wait, no time passes.
+                    second.is_none() && t.now() == before
+                }
+            },
+        )
+        .unwrap();
+        assert!(got[1]);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   composable alongside the latency models.
 //!
 //! All stochastic models take explicit seeds and are deterministic.
+//!
+//! A delay computed here is the *exact* virtual instant the message
+//! becomes visible to its receiver: delivery is event-driven end to end
+//! (the kernel wakes a blocked receiver at that instant or at its
+//! deadline — there is no polling quantum anywhere between a
+//! [`NetworkModel`]'s answer and the application observing the message).
 
 #![warn(missing_docs)]
 

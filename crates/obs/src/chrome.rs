@@ -130,6 +130,11 @@ fn mark_args(mark: Mark) -> Json {
         ]),
         Mark::PeerCrashed { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
         Mark::PeerRecovered { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
+        Mark::TimerFired { waited_ns } => Json::obj([("waited_ns", Json::U64(waited_ns))]),
+        Mark::RecvWakeup { from, waited_ns } => Json::obj([
+            ("from", Json::U64(from.into())),
+            ("waited_ns", Json::U64(waited_ns)),
+        ]),
     }
 }
 

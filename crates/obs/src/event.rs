@@ -120,6 +120,20 @@ pub enum Mark {
         /// The recovered rank.
         peer: u32,
     },
+    /// A timed receive's deadline expired with no message: the transport
+    /// woke on its (single) timer event, not on an arrival.
+    TimerFired {
+        /// How long the receive blocked before the deadline hit.
+        waited_ns: u64,
+    },
+    /// A blocked timed receive was woken by a message arriving before its
+    /// deadline.
+    RecvWakeup {
+        /// Source rank of the message that did the waking.
+        from: u32,
+        /// How long the receive blocked before the arrival.
+        waited_ns: u64,
+    },
 }
 
 impl Mark {
@@ -137,6 +151,8 @@ impl Mark {
             Mark::MessageDuplicated { .. } => "message_duplicated",
             Mark::PeerCrashed { .. } => "peer_crashed",
             Mark::PeerRecovered { .. } => "peer_recovered",
+            Mark::TimerFired { .. } => "timer_fired",
+            Mark::RecvWakeup { .. } => "recv_wakeup",
         }
     }
 }
@@ -231,5 +247,14 @@ mod tests {
     fn mark_names_are_stable() {
         assert_eq!(Mark::MsgSent { to: 1, bytes: 2 }.name(), "msg_sent");
         assert_eq!(Mark::Rollback { to_iter: 3 }.name(), "rollback");
+        assert_eq!(Mark::TimerFired { waited_ns: 7 }.name(), "timer_fired");
+        assert_eq!(
+            Mark::RecvWakeup {
+                from: 1,
+                waited_ns: 7
+            }
+            .name(),
+            "recv_wakeup"
+        );
     }
 }

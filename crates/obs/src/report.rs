@@ -210,6 +210,9 @@ fn counters_json(c: &CounterTotals) -> Json {
         ("messages_duplicated", Json::U64(c.messages_duplicated)),
         ("peer_crashes", Json::U64(c.peer_crashes)),
         ("peer_recoveries", Json::U64(c.peer_recoveries)),
+        ("timer_fires", Json::U64(c.timer_fires)),
+        ("recv_wakeups", Json::U64(c.recv_wakeups)),
+        ("wakeup_wait_ns", Json::U64(c.wakeup_wait_ns)),
     ])
 }
 

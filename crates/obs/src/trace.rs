@@ -100,6 +100,13 @@ pub struct CounterTotals {
     pub peer_crashes: u64,
     /// Crashed ranks that finished restarting.
     pub peer_recoveries: u64,
+    /// Timed receives that expired on their deadline timer.
+    pub timer_fires: u64,
+    /// Blocked timed receives woken by an arrival before their deadline.
+    pub recv_wakeups: u64,
+    /// Total nanoseconds timed receives spent blocked before waking
+    /// (summed over both timer expiries and arrival wakeups).
+    pub wakeup_wait_ns: u64,
 }
 
 /// The telemetry of one rank over one run, in event order.
@@ -217,6 +224,14 @@ impl RunTrace {
                     }
                     Mark::PeerCrashed { .. } => c.peer_crashes += 1,
                     Mark::PeerRecovered { .. } => c.peer_recoveries += 1,
+                    Mark::TimerFired { waited_ns } => {
+                        c.timer_fires += 1;
+                        c.wakeup_wait_ns += waited_ns;
+                    }
+                    Mark::RecvWakeup { waited_ns, .. } => {
+                        c.recv_wakeups += 1;
+                        c.wakeup_wait_ns += waited_ns;
+                    }
                 }
             }
         }

@@ -4,10 +4,10 @@
 //! properties can compare runs bit-for-bit.
 
 use crate::scenario::{SpecParams, SyntheticScenario};
-use desim::TieBreak;
+use desim::{SimDuration, SimTime, TieBreak};
 use mpk::{
-    run_sim_cluster_with_options, run_thread_cluster, FaultSpec, SimClusterOptions,
-    ThreadClusterOptions, Transport,
+    run_sim_cluster_with_options, run_thread_cluster, Envelope, FaultCounters, FaultSpec, Rank,
+    SimClusterOptions, Tag, ThreadClusterOptions, Transport,
 };
 use speccore::{run_baseline, run_speculative, IterMsg, RunStats, SpecConfig};
 
@@ -38,6 +38,77 @@ impl DriverMode {
     /// The speculative mode for a grid point.
     pub fn from_params(params: &SpecParams) -> Self {
         DriverMode::Speculative(params.build())
+    }
+}
+
+/// A transport adapter reimplementing the pre-event-driven
+/// `recv_timeout`: poll `try_recv` in `timeout / 16` quanta, the last
+/// step landing exactly on the deadline. The workspace's transports wait
+/// event-driven now; this reference implementation survives so
+/// conformance properties can prove the two are observationally
+/// equivalent where they must be (exact semantics, no faults firing) and
+/// so experiments can measure what the polling cost.
+pub struct PolledRecv<'t, T>(pub &'t mut T);
+
+impl<T: Transport> Transport for PolledRecv<'_, T> {
+    type Msg = T::Msg;
+
+    fn rank(&self) -> Rank {
+        self.0.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.0.size()
+    }
+
+    fn send(&mut self, to: Rank, tag: Tag, msg: Self::Msg) {
+        self.0.send(to, tag, msg);
+    }
+
+    fn try_recv(&mut self) -> Option<Envelope<Self::Msg>> {
+        self.0.try_recv()
+    }
+
+    fn recv(&mut self) -> Envelope<Self::Msg> {
+        self.0.recv()
+    }
+
+    fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<Self::Msg>> {
+        if let Some(env) = self.0.try_recv() {
+            return Some(env);
+        }
+        if timeout == SimDuration::ZERO {
+            return None;
+        }
+        let deadline = self.0.now() + timeout;
+        let quantum = SimDuration::from_nanos((timeout.as_nanos() / 16).max(1));
+        loop {
+            let now = self.0.now();
+            if now >= deadline {
+                return None;
+            }
+            let step = quantum.min(deadline - now);
+            self.0.sleep(step);
+            if let Some(env) = self.0.try_recv() {
+                return Some(env);
+            }
+        }
+    }
+
+    fn sleep(&mut self, d: SimDuration) {
+        self.0.sleep(d);
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.0.fault_counters()
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.0.compute(ops);
+    }
+
+    fn now(&self) -> SimTime {
+        self.0.now()
     }
 }
 
@@ -87,6 +158,41 @@ pub fn run_sim_with_faults(
             ..Default::default()
         },
         move |t| drive_synthetic(t, &scenario, theta, &mode),
+    )
+    .expect("generated scenario must complete");
+    let (fingerprints, stats) = outs.into_iter().unzip();
+    RunOutput {
+        fingerprints,
+        stats,
+        elapsed: report.end_time.as_secs_f64(),
+    }
+}
+
+/// [`run_sim_with_faults`] with the reference *polling* receive of
+/// [`PolledRecv`] in place of the event-driven one: every bounded wait
+/// advances in quanta instead of blocking to an exact deadline.
+pub fn run_sim_polled(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    faults: FaultSpec<IterMsg<Vec<f64>>>,
+    tie: TieBreak,
+) -> RunOutput {
+    let scenario = sc.clone();
+    let mode = mode.clone();
+    let (outs, report) = run_sim_cluster_with_options::<IterMsg<Vec<f64>>, _, _>(
+        &sc.cluster(),
+        sc.net(),
+        netsim::Unloaded,
+        faults,
+        SimClusterOptions {
+            tie_break: tie,
+            ..Default::default()
+        },
+        move |t| {
+            let mut polled = PolledRecv(t);
+            drive_synthetic(&mut polled, &scenario, theta, &mode)
+        },
     )
     .expect("generated scenario must complete");
     let (fingerprints, stats) = outs.into_iter().unzip();

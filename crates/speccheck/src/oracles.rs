@@ -25,21 +25,25 @@ pub fn phase_partition(stats: &RunStats) -> Result<(), String> {
 /// over loss-only fault stacks with no crashes and latency far below the
 /// retransmit timeout:
 ///
-/// 1. **Zero-loss implication** — if no message was lost, nothing may be
+/// 1. **Loss bound** — cluster-wide, `Σ commits ≤ Σ messages lost`.
+///    Every promotion consumes at least one genuinely dropped message:
+///    the driver promotes a missing input only with *evidence* the peer
+///    broadcast past the stuck iteration (so that iteration's message
+///    was dropped, not late), or after a retransmit request went a full
+///    further timeout unanswered (so the request or its reply was
+///    dropped). An earlier, timeout-only driver violated this bound via
+///    a timeout cascade — one real loss stalled a rank long enough that
+///    peers timed out on its merely-late broadcasts — and the witness in
+///    `crates/speccheck/proptest-regressions/` pins that scenario; the
+///    per-(peer, iteration) promotion guard and the evidence/grace
+///    protocol fixed it.
+/// 2. **Zero-loss implication** — if no message was lost, nothing may be
 ///    committed through the loss path (the timeout machinery must be
-///    inert on a clean network).
-/// 2. **Slot bound** — each rank owns `(p − 1) · iters` peer-input
+///    inert on a clean network). Subsumed by 1, kept for its sharper
+///    error message.
+/// 3. **Slot bound** — each rank owns `(p − 1) · iters` peer-input
 ///    slots, and a slot commits at most once (`InputSlot::Speculated` is
 ///    consumed on promotion), so per-rank commits can never exceed that.
-///
-/// The *naive* bound "commits ≤ messages lost" is **not** an invariant
-/// of this driver, and property testing falsified it (the witness is in
-/// `crates/speccheck/proptest-regressions/`): a timeout promotes *every*
-/// still-missing input of the stuck iteration, and the stalled rank's
-/// own next broadcast then arrives a full timeout late — so its peers
-/// time out and commit speculations for messages that were merely late,
-/// never lost. One genuine loss cascades into several legitimate
-/// commits.
 pub fn loss_commit_accounting(stats: &[RunStats], iters: u64) -> Result<(), String> {
     let p = stats.len() as u64;
     let lost: u64 = stats.iter().map(|s| s.messages_lost).sum();
@@ -47,6 +51,11 @@ pub fn loss_commit_accounting(stats: &[RunStats], iters: u64) -> Result<(), Stri
     if lost == 0 && commits > 0 {
         return Err(format!(
             "{commits} speculate-through-loss commits on a run that lost no messages"
+        ));
+    }
+    if commits > lost {
+        return Err(format!(
+            "{commits} speculate-through-loss commits exceed the {lost} messages lost"
         ));
     }
     for s in stats {

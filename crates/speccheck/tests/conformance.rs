@@ -21,8 +21,8 @@
 use desim::{SimDuration, TieBreak};
 use proptest::prelude::*;
 use speccheck::{
-    exact_spec_params, run_sim, run_sim_with_faults, run_thread, spec_params, synthetic_scenario,
-    DriverMode,
+    exact_spec_params, run_sim, run_sim_polled, run_sim_with_faults, run_thread, spec_params,
+    synthetic_scenario, DriverMode,
 };
 use speccore::{FaultTolerance, SpecConfig};
 
@@ -70,18 +70,21 @@ proptest! {
         }
     }
 
-    /// Fault-tolerance machinery on a fault-free network is inert: the
-    /// loss paths never fire, and under *exact* semantics the final state
-    /// is bit-identical to the plain config. (The generous timeout keeps
+    /// Fault-tolerance machinery on a fault-free network is inert for
+    /// **every** configuration on the grid — θ and the correction mode
+    /// included: the loss paths never fire and the final state is
+    /// bit-identical to the plain config. (The generous timeout keeps
     /// "merely late" unmistakable for "lost" — scenario latencies top out
     /// near 10 ms.)
     ///
-    /// With θ > 0 and incremental correction, fingerprint equality does
-    /// NOT hold and is deliberately not asserted: timeout-based receive
-    /// polling observes arrivals on poll quanta, shifting virtual timing,
-    /// which changes *which* speculations a nonzero θ accepts — a shrunk
-    /// counterexample (p=5, n=8, fw=1, θ≈0.008, 33 µs jittered latency)
-    /// is checked into the regression corpus as a permanent witness.
+    /// This full-grid equality is exactly what the old polling receive
+    /// could not deliver: bounded waits observed arrivals on poll quanta,
+    /// shifting virtual timing and changing *which* speculations a
+    /// nonzero θ accepted — the shrunk counterexample (p=5, n=8, fw=1,
+    /// θ≈0.008, 33 µs jittered latency) stays in the regression corpus
+    /// and now replays green against the event-driven wait, which wakes
+    /// at the exact arrival or deadline instant and leaves virtual
+    /// timing untouched (the end-time equality below pins that too).
     #[test]
     fn fault_tolerance_is_inert_without_faults(
         sc in synthetic_scenario(),
@@ -99,15 +102,63 @@ proptest! {
             mpk::FaultSpec::none(),
             TieBreak::Fifo,
         );
-        if params.is_exact() {
-            prop_assert_eq!(&plain.fingerprints, &ft.fingerprints);
-        }
+        prop_assert_eq!(&plain.fingerprints, &ft.fingerprints);
+        prop_assert_eq!(plain.elapsed, ft.elapsed);
         for s in &ft.stats {
             prop_assert_eq!(s.iterations, sc.iters);
             prop_assert_eq!(s.messages_lost, 0);
             prop_assert_eq!(s.speculate_through_loss_commits, 0);
             prop_assert_eq!(s.retransmit_requests, 0);
         }
+    }
+
+    /// The event-driven bounded wait is observationally equivalent to the
+    /// reference polling implementation it replaced, wherever equivalence
+    /// is well-defined: under exact semantics (timing shifts cannot change
+    /// values) with fault machinery armed but no faults injected, the
+    /// final state matches bit-for-bit.
+    #[test]
+    fn event_driven_wait_matches_reference_polling(
+        sc in synthetic_scenario(),
+        params in exact_spec_params(),
+        timeout_ms in 200u64..500,
+    ) {
+        let ft_cfg = params
+            .build()
+            .with_fault_tolerance(FaultTolerance::new(SimDuration::from_millis(timeout_ms)));
+        let mode = DriverMode::Speculative(ft_cfg);
+        let event = run_sim_with_faults(
+            &sc, params.theta, &mode, mpk::FaultSpec::none(), TieBreak::Fifo,
+        );
+        let polled = run_sim_polled(
+            &sc, params.theta, &mode, mpk::FaultSpec::none(), TieBreak::Fifo,
+        );
+        prop_assert_eq!(&event.fingerprints, &polled.fingerprints);
+        for s in &event.stats {
+            prop_assert_eq!(s.speculate_through_loss_commits, 0);
+        }
+    }
+
+    /// Arming fault tolerance must not make exact results tie-break
+    /// sensitive: the deadline timer events it adds to the kernel's queue
+    /// consume sequence numbers, and FIFO, LIFO, and seeded orderings of
+    /// simultaneous events must still all land on the same final state.
+    #[test]
+    fn ft_exact_results_are_tiebreak_insensitive(
+        sc in synthetic_scenario(),
+        params in exact_spec_params(),
+        timeout_ms in 200u64..500,
+        salt in 0u64..1_000_000,
+    ) {
+        let ft_cfg = params
+            .build()
+            .with_fault_tolerance(FaultTolerance::new(SimDuration::from_millis(timeout_ms)));
+        let mode = DriverMode::Speculative(ft_cfg);
+        let fifo = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
+        let lifo = run_sim(&sc, params.theta, &mode, TieBreak::Lifo);
+        let seeded = run_sim(&sc, params.theta, &mode, TieBreak::Seeded(salt));
+        prop_assert_eq!(&fifo.fingerprints, &lifo.fingerprints);
+        prop_assert_eq!(&fifo.fingerprints, &seeded.fingerprints);
     }
 
     /// Seeded same-virtual-time tie-breaking is deterministic: the same
@@ -150,4 +201,20 @@ proptest! {
         prop_assert_eq!(&fifo.fingerprints, &lifo.fingerprints);
         prop_assert_eq!(&fifo.fingerprints, &seeded.fingerprints);
     }
+}
+
+/// The thread backend's bounded wait never spins: a timeout that runs to
+/// expiry on an empty mailbox costs exactly one condvar block, observed
+/// through the transport's wakeup counter. (The sim backend's equivalent
+/// guarantee — exactly one timer event per expired wait — is pinned by
+/// `desim`'s `SimReport::timers_fired` unit tests.)
+#[test]
+fn thread_backend_timed_wait_never_spins() {
+    use desim::SimDuration;
+    use mpk::{run_thread_cluster, ThreadClusterOptions, Transport};
+    let waits = run_thread_cluster::<u8, _, _>(1, ThreadClusterOptions::default(), |t| {
+        assert!(t.recv_timeout(SimDuration::from_millis(25)).is_none());
+        t.timed_waits()
+    });
+    assert_eq!(waits[0], 1, "one expired wait must cost exactly one block");
 }

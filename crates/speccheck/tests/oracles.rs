@@ -54,11 +54,12 @@ proptest! {
     }
 
     /// Speculate-through-loss accounting holds cluster-wide on loss-only
-    /// stacks: zero losses imply zero commits, and no rank commits more
-    /// than its peer-input slots. (The naive "commits ≤ lost" bound was
-    /// falsified by this very property — see the oracle's docs and the
-    /// checked-in corpus witness.) Phase accounting stays exhaustive
-    /// under loss.
+    /// stacks: commits never exceed messages lost, zero losses imply zero
+    /// commits, and no rank commits more than its peer-input slots. (An
+    /// earlier timeout-only driver failed the loss bound through a
+    /// timeout cascade; the corpus witness that found it now replays
+    /// green against the evidence/grace promotion protocol — see the
+    /// oracle's docs.) Phase accounting stays exhaustive under loss.
     #[test]
     fn loss_commits_bounded_by_losses(
         sc in synthetic_scenario(),

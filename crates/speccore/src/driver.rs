@@ -19,7 +19,7 @@
 //! arrives and validates, the next iterations are already computed and
 //! their broadcasts leave back-to-back (the paper's Figure 4c behaviour).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use desim::{SimDuration, SimTime};
 use mpk::{Envelope, Rank, Tag, Transport, WireSize};
@@ -74,6 +74,58 @@ struct ExecRecord<S, C> {
     produced: S,
     /// Input provenance per rank (own rank marked `Validated`).
     inputs: Vec<InputSlot<S>>,
+}
+
+/// Loss-detection state for one peer's missing input to the queue-head
+/// iteration. Promotion of a speculated value to a committed one is
+/// evidence-based: a peer that demonstrably broadcast *past* the front
+/// (links deliver in order on calm networks, so the front's message
+/// cannot still be in flight) is promoted at its first deadline; a peer
+/// that has merely gone quiet is asked to retransmit first, and only a
+/// second full timeout of silence — which itself consumed a lost request
+/// or reply — promotes. This keeps merely-late broadcasts from being
+/// promoted and ties every promotion to at least one genuinely dropped
+/// message.
+#[derive(Clone, Copy)]
+enum PeerWait {
+    /// Waiting for the peer's broadcast to arrive on its own.
+    Armed {
+        /// When this wait (re-)started.
+        since: SimTime,
+    },
+    /// A retransmit request is in flight; waiting for any sign of life.
+    Grace {
+        /// When the request was sent.
+        asked_at: SimTime,
+    },
+}
+
+/// Flip peer `k`'s speculated input to the front record into a committed
+/// one. Counted in the stats only the first time this (peer, iteration)
+/// pair promotes — a rollback can make the same slot speculative again,
+/// and re-flipping it is not a second loss.
+fn promote_loss<S: Clone, C>(
+    k: usize,
+    rec: &mut ExecRecord<S, C>,
+    history: &mut History<S>,
+    stats: &mut RunStats,
+    staleness: &mut u32,
+    promoted: &mut HashSet<(usize, u64)>,
+) {
+    let iter = rec.iter;
+    let sv = match std::mem::replace(&mut rec.inputs[k], InputSlot::Validated) {
+        InputSlot::Speculated(s) => s,
+        _ => unreachable!("promotion of a non-speculated slot"),
+    };
+    // Recording the promoted value keeps the backward window anchored (a
+    // late actual for the same iteration is ignored by the history's
+    // freshness guard, so the promotion is final); on a re-promotion
+    // after rollback the same guard makes this a no-op.
+    history.record(iter, sv);
+    if promoted.insert((k, iter)) {
+        stats.speculate_through_loss_commits += 1;
+        *staleness += 1;
+    }
 }
 
 /// Run the non-speculative baseline (the paper's Figure 1) for
@@ -131,8 +183,15 @@ where
     // Consecutive speculate-through-loss promotions per peer since its
     // last heard-from message.
     let mut staleness: Vec<u32> = vec![0; p];
-    // (front iteration, when we first saw it stuck at the queue head).
-    let mut front_waiting_since: Option<(u64, SimTime)> = None;
+    // The queue-head iteration whose missing inputs are being tracked;
+    // `peer_wait` below is meaningful only while this matches the front.
+    let mut front_tracked: Option<u64> = None;
+    // Per-peer loss-detection state for the tracked front iteration.
+    let mut peer_wait: Vec<Option<PeerWait>> = vec![None; p];
+    // Virtual time each peer last delivered anything (any tag).
+    let mut last_heard: Vec<SimTime> = vec![SimTime::ZERO; p];
+    // (peer, iteration) pairs whose loss promotion was already counted.
+    let mut promoted: HashSet<(usize, u64)> = HashSet::new();
     // When the rank first found itself with nothing in flight and nothing
     // executable (starved — e.g. iteration 0 under loss, before any
     // history exists to extrapolate from).
@@ -176,6 +235,7 @@ where
             if ft.is_some() {
                 let src = env.src;
                 staleness[src.0] = 0;
+                last_heard[src.0] = transport.now();
                 if env.tag == RETRANS_REQ_TAG {
                     // Re-send our latest broadcast; re-delivery is the ack.
                     transport.send(
@@ -219,7 +279,8 @@ where
                         *h = History::new(config.backward_window.max(1));
                     }
                     staleness.iter_mut().for_each(|s| *s = 0);
-                    front_waiting_since = None;
+                    front_tracked = None;
+                    peer_wait.iter_mut().for_each(|w| *w = None);
                     starved_since = None;
                     if let Some(r) = transport.recorder() {
                         r.mark(
@@ -266,66 +327,106 @@ where
             }
 
             let now = transport.now();
-            match exec_q.front() {
-                Some(rec) => {
-                    let changed = match front_waiting_since {
-                        Some((i, _)) => i != rec.iter,
-                        None => true,
-                    };
-                    if changed {
-                        front_waiting_since = Some((rec.iter, now));
-                    }
-                }
-                None => front_waiting_since = None,
+            // Re-anchor the per-peer waits whenever the queue head changes
+            // (confirmation, rollback, drain): `since` stamps from a
+            // previous front must never promote inputs of the new one.
+            let front_now = exec_q.front().map(|rec| rec.iter);
+            if front_now != front_tracked {
+                front_tracked = front_now;
+                peer_wait.iter_mut().for_each(|w| *w = None);
             }
-            if let Some((front_iter, since)) = front_waiting_since {
-                if now.duration_since(since) >= f.loss_timeout {
-                    // The oldest iteration has been stuck past the loss
-                    // timeout: declare its still-missing inputs lost and
-                    // promote their speculated values to committed ones.
-                    // Recording the promoted value keeps the backward
-                    // window anchored (a late actual for the same
-                    // iteration is ignored by the history's freshness
-                    // guard, so the promotion is final).
-                    let mut ask_retransmit: Vec<usize> = Vec::new();
-                    for k in 0..p {
-                        let have_actual = inbox
-                            .get(&front_iter)
-                            .map(|m| m.contains_key(&k))
-                            .unwrap_or(false);
-                        if have_actual {
-                            continue;
+            if let Some(front_iter) = front_tracked {
+                let mut ask_retransmit: Vec<usize> = Vec::new();
+                for k in 0..p {
+                    if k == me.0 {
+                        continue;
+                    }
+                    // A peer whose slot is no longer speculative — or whose
+                    // actual already sits in the inbox awaiting its check —
+                    // needs no loss tracking.
+                    let have_actual = inbox
+                        .get(&front_iter)
+                        .map(|m| m.contains_key(&k))
+                        .unwrap_or(false);
+                    if have_actual || !matches!(exec_q[0].inputs[k], InputSlot::Speculated(_)) {
+                        peer_wait[k] = None;
+                        continue;
+                    }
+                    // Evidence of a genuine loss: the peer already broadcast
+                    // an iteration past the front, so (links delivering in
+                    // order) the front's message is not merely late.
+                    let evidence = history[k].latest_iter().is_some_and(|li| li > front_iter);
+                    match peer_wait[k] {
+                        None => peer_wait[k] = Some(PeerWait::Armed { since: now }),
+                        Some(PeerWait::Armed { since }) => {
+                            if now.duration_since(since) >= f.loss_timeout {
+                                if evidence {
+                                    promote_loss(
+                                        k,
+                                        &mut exec_q[0],
+                                        &mut history[k],
+                                        &mut stats,
+                                        &mut staleness[k],
+                                        &mut promoted,
+                                    );
+                                    peer_wait[k] = None;
+                                } else {
+                                    // No proof the message was lost rather
+                                    // than the peer slow: ask once before
+                                    // giving up on it.
+                                    ask_retransmit.push(k);
+                                    peer_wait[k] = Some(PeerWait::Grace { asked_at: now });
+                                }
+                            }
                         }
-                        if matches!(exec_q[0].inputs[k], InputSlot::Speculated(_)) {
-                            let sv = match std::mem::replace(
-                                &mut exec_q[0].inputs[k],
-                                InputSlot::Validated,
-                            ) {
-                                InputSlot::Speculated(s) => s,
-                                _ => unreachable!(),
-                            };
-                            history[k].record(front_iter, sv);
-                            stats.speculate_through_loss_commits += 1;
-                            staleness[k] += 1;
-                            if staleness[k] >= f.staleness_budget
-                                && staleness[k].is_multiple_of(f.staleness_budget)
-                            {
-                                ask_retransmit.push(k);
+                        Some(PeerWait::Grace { asked_at }) => {
+                            if evidence {
+                                // The reply (or a late broadcast) proved the
+                                // peer is past the front: the front's
+                                // message is gone for good.
+                                promote_loss(
+                                    k,
+                                    &mut exec_q[0],
+                                    &mut history[k],
+                                    &mut stats,
+                                    &mut staleness[k],
+                                    &mut promoted,
+                                );
+                                peer_wait[k] = None;
+                            } else if last_heard[k] > asked_at {
+                                // The peer answered but is behind the front:
+                                // merely late, not lost. Wait afresh from
+                                // its last sign of life.
+                                peer_wait[k] = Some(PeerWait::Armed {
+                                    since: last_heard[k],
+                                });
+                            } else if now.duration_since(asked_at) >= f.loss_timeout {
+                                // Total silence through the grace period:
+                                // the request or its reply was lost too.
+                                promote_loss(
+                                    k,
+                                    &mut exec_q[0],
+                                    &mut history[k],
+                                    &mut stats,
+                                    &mut staleness[k],
+                                    &mut promoted,
+                                );
+                                peer_wait[k] = None;
                             }
                         }
                     }
-                    for k in ask_retransmit {
-                        transport.send(
-                            Rank(k),
-                            RETRANS_REQ_TAG,
-                            IterMsg {
-                                iter: last_broadcast.0,
-                                data: last_broadcast.1.clone(),
-                            },
-                        );
-                        stats.messages_sent += 1;
-                        stats.retransmit_requests += 1;
-                    }
+                }
+                for k in ask_retransmit {
+                    transport.send(
+                        Rank(k),
+                        RETRANS_REQ_TAG,
+                        IterMsg {
+                            iter: last_broadcast.0,
+                            data: last_broadcast.1.clone(),
+                        },
+                    );
+                    stats.messages_sent += 1;
+                    stats.retransmit_requests += 1;
                 }
             }
         }
@@ -627,8 +728,10 @@ where
                         // from: proceed without this peer's contribution.
                         // Only reachable with fault tolerance on.
                         debug_assert!(force_execute);
-                        stats.speculate_through_loss_commits += 1;
-                        staleness[k] += 1;
+                        if promoted.insert((k, t_exec)) {
+                            stats.speculate_through_loss_commits += 1;
+                            staleness[k] += 1;
+                        }
                         if let Some(f) = &ft {
                             if staleness[k] >= f.staleness_budget
                                 && staleness[k].is_multiple_of(f.staleness_budget)
@@ -729,8 +832,10 @@ where
         // ------------------------------------------------------------------
         // Phase 3: nothing to compute — block for the next message. With
         // fault tolerance on, the wait is bounded by whichever comes first:
-        // the stuck queue head's loss timeout, the starvation timeout, or
-        // this rank's next scripted crash.
+        // a missing peer's loss deadline (armed or in grace), the
+        // starvation timeout, or this rank's next scripted crash. The
+        // transport wakes exactly at the arrival or the deadline, so
+        // θ-acceptance decisions do not depend on any poll interval.
         // ------------------------------------------------------------------
         let t0 = transport.now();
         let env = if let Some(f) = &ft {
@@ -744,8 +849,11 @@ where
                     _ => d,
                 });
             };
-            if let Some((_, since)) = front_waiting_since {
-                consider(since + f.loss_timeout);
+            for w in peer_wait.iter().flatten() {
+                match w {
+                    PeerWait::Armed { since } => consider(*since + f.loss_timeout),
+                    PeerWait::Grace { asked_at } => consider(*asked_at + f.loss_timeout),
+                }
             }
             if let Some(s) = starved_since {
                 consider(s + f.loss_timeout);
@@ -778,6 +886,7 @@ where
             if ft.is_some() {
                 let src = env.src;
                 staleness[src.0] = 0;
+                last_heard[src.0] = transport.now();
                 if env.tag == RETRANS_REQ_TAG {
                     transport.send(
                         src,
@@ -1390,8 +1499,10 @@ mod tests {
     #[test]
     fn fault_tolerant_config_on_reliable_net_matches_fault_free_values() {
         // Same network, same app; the only difference is the bounded waits.
-        // Timing may differ (polling granularity) but committed values and
-        // message counts must not, and nothing may be promoted.
+        // Those waits are event-driven (the transport wakes exactly at the
+        // arrival or the deadline), so not just the committed values and
+        // message counts but the per-rank timings must match exactly, and
+        // nothing may be promoted.
         let p = 4;
         let iters = 12;
         let plain = run_toy(p, iters, 0.05, SpecConfig::speculative(1), 2).0;
@@ -1400,6 +1511,10 @@ mod tests {
         let tolerant = run_toy_with_faults(p, iters, 0.05, cfg, 2, FaultSpec::none());
         for (j, (x, stats)) in tolerant.iter().enumerate() {
             assert_eq!(*x, plain[j].0, "rank {j} values must match exactly");
+            assert_eq!(
+                stats.total_time, plain[j].1.total_time,
+                "rank {j} timing must match exactly"
+            );
             assert_eq!(stats.iterations, iters);
             assert_eq!(stats.speculate_through_loss_commits, 0);
             assert_eq!(stats.peer_restarts, 0);

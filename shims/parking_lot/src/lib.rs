@@ -10,7 +10,7 @@
 
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A mutual-exclusion primitive with `parking_lot`'s panic-free API.
 #[derive(Debug, Default)]
@@ -103,6 +103,17 @@ impl Condvar {
         WaitTimeoutResult(res.timed_out())
     }
 
+    /// Block until notified or the absolute `deadline` passes. A deadline
+    /// already in the past returns immediately as timed out.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+
     /// Wake one waiting thread.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -162,6 +173,20 @@ mod tests {
         let cv = Condvar::new();
         let mut g = m.lock();
         let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn wait_until_honours_absolute_deadlines() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let start = Instant::now();
+        let res = cv.wait_until(&mut g, start + Duration::from_millis(5));
+        assert!(res.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        // A deadline in the past returns immediately.
+        let res = cv.wait_until(&mut g, start);
         assert!(res.timed_out());
     }
 
