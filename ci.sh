@@ -48,4 +48,16 @@ echo "== kernels bench smoke (release)"
 # the repo root (cargo bench -p runs with the package dir as cwd).
 SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench kernels
 
+echo "== transport bench smoke (release)"
+# Emits BENCH_transport.json: messages/sec for broadcast and ping-pong
+# traffic over all three Transport backends (sim, thread, socket).
+SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench transport_regression
+
+echo "== transport regression gate"
+# Compare the fresh BENCH_transport.json against the checked-in
+# throughput floors; fail on >25% regression below budget. Refresh the
+# floors with BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh after intentional
+# perf changes or a CI hardware move.
+ci/bench_gate.sh
+
 echo "CI green."

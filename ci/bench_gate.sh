@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Transport regression gate: compare the fresh BENCH_transport.json
+# against the checked-in per-row throughput budgets and fail CI when any
+# backend×mode row has regressed by more than 25%.
+#
+# Usage:
+#   ci/bench_gate.sh                    # gate against ci/bench_budgets.json
+#   BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh
+#                                       # rewrite the budgets from the
+#                                       # fresh artifact (commit the diff)
+#
+# The artifact is produced by the transport_regression bench
+# (crates/bench/benches/transport_regression.rs); ci.sh runs that bench
+# immediately before this gate, so the comparison is always against
+# numbers measured on the machine running CI. Budgets are therefore
+# machine-relative: refresh them (BENCH_UPDATE_BUDGETS=1) when moving CI
+# to slower or faster hardware, and commit the regenerated file.
+#
+# A budget is a *guaranteed-attainable floor*, not a peak: the update
+# path writes half the measured best-of-9 throughput, absorbing the
+# host-level variance shared CI machines exhibit between invocations.
+# The 25% tolerance then sits on top of that floor, so the gate trips on
+# real structural regressions (an accidental sleep, a quadratic copy, a
+# lost fast path) rather than on a noisy neighbour.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARTIFACT="${BENCH_TRANSPORT_ARTIFACT:-BENCH_transport.json}"
+BUDGETS="ci/bench_budgets.json"
+# A row fails when fresh < budget * TOLERANCE (i.e. >25% regression).
+TOLERANCE="0.75"
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "bench gate: jq not found; skipping (gate requires jq)" >&2
+    exit 0
+fi
+
+if [[ ! -f "$ARTIFACT" ]]; then
+    echo "bench gate: $ARTIFACT missing — run the transport_regression bench first:" >&2
+    echo "  SPEC_BENCH_OUT=\"\$PWD\" cargo bench -q -p spec-bench --bench transport_regression" >&2
+    exit 1
+fi
+
+if [[ "${BENCH_UPDATE_BUDGETS:-0}" == "1" ]]; then
+    jq '{budgets: (.rows | map({key: "\(.backend)_\(.mode)", value: (.msgs_per_sec * 0.5 | floor)}) | from_entries)}' \
+        "$ARTIFACT" >"$BUDGETS"
+    echo "bench gate: rewrote $BUDGETS from $ARTIFACT:"
+    cat "$BUDGETS"
+    exit 0
+fi
+
+if [[ ! -f "$BUDGETS" ]]; then
+    echo "bench gate: $BUDGETS missing — bootstrap with BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh" >&2
+    exit 1
+fi
+
+fail=0
+while IFS=$'\t' read -r key fresh; do
+    budget=$(jq -r --arg k "$key" '.budgets[$k] // empty' "$BUDGETS")
+    if [[ -z "$budget" ]]; then
+        echo "FAIL  $key: no budget in $BUDGETS (add it with BENCH_UPDATE_BUDGETS=1)"
+        fail=1
+        continue
+    fi
+    floor=$(jq -n --argjson b "$budget" --argjson t "$TOLERANCE" '$b * $t')
+    ok=$(jq -n --argjson f "$fresh" --argjson fl "$floor" '$f >= $fl')
+    pct=$(jq -n --argjson f "$fresh" --argjson b "$budget" '100 * $f / $b | floor')
+    if [[ "$ok" == "true" ]]; then
+        printf 'ok    %-18s %12.0f msgs/s  (budget %s, %s%%)\n' "$key" "$fresh" "$budget" "$pct"
+    else
+        printf 'FAIL  %-18s %12.0f msgs/s  < 75%% of budget %s (%s%%)\n' "$key" "$fresh" "$budget" "$pct"
+        fail=1
+    fi
+done < <(jq -r '.rows[] | "\(.backend)_\(.mode)\t\(.msgs_per_sec)"' "$ARTIFACT")
+
+# Every budgeted row must also be present in the artifact, so deleting a
+# bench row can't silently pass the gate.
+while IFS= read -r key; do
+    present=$(jq -r --arg k "$key" '.rows | map("\(.backend)_\(.mode)") | index($k) != null' "$ARTIFACT")
+    if [[ "$present" != "true" ]]; then
+        echo "FAIL  $key: budgeted row missing from $ARTIFACT"
+        fail=1
+    fi
+done < <(jq -r '.budgets | keys[]' "$BUDGETS")
+
+if [[ "$fail" != "0" ]]; then
+    echo "bench gate: transport throughput regressed >25% (or rows drifted); see above." >&2
+    echo "If the regression is intended, refresh budgets: BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh" >&2
+    exit 1
+fi
+echo "bench gate: all transport rows within budget."

@@ -1,0 +1,179 @@
+//! Transport backend regression bench: the same two traffic patterns —
+//! all-to-all broadcast throughput and two-rank ping-pong latency — run
+//! over all three `Transport` backends (virtual-time sim, in-process
+//! threads, loopback TCP sockets), in the style of a networking stack's
+//! notifications-protocol benches.
+//!
+//! Each row is the best-of-9 wall-clock time of the *whole cluster run*,
+//! setup included: the bench measures the backend as deployed (socket
+//! rows pay their mesh handshake, sim rows pay the event kernel), so a
+//! regression in any layer — codec, framing, mailbox, scheduler — moves
+//! the number. Rows persist as `BENCH_transport.json`;
+//! `ci/bench_gate.sh` fails CI when any `msgs_per_sec` falls more than
+//! 25% below the checked-in budget (`ci/bench_budgets.json`, refreshed
+//! with `BENCH_UPDATE_BUDGETS=1`).
+
+use std::time::Instant;
+
+use desim::SimDuration;
+use mpk::{
+    run_sim_cluster, run_socket_cluster, run_thread_cluster, Rank, SocketClusterOptions, Tag,
+    ThreadClusterOptions, Transport,
+};
+use netsim::{ClusterSpec, ConstantLatency, Unloaded};
+use spec_bench::artifact::{transport_json, TransportRow};
+
+const BROADCAST_P: usize = 4;
+const BROADCAST_FLOATS: usize = 256;
+const BROADCAST_ITERS: u64 = 64;
+const PINGPONG_FLOATS: usize = 8;
+const PINGPONG_ROUNDS: u64 = 256;
+
+/// Best (minimum) seconds for one call of `run`, over `samples` calls.
+/// Scheduler and load noise only ever add time, so the minimum is the
+/// stablest estimator for a regression gate — a real code regression
+/// moves it, a busy CI machine mostly doesn't.
+fn best_secs(samples: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warm-up: page in code, prime the loopback stack
+    (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Every rank broadcasts a payload and drains its `p − 1` inbound copies,
+/// each iteration — the exact traffic shape of the speculative driver's
+/// exchange phase.
+fn broadcast_driver<T: Transport<Msg = Vec<f64>>>(t: &mut T, floats: usize, iters: u64) -> u64 {
+    let payload = vec![1.0f64; floats];
+    let mut received = 0u64;
+    for _ in 0..iters {
+        t.broadcast(Tag(0), payload.clone());
+        for _ in 0..t.size() - 1 {
+            let env = t.recv();
+            received += env.msg.len() as u64;
+        }
+    }
+    received
+}
+
+/// Rank 0 sends and awaits the echo; rank 1 echoes — round-trip latency.
+fn pingpong_driver<T: Transport<Msg = Vec<f64>>>(t: &mut T, floats: usize, rounds: u64) -> u64 {
+    let payload = vec![1.0f64; floats];
+    let mut received = 0u64;
+    for _ in 0..rounds {
+        if t.rank() == Rank(0) {
+            t.send(Rank(1), Tag(0), payload.clone());
+            received += t.recv().msg.len() as u64;
+        } else {
+            let env = t.recv();
+            received += env.msg.len() as u64;
+            t.send(Rank(0), Tag(0), env.msg);
+        }
+    }
+    received
+}
+
+fn run_backend(backend: &str, mode: &str) -> TransportRow {
+    let (p, floats, iters, msgs) = match mode {
+        "broadcast" => (
+            BROADCAST_P,
+            BROADCAST_FLOATS,
+            BROADCAST_ITERS,
+            (BROADCAST_P * (BROADCAST_P - 1)) as u64 * BROADCAST_ITERS,
+        ),
+        "pingpong" => (2, PINGPONG_FLOATS, PINGPONG_ROUNDS, 2 * PINGPONG_ROUNDS),
+        other => unreachable!("unknown mode {other}"),
+    };
+    let is_broadcast = mode == "broadcast";
+    let secs = match backend {
+        "sim" => best_secs(9, || {
+            let cluster = ClusterSpec::homogeneous(p, 1000.0);
+            let (outs, _) = run_sim_cluster::<Vec<f64>, _, _>(
+                &cluster,
+                ConstantLatency(SimDuration::from_micros(10)),
+                Unloaded,
+                false,
+                move |t| {
+                    if is_broadcast {
+                        broadcast_driver(t, floats, iters)
+                    } else {
+                        pingpong_driver(t, floats, iters)
+                    }
+                },
+            )
+            .unwrap();
+            assert!(outs.iter().all(|&r| r > 0));
+        }),
+        "thread" => best_secs(9, || {
+            let outs = run_thread_cluster::<Vec<f64>, _, _>(
+                p,
+                ThreadClusterOptions::default(),
+                move |t| {
+                    if is_broadcast {
+                        broadcast_driver(t, floats, iters)
+                    } else {
+                        pingpong_driver(t, floats, iters)
+                    }
+                },
+            );
+            assert!(outs.iter().all(|&r| r > 0));
+        }),
+        "socket" => best_secs(9, || {
+            let outs = run_socket_cluster::<Vec<f64>, _, _>(
+                p,
+                SocketClusterOptions::default(),
+                move |t| {
+                    if is_broadcast {
+                        broadcast_driver(t, floats, iters)
+                    } else {
+                        pingpong_driver(t, floats, iters)
+                    }
+                },
+            );
+            assert!(outs.iter().all(|&r| r > 0));
+        }),
+        other => unreachable!("unknown backend {other}"),
+    };
+    TransportRow {
+        backend: backend.into(),
+        mode: mode.into(),
+        p,
+        payload_floats: floats,
+        msgs,
+        secs,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for backend in ["sim", "thread", "socket"] {
+        for mode in ["broadcast", "pingpong"] {
+            rows.push(run_backend(backend, mode));
+        }
+    }
+
+    println!("transport backend regression (messages/sec, setup included):");
+    for row in &rows {
+        println!(
+            "  {:<7} {:<10} p={} payload={:>4} f64  {:>10.0} msgs/s  ({:.3} ms/run)",
+            row.backend,
+            row.mode,
+            row.p,
+            row.payload_floats,
+            row.msgs_per_sec(),
+            row.secs * 1e3
+        );
+    }
+
+    match spec_bench::artifact::write("transport", &transport_json(&rows)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write transport artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -158,6 +158,61 @@ pub fn kernels_json(rows: &[KernelRow]) -> Json {
     ])
 }
 
+/// One wall-clock measurement of a transport backend moving messages:
+/// `msgs` messages in `secs` best-of-N seconds (cluster setup included —
+/// the row measures the backend as deployed, not an idealized steady
+/// state).
+#[derive(Clone, Debug)]
+pub struct TransportRow {
+    /// Backend under test (`"sim"`, `"thread"`, `"socket"`).
+    pub backend: String,
+    /// Traffic pattern (`"broadcast"` for all-to-all throughput,
+    /// `"pingpong"` for two-rank latency).
+    pub mode: String,
+    /// Cluster size.
+    pub p: usize,
+    /// Payload size in f64 elements per message.
+    pub payload_floats: usize,
+    /// Messages moved per run (every rank's sends, summed).
+    pub msgs: u64,
+    /// Best-of-N seconds per run (min filters scheduler noise).
+    pub secs: f64,
+}
+
+impl TransportRow {
+    /// Throughput in messages per second — the budget-gated metric.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.msgs as f64 / self.secs
+    }
+}
+
+/// Transport throughput/latency rows (sim vs thread vs socket) as JSON —
+/// the artifact `ci/bench_gate.sh` compares against checked-in budgets.
+pub fn transport_json(rows: &[TransportRow]) -> Json {
+    Json::obj([
+        ("name", Json::Str("transport".into())),
+        ("kind", Json::Str("transport_backend_regression".into())),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("backend", Json::Str(r.backend.clone())),
+                            ("mode", Json::Str(r.mode.clone())),
+                            ("p", Json::U64(r.p as u64)),
+                            ("payload_floats", Json::U64(r.payload_floats as u64)),
+                            ("msgs", Json::U64(r.msgs)),
+                            ("secs", f(r.secs)),
+                            ("msgs_per_sec", f(r.msgs_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Table 2 rows (per-phase seconds per iteration) as JSON.
 pub fn table2_json(rows: &[Table2Row]) -> Json {
     Json::obj([

@@ -13,19 +13,31 @@
 //! * [`run_thread_cluster`] / [`ThreadTransport`] — ranks are real OS
 //!   threads exchanging messages through in-process mailboxes with
 //!   optionally injected latency: the live "channel-based port".
+//! * [`run_socket_cluster`] / [`SocketTransport`] — ranks are processes
+//!   (or loopback threads) exchanging length-prefixed frames over a full
+//!   mesh of real TCP sockets: delay and disconnects come from the
+//!   kernel's network stack, not a model.
 //!
-//! Algorithms written once against [`Transport`] run on both.
+//! Algorithms written once against [`Transport`] run on all three.
 
 #![warn(missing_docs)]
 
+mod codec;
 mod sim;
+mod socket;
 mod threads;
 mod transport;
 mod types;
 
+pub use codec::{decode_exact, encode_to_vec, encoded_len_matches_wire_size, WireCodec};
 pub use sim::{
     run_sim_cluster, run_sim_cluster_with_faults, run_sim_cluster_with_options, Corruptor,
     FaultSpec, SimClusterOptions, SimTransport,
+};
+pub use socket::{
+    connect_socket_cluster, connect_socket_cluster_with_faults, run_socket_cluster,
+    run_socket_cluster_with_faults, SocketClusterOptions, SocketTransport, FRAME_OVERHEAD,
+    KIND_DATA, KIND_HELLO, WIRE_VERSION,
 };
 pub use threads::{
     run_thread_cluster, run_thread_cluster_with_faults, ThreadClusterOptions, ThreadTransport,

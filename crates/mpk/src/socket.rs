@@ -1,0 +1,1125 @@
+//! Real TCP transport backend: ranks are processes (or threads, in
+//! loopback mode) exchanging length-prefixed frames over a full mesh of
+//! `std::net` sockets.
+//!
+//! This is the step the paper's PVM setting takes out of the process:
+//! delay, batching, and disconnects come from a real network stack
+//! instead of an injected model. The backend keeps the exact receive
+//! discipline of [`ThreadTransport`](crate::ThreadTransport) — one
+//! per-peer reader thread feeds the same condvar mailbox, so `recv`,
+//! `try_recv`, and the event-driven `recv_timeout` behave identically —
+//! which is what makes three-way agreement (sim ≡ thread ≡ socket) under
+//! exact semantics provable rather than hoped-for.
+//!
+//! # Wire format
+//!
+//! Every frame is `[len: u32][version: u8][kind: u8][src: u32][tag: u32]
+//! [payload…]`, all little-endian; `len` counts everything after itself.
+//! `kind` is [`KIND_HELLO`] during the handshake and [`KIND_DATA`] after;
+//! payloads are encoded with [`WireCodec`]. A frame that fails to decode
+//! is *dropped*, not surfaced: on a real wire, a corrupt frame is a lost
+//! message (the fault-tolerant drivers already treat it exactly like
+//! loss).
+//!
+//! # Handshake
+//!
+//! Connection establishment is deterministic and rank-ordered: rank `r`
+//! dials every lower rank (retrying while peers are still starting) and
+//! then accepts one connection from every higher rank, identifying each
+//! accepted peer by the `HELLO` frame it must send first. Rank 0 dials
+//! no one, so it reaches its accept loop immediately; by induction every
+//! dial finds a listening accept loop and the mesh cannot deadlock.
+//!
+//! # Faults and disconnects
+//!
+//! [`run_socket_cluster_with_faults`] applies a [`FaultSpec`] at the
+//! frame layer of the *sender*: dropped fates are never written,
+//! duplicate fates re-write the encoded frame, and corruption either
+//! runs the spec's payload corruptor (sim-compatible semantics) or, when
+//! none is given, flips a byte of the encoded payload before the write.
+//! A peer that disconnects (TCP reset or EOF) is surfaced as a
+//! [`Mark::PeerCrashed`] event and the transport keeps working — the
+//! reader thread never panics, and bounded waits keep expiring — which
+//! feeds the same crash/recovery path the fault-tolerant driver already
+//! handles.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use desim::{SimDuration, SimTime};
+use netsim::{FaultModel, MsgCtx};
+use obs::{Mark, Recorder};
+use parking_lot::Mutex;
+
+use crate::codec::WireCodec;
+use crate::sim::FaultSpec;
+use crate::threads::ThreadMailbox;
+use crate::transport::Transport;
+use crate::types::{Envelope, FaultCounters, Rank, Tag, WireSize, HEADER_BYTES};
+
+/// Wire protocol version carried in every frame header.
+pub const WIRE_VERSION: u8 = 1;
+/// Handshake frame: `tag` is unused, payload is the sender's cluster size.
+pub const KIND_HELLO: u8 = 0;
+/// Data frame: `src`/`tag` are the envelope fields, payload a [`WireCodec`]
+/// encoding of the message.
+pub const KIND_DATA: u8 = 1;
+/// Bytes of header inside the length-counted region (version + kind +
+/// src + tag).
+const FRAME_HEADER: usize = 10;
+/// Total framing overhead per message on the wire (length prefix plus
+/// header).
+pub const FRAME_OVERHEAD: usize = 4 + FRAME_HEADER;
+/// Upper bound on a frame's length-prefix; anything larger is treated as
+/// a corrupt stream, not an allocation request.
+const MAX_FRAME: usize = 256 << 20;
+
+/// Configuration of a socket-backed cluster.
+#[derive(Clone, Debug)]
+pub struct SocketClusterOptions {
+    /// Nominal speed for [`Transport::compute`], in million ops per
+    /// second (matches [`ThreadClusterOptions::mips`]
+    /// (crate::ThreadClusterOptions::mips)).
+    pub mips: f64,
+    /// How long a dialing rank retries a peer that is not yet listening
+    /// before giving up. Loopback clusters connect instantly; the slack
+    /// exists for multi-process starts from separate terminals.
+    pub connect_timeout: Duration,
+    /// Set `TCP_NODELAY` on every connection. On by default: the
+    /// workloads exchange small latency-sensitive frames, exactly the
+    /// case Nagle batching hurts.
+    pub nodelay: bool,
+}
+
+impl Default for SocketClusterOptions {
+    fn default() -> Self {
+        SocketClusterOptions {
+            mips: 1000.0,
+            connect_timeout: Duration::from_secs(30),
+            nodelay: true,
+        }
+    }
+}
+
+/// What a reader thread delivers into the mailbox: a decoded message or
+/// the news that the peer's connection is gone.
+enum SocketEvent<M> {
+    Data(M),
+    PeerGone,
+}
+
+/// Shared fault state of a socket cluster (loopback mode shares one
+/// across ranks, matching the thread backend; multi-process mode gives
+/// each process its own).
+struct SocketFaults<M> {
+    spec: Mutex<FaultSpec<M>>,
+    counters: Mutex<Vec<FaultCounters>>,
+    /// Deterministic per-hit counter handed to corruptors.
+    salt: AtomicU64,
+}
+
+impl<M> SocketFaults<M> {
+    fn new(spec: FaultSpec<M>, p: usize) -> Self {
+        SocketFaults {
+            spec: Mutex::new(spec),
+            counters: Mutex::new(vec![FaultCounters::default(); p]),
+            salt: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One decoded frame: `(kind, src, tag, payload)`.
+type Frame = (u8, u32, u32, Vec<u8>);
+
+/// Read one frame. `Ok(None)` on a clean EOF at a frame boundary; any
+/// malformed header is an error (the stream cannot be resynchronized).
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Frame>> {
+    let mut len_raw = [0u8; 4];
+    match stream.read_exact(&mut len_raw) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_raw) as usize;
+    if !(FRAME_HEADER..=MAX_FRAME).contains(&len) {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length {len} out of bounds"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    if body[0] != WIRE_VERSION {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("wire version {} (expected {WIRE_VERSION})", body[0]),
+        ));
+    }
+    let kind = body[1];
+    let src = u32::from_le_bytes(body[2..6].try_into().unwrap());
+    let tag = u32::from_le_bytes(body[6..10].try_into().unwrap());
+    let payload = body.split_off(FRAME_HEADER);
+    Ok(Some((kind, src, tag, payload)))
+}
+
+/// Encode a frame into `out` (cleared first).
+fn encode_frame(out: &mut Vec<u8>, kind: u8, src: u32, tag: u32, payload: &dyn Fn(&mut Vec<u8>)) {
+    out.clear();
+    out.extend_from_slice(&[0; 4]); // length, patched below
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&src.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    payload(out);
+    let len = (out.len() - 4) as u32;
+    out[0..4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn write_hello(stream: &mut TcpStream, rank: usize, size: usize) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + 4);
+    encode_frame(&mut frame, KIND_HELLO, rank as u32, 0, &|out| {
+        out.extend_from_slice(&(size as u32).to_le_bytes());
+    });
+    stream.write_all(&frame)
+}
+
+/// Read and validate a `HELLO`, returning the peer's rank.
+fn read_hello(stream: &mut TcpStream, size: usize) -> std::io::Result<usize> {
+    let (kind, src, _tag, payload) = read_frame(stream)?.ok_or_else(|| {
+        std::io::Error::new(ErrorKind::UnexpectedEof, "peer closed during handshake")
+    })?;
+    let bad = |msg: String| std::io::Error::new(ErrorKind::InvalidData, msg);
+    if kind != KIND_HELLO {
+        return Err(bad(format!("expected HELLO, got frame kind {kind}")));
+    }
+    let peer_size = payload
+        .get(0..4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()) as usize)
+        .ok_or_else(|| bad("HELLO payload truncated".into()))?;
+    if peer_size != size {
+        return Err(bad(format!(
+            "peer believes cluster size is {peer_size}, ours is {size}"
+        )));
+    }
+    let peer = src as usize;
+    if peer >= size {
+        return Err(bad(format!(
+            "peer rank {peer} out of range for size {size}"
+        )));
+    }
+    Ok(peer)
+}
+
+/// Dial `addr`, retrying while the peer process may still be starting.
+fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!("connecting to peer {addr} timed out: {e}"),
+                ));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// A rank's endpoint on a socket-backed cluster.
+pub struct SocketTransport<M> {
+    rank: Rank,
+    size: usize,
+    opts: SocketClusterOptions,
+    /// Write halves of the mesh, by peer rank (`None` for self and for
+    /// peers whose connection has failed).
+    writers: Vec<Option<TcpStream>>,
+    mailbox: Arc<ThreadMailbox<SocketEvent<M>>>,
+    epoch: Instant,
+    rec: Option<Box<dyn Recorder>>,
+    faults: Option<Arc<SocketFaults<M>>>,
+    /// Frame bytes actually written to the wire by this rank.
+    bytes_sent: u64,
+    /// Frame bytes actually read off the wire by this rank's readers.
+    bytes_received: Arc<AtomicU64>,
+    /// Frames whose payload failed to decode (dropped as corrupt).
+    decode_failures: Arc<AtomicU64>,
+    /// Peers whose connection has been observed down (crash events
+    /// already emitted).
+    peer_down: Vec<bool>,
+    scratch: Vec<u8>,
+}
+
+impl<M: WireCodec + Send + 'static> SocketTransport<M> {
+    /// Build a transport from an already-bound listener and the full
+    /// address list. `addrs[rank]` must be this process's own listener
+    /// address; the call blocks until the full mesh is up.
+    fn establish(
+        rank: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        opts: SocketClusterOptions,
+        faults: Option<Arc<SocketFaults<M>>>,
+        epoch: Instant,
+    ) -> std::io::Result<Self> {
+        let size = addrs.len();
+        assert!(rank < size, "rank {rank} out of range for {size} addrs");
+        let mut conns: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+
+        // Phase 1: dial every lower rank, in rank order.
+        for peer in 0..rank {
+            let mut s = connect_with_retry(addrs[peer], opts.connect_timeout)?;
+            s.set_nodelay(opts.nodelay)?;
+            write_hello(&mut s, rank, size)?;
+            let replied = read_hello(&mut s, size)?;
+            if replied != peer {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("dialed rank {peer} but rank {replied} answered"),
+                ));
+            }
+            conns[peer] = Some(s);
+        }
+
+        // Phase 2: accept one connection from every higher rank,
+        // identified by its HELLO.
+        for _ in rank + 1..size {
+            let (mut s, _) = listener.accept()?;
+            s.set_nodelay(opts.nodelay)?;
+            let peer = read_hello(&mut s, size)?;
+            if peer <= rank || conns[peer].is_some() {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("unexpected HELLO from rank {peer}"),
+                ));
+            }
+            write_hello(&mut s, rank, size)?;
+            conns[peer] = Some(s);
+        }
+
+        let mailbox = Arc::new(ThreadMailbox::new());
+        let bytes_received = Arc::new(AtomicU64::new(0));
+        let decode_failures = Arc::new(AtomicU64::new(0));
+        for (peer, conn) in conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            let reader = conn.try_clone()?;
+            spawn_reader(
+                reader,
+                peer,
+                Arc::clone(&mailbox),
+                Arc::clone(&bytes_received),
+                Arc::clone(&decode_failures),
+            );
+        }
+
+        Ok(SocketTransport {
+            rank: Rank(rank),
+            size,
+            opts,
+            writers: conns,
+            mailbox,
+            epoch,
+            rec: None,
+            faults,
+            bytes_sent: 0,
+            bytes_received,
+            decode_failures,
+            peer_down: vec![false; size],
+            scratch: Vec::new(),
+        })
+    }
+}
+
+/// One reader thread per peer connection: read frames, decode, deliver
+/// into the shared mailbox. The thread must never panic — every failure
+/// mode (EOF, reset, garbage) reduces to either "frame dropped" or
+/// "peer gone".
+fn spawn_reader<M: WireCodec + Send + 'static>(
+    mut stream: TcpStream,
+    peer: usize,
+    mailbox: Arc<ThreadMailbox<SocketEvent<M>>>,
+    bytes_received: Arc<AtomicU64>,
+    decode_failures: Arc<AtomicU64>,
+) {
+    std::thread::spawn(move || {
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some((kind, src, tag, payload))) => {
+                    if kind != KIND_DATA || src as usize != peer {
+                        // A frame claiming another origin on a
+                        // point-to-point connection is corruption.
+                        decode_failures.fetch_add(1, AtomicOrdering::Relaxed);
+                        continue;
+                    }
+                    bytes_received.fetch_add(
+                        (FRAME_OVERHEAD + payload.len()) as u64,
+                        AtomicOrdering::Relaxed,
+                    );
+                    match crate::codec::decode_exact::<M>(&payload) {
+                        Some(msg) => mailbox.push(
+                            Instant::now(),
+                            Envelope {
+                                src: Rank(peer),
+                                tag: Tag(tag),
+                                msg: SocketEvent::Data(msg),
+                            },
+                        ),
+                        // Corrupt payload: the frame is lost, exactly
+                        // like a datagram failing its checksum.
+                        None => {
+                            decode_failures.fetch_add(1, AtomicOrdering::Relaxed);
+                        }
+                    }
+                }
+                // EOF or connection error: the peer is gone. Deliver the
+                // event and exit; pending bounded waits keep expiring and
+                // the driver's crash path takes over.
+                Ok(None) | Err(_) => {
+                    mailbox.push(
+                        Instant::now(),
+                        Envelope {
+                            src: Rank(peer),
+                            tag: Tag(0),
+                            msg: SocketEvent::PeerGone,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    });
+}
+
+impl<M> SocketTransport<M> {
+    /// Attach a structured telemetry sink for this rank (same contract
+    /// as [`ThreadTransport::set_recorder`]
+    /// (crate::ThreadTransport::set_recorder)).
+    pub fn set_recorder(&mut self, rec: Box<dyn Recorder>) {
+        self.rec = Some(rec);
+    }
+
+    /// How many times this rank's timed receives have blocked on the
+    /// mailbox condvar (the zero-spin property carries over from the
+    /// thread backend — frames arriving over TCP notify the same
+    /// condvar).
+    pub fn timed_waits(&self) -> u64 {
+        self.mailbox.timed_waits.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Actual frame bytes this rank has written to and read from the
+    /// wire, including framing overhead: `(sent, received)`.
+    pub fn bytes_on_wire(&self) -> (u64, u64) {
+        (
+            self.bytes_sent,
+            self.bytes_received.load(AtomicOrdering::Relaxed),
+        )
+    }
+
+    /// Frames discarded because their payload failed to decode.
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Peers whose TCP connection has been observed down so far.
+    pub fn disconnected_peers(&self) -> Vec<Rank> {
+        self.peer_down
+            .iter()
+            .enumerate()
+            .filter_map(|(r, down)| down.then_some(Rank(r)))
+            .collect()
+    }
+
+    fn t_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a peer's disconnect exactly once, as the crash-model event
+    /// the recovery path consumes.
+    fn note_peer_gone(&mut self, peer: Rank) {
+        if self.peer_down[peer.0] {
+            return;
+        }
+        self.peer_down[peer.0] = true;
+        self.writers[peer.0] = None;
+        let t_ns = self.t_ns();
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.mark(
+                self.rank.0 as u32,
+                t_ns,
+                Mark::PeerCrashed {
+                    peer: peer.0 as u32,
+                },
+            );
+        }
+    }
+
+    /// Turn a mailbox event into a deliverable envelope, or consume it
+    /// as a disconnect notification.
+    fn service(&mut self, env: Envelope<SocketEvent<M>>) -> Option<Envelope<M>> {
+        match env.msg {
+            SocketEvent::Data(msg) => Some(Envelope {
+                src: env.src,
+                tag: env.tag,
+                msg,
+            }),
+            SocketEvent::PeerGone => {
+                self.note_peer_gone(env.src);
+                None
+            }
+        }
+    }
+}
+
+impl<M: WireCodec + WireSize + Clone + Send + 'static> SocketTransport<M> {
+    fn mark_recv(&mut self, env: &Envelope<M>) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            let bytes = (env.msg.wire_size() + FRAME_OVERHEAD) as u64;
+            let t_ns = self.epoch.elapsed().as_nanos() as u64;
+            r.mark(
+                self.rank.0 as u32,
+                t_ns,
+                Mark::MsgRecv {
+                    from: env.src.0 as u32,
+                    bytes,
+                },
+            );
+        }
+    }
+}
+
+impl<M: WireCodec + WireSize + Clone + Send + 'static> Transport for SocketTransport<M> {
+    type Msg = M;
+
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, to: Rank, tag: Tag, msg: M) {
+        assert!(to.0 < self.size, "send to out-of-range rank {to}");
+        assert_ne!(to, self.rank, "self-sends are not modelled");
+        // The fault layer reasons in modelled bytes (payload + modelled
+        // header), like the other backends; wire marks below use real
+        // frame bytes.
+        let model_bytes = msg.wire_size() + HEADER_BYTES;
+        let t_now = SimTime::from_nanos(self.t_ns());
+        let mut extra_copies = 0u32;
+        let mut msg = msg;
+        let mut flip_salt = None;
+        if let Some(fs) = &self.faults {
+            let ctx = MsgCtx {
+                src: self.rank.0,
+                dst: to.0,
+                bytes: model_bytes,
+                now: t_now,
+            };
+            let mut spec = fs.spec.lock();
+            let mut fate = spec.model.fate(&ctx);
+            if spec.crashes.is_down(to.0, t_now) {
+                fate.deliver = false;
+            }
+            if !fate.deliver {
+                fs.counters.lock()[self.rank.0].dropped += 1;
+                let t_ns = self.t_ns();
+                if let Some(r) = self.rec.as_deref_mut() {
+                    let rank = self.rank.0 as u32;
+                    r.mark(
+                        rank,
+                        t_ns,
+                        Mark::MsgSent {
+                            to: to.0 as u32,
+                            bytes: model_bytes as u64,
+                        },
+                    );
+                    r.mark(
+                        rank,
+                        t_ns,
+                        Mark::MessageDropped {
+                            to: to.0 as u32,
+                            bytes: model_bytes as u64,
+                        },
+                    );
+                }
+                return;
+            }
+            {
+                let mut counters = fs.counters.lock();
+                counters[self.rank.0].delivered += 1;
+                counters[self.rank.0].duplicated += u64::from(fate.extra_copies);
+            }
+            extra_copies = fate.extra_copies;
+            if fate.corrupt_amp > 0.0 {
+                let salt = fs.salt.fetch_add(1, AtomicOrdering::Relaxed);
+                match spec.corruptor.as_mut() {
+                    // Payload-aware corruption, identical to the sim
+                    // backend's semantics.
+                    Some(c) => c(&mut msg, fate.corrupt_amp, salt),
+                    // No corruptor: flip one byte of the encoded payload
+                    // before the write — frame-layer corruption. The
+                    // receiver either decodes a perturbed value or drops
+                    // the frame as undecodable.
+                    None => flip_salt = Some(salt),
+                }
+            }
+        }
+
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_frame(&mut scratch, KIND_DATA, self.rank.0 as u32, tag.0, &|out| {
+            msg.encode(out)
+        });
+        if let Some(salt) = flip_salt {
+            if scratch.len() > FRAME_OVERHEAD {
+                let span = scratch.len() - FRAME_OVERHEAD;
+                let idx = FRAME_OVERHEAD + (salt as usize) % span;
+                scratch[idx] ^= 0xA5;
+            }
+        }
+
+        let frame_bytes = scratch.len() as u64;
+        let mut wrote = false;
+        if let Some(w) = self.writers[to.0].as_mut() {
+            let mut ok = true;
+            for _ in 0..=extra_copies {
+                if let Err(_e) = w.write_all(&scratch) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                wrote = true;
+                self.bytes_sent += frame_bytes * u64::from(extra_copies + 1);
+            }
+        }
+        self.scratch = scratch;
+
+        let t_ns = self.t_ns();
+        if !wrote {
+            // The connection is gone (or already marked down): the frame
+            // is lost on the floor, like a datagram to a dead host.
+            self.note_peer_gone(to);
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.mark(
+                    self.rank.0 as u32,
+                    t_ns,
+                    Mark::MessageDropped {
+                        to: to.0 as u32,
+                        bytes: frame_bytes,
+                    },
+                );
+            }
+            return;
+        }
+        if let Some(r) = self.rec.as_deref_mut() {
+            let rank = self.rank.0 as u32;
+            r.mark(
+                rank,
+                t_ns,
+                Mark::MsgSent {
+                    to: to.0 as u32,
+                    bytes: frame_bytes,
+                },
+            );
+            if extra_copies > 0 {
+                r.mark(
+                    rank,
+                    t_ns,
+                    Mark::MessageDuplicated {
+                        to: to.0 as u32,
+                        copies: extra_copies,
+                    },
+                );
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<Envelope<M>> {
+        loop {
+            let event = self.mailbox.try_pop()?;
+            if let Some(env) = self.service(event) {
+                self.mark_recv(&env);
+                return Some(env);
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Envelope<M> {
+        loop {
+            let event = self.mailbox.pop_blocking();
+            if let Some(env) = self.service(event) {
+                self.mark_recv(&env);
+                return env;
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<M>> {
+        // Same discipline as the thread backend: one immediate poll, a
+        // zero timeout degrades to that poll, then bounded waits to one
+        // absolute deadline. Disconnect events consume none of the
+        // budget's precision — the wait resumes to the same deadline.
+        if let Some(env) = self.try_recv() {
+            return Some(env);
+        }
+        if timeout == SimDuration::ZERO {
+            return None;
+        }
+        let armed = Instant::now();
+        let deadline = armed + Duration::from_nanos(timeout.as_nanos());
+        loop {
+            match self.mailbox.pop_deadline(deadline) {
+                None => {
+                    let waited_ns = armed.elapsed().as_nanos() as u64;
+                    let t_ns = self.t_ns();
+                    if let Some(r) = self.rec.as_deref_mut() {
+                        r.mark(self.rank.0 as u32, t_ns, Mark::TimerFired { waited_ns });
+                    }
+                    return None;
+                }
+                Some(event) => {
+                    if let Some(env) = self.service(event) {
+                        let waited_ns = armed.elapsed().as_nanos() as u64;
+                        let t_ns = self.t_ns();
+                        if let Some(r) = self.rec.as_deref_mut() {
+                            r.mark(
+                                self.rank.0 as u32,
+                                t_ns,
+                                Mark::RecvWakeup {
+                                    from: env.src.0 as u32,
+                                    waited_ns,
+                                },
+                            );
+                        }
+                        self.mark_recv(&env);
+                        return Some(env);
+                    }
+                }
+            }
+        }
+    }
+
+    fn sleep(&mut self, d: SimDuration) {
+        if d > SimDuration::ZERO {
+            std::thread::sleep(Duration::from_nanos(d.as_nanos()));
+        }
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(|fs| fs.counters.lock()[self.rank.0])
+            .unwrap_or_default()
+    }
+
+    fn compute(&mut self, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        let secs = ops as f64 / (self.opts.mips * 1e6);
+        std::thread::sleep(Duration::from_secs_f64(secs));
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
+        self.rec.as_deref_mut()
+    }
+}
+
+impl<M> Drop for SocketTransport<M> {
+    fn drop(&mut self) {
+        // Half-close every write side so peer readers see a clean EOF
+        // promptly (in-flight data is still delivered first); our own
+        // reader threads exit when peers do the same.
+        for w in self.writers.iter().flatten() {
+            let _ = w.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// Bind `p` loopback listeners on ephemeral ports.
+fn bind_loopback(p: usize) -> std::io::Result<(Vec<TcpListener>, Vec<SocketAddr>)> {
+    let mut listeners = Vec::with_capacity(p);
+    let mut addrs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let l = TcpListener::bind(("127.0.0.1", 0))?;
+        addrs.push(l.local_addr()?);
+        listeners.push(l);
+    }
+    Ok((listeners, addrs))
+}
+
+/// Run one closure per rank on `p` OS threads connected by a full mesh
+/// of real loopback TCP sockets.
+///
+/// Mirrors [`run_thread_cluster`](crate::run_thread_cluster): same
+/// closure signature, results in rank order, panics propagate. The
+/// difference is that every message crosses the kernel's TCP stack.
+pub fn run_socket_cluster<M, R, F>(p: usize, opts: SocketClusterOptions, f: F) -> Vec<R>
+where
+    M: WireCodec + WireSize + Clone + Send + 'static,
+    R: Send,
+    F: Fn(&mut SocketTransport<M>) -> R + Send + Sync,
+{
+    run_socket_cluster_inner(p, opts, None, f)
+}
+
+/// [`run_socket_cluster`] with a frame-layer fault spec shared by all
+/// ranks.
+///
+/// Like the thread backend, fates depend on the real interleaving of
+/// sends, so runs are not reproducible event-for-event; deterministic
+/// *aggregates* (e.g. everything dropped under total loss) still are.
+pub fn run_socket_cluster_with_faults<M, R, F>(
+    p: usize,
+    opts: SocketClusterOptions,
+    faults: FaultSpec<M>,
+    f: F,
+) -> Vec<R>
+where
+    M: WireCodec + WireSize + Clone + Send + 'static,
+    R: Send,
+    F: Fn(&mut SocketTransport<M>) -> R + Send + Sync,
+{
+    run_socket_cluster_inner(p, opts, Some(Arc::new(SocketFaults::new(faults, p))), f)
+}
+
+fn run_socket_cluster_inner<M, R, F>(
+    p: usize,
+    opts: SocketClusterOptions,
+    faults: Option<Arc<SocketFaults<M>>>,
+    f: F,
+) -> Vec<R>
+where
+    M: WireCodec + WireSize + Clone + Send + 'static,
+    R: Send,
+    F: Fn(&mut SocketTransport<M>) -> R + Send + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let (listeners, addrs) = bind_loopback(p).expect("binding loopback listeners failed");
+    let epoch = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(r, listener)| {
+                let addrs = addrs.clone();
+                let opts = opts.clone();
+                let faults = faults.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let mut t =
+                        SocketTransport::establish(r, listener, &addrs, opts, faults, epoch)
+                            .expect("socket mesh handshake failed");
+                    f(&mut t)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+/// Join a multi-process socket cluster as `rank`, binding `addrs[rank]`
+/// locally and meshing with the other processes (which must run the same
+/// call with their own rank).
+///
+/// This is the entrypoint `examples/socket_cluster.rs --rank N --peers …`
+/// uses to run one rank per terminal; the returned transport is the same
+/// type the loopback runner hands its closures.
+pub fn connect_socket_cluster<M>(
+    rank: usize,
+    addrs: &[SocketAddr],
+    opts: SocketClusterOptions,
+) -> std::io::Result<SocketTransport<M>>
+where
+    M: WireCodec + Send + 'static,
+{
+    assert!(
+        rank < addrs.len(),
+        "rank {rank} out of range for {} peers",
+        addrs.len()
+    );
+    let listener = TcpListener::bind(addrs[rank])?;
+    SocketTransport::establish(rank, listener, addrs, opts, None, Instant::now())
+}
+
+/// [`connect_socket_cluster`] with a process-local fault spec (each
+/// process draws its own fates for the frames it sends).
+pub fn connect_socket_cluster_with_faults<M>(
+    rank: usize,
+    addrs: &[SocketAddr],
+    opts: SocketClusterOptions,
+    faults: FaultSpec<M>,
+) -> std::io::Result<SocketTransport<M>>
+where
+    M: WireCodec + Send + 'static,
+{
+    assert!(
+        rank < addrs.len(),
+        "rank {rank} out of range for {} peers",
+        addrs.len()
+    );
+    let p = addrs.len();
+    let listener = TcpListener::bind(addrs[rank])?;
+    SocketTransport::establish(
+        rank,
+        listener,
+        addrs,
+        opts,
+        Some(Arc::new(SocketFaults::new(faults, p))),
+        Instant::now(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Loss, NoFaults};
+
+    #[test]
+    fn ranks_and_size_are_correct() {
+        let ids = run_socket_cluster::<u64, _, _>(3, SocketClusterOptions::default(), |t| {
+            (t.rank().0, t.size())
+        });
+        assert_eq!(ids, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn messages_arrive_with_content_intact() {
+        let sums = run_socket_cluster::<u64, _, _>(4, SocketClusterOptions::default(), |t| {
+            t.broadcast(Tag(0), 10 + t.rank().0 as u64);
+            (0..t.size() - 1).map(|_| t.recv().msg).sum::<u64>()
+        });
+        let total: u64 = 10 + 11 + 12 + 13;
+        for (me, s) in sums.iter().enumerate() {
+            assert_eq!(*s, total - (10 + me as u64));
+        }
+    }
+
+    #[test]
+    fn vec_payloads_round_trip_through_the_wire() {
+        let got = run_socket_cluster::<Vec<f64>, _, _>(2, SocketClusterOptions::default(), |t| {
+            if t.rank().0 == 0 {
+                t.send(Rank(1), Tag(7), vec![1.5, -2.25, f64::MAX]);
+                Vec::new()
+            } else {
+                let env = t.recv();
+                assert_eq!(env.src, Rank(0));
+                assert_eq!(env.tag, Tag(7));
+                env.msg
+            }
+        });
+        assert_eq!(got[1], vec![1.5, -2.25, f64::MAX]);
+    }
+
+    #[test]
+    fn per_pair_fifo_order_is_preserved() {
+        let got = run_socket_cluster::<u64, _, _>(2, SocketClusterOptions::default(), |t| {
+            if t.rank().0 == 0 {
+                for i in 0..100 {
+                    t.send(Rank(1), Tag(0), i);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| t.recv().msg).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(got[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bytes_on_wire_match_between_sender_and_receiver() {
+        let counts =
+            run_socket_cluster::<Vec<f64>, _, _>(2, SocketClusterOptions::default(), |t| {
+                if t.rank().0 == 0 {
+                    for _ in 0..5 {
+                        t.send(Rank(1), Tag(0), vec![0.5; 16]);
+                    }
+                    // Wait for the ack so the byte counters are settled.
+                    let _ = t.recv();
+                    t.bytes_on_wire()
+                } else {
+                    for _ in 0..5 {
+                        let _ = t.recv();
+                    }
+                    t.send(Rank(0), Tag(1), vec![]);
+                    t.bytes_on_wire()
+                }
+            });
+        let (sent0, _) = counts[0];
+        let (_, recv1) = counts[1];
+        // 5 frames of (8-byte length prefix for the vec + 16 f64s) plus
+        // framing overhead.
+        let expected = 5 * (FRAME_OVERHEAD as u64 + 8 + 16 * 8);
+        assert_eq!(sent0, expected);
+        assert_eq!(recv1, expected);
+    }
+
+    #[test]
+    fn socket_recv_timeout_expires_on_silence() {
+        let results = run_socket_cluster::<u8, _, _>(2, SocketClusterOptions::default(), |t| {
+            if t.rank().0 == 0 {
+                // Keep the cluster alive while rank 1's timer runs.
+                let got = t.recv_timeout(SimDuration::from_millis(500));
+                got.is_some()
+            } else {
+                let before = t.timed_waits();
+                let got = t.recv_timeout(SimDuration::from_millis(20));
+                assert!(got.is_none(), "nothing was sent");
+                assert!(t.timed_waits() > before, "wait did not block on condvar");
+                t.send(Rank(0), Tag(0), 1);
+                true
+            }
+        });
+        assert!(results[0] && results[1]);
+    }
+
+    #[test]
+    fn socket_recv_timeout_delivers_when_a_message_is_in_flight() {
+        let results = run_socket_cluster::<u64, _, _>(2, SocketClusterOptions::default(), |t| {
+            if t.rank().0 == 0 {
+                t.send(Rank(1), Tag(0), 42);
+                0
+            } else {
+                t.recv_timeout(SimDuration::from_millis(5_000))
+                    .expect("message should arrive before the timeout")
+                    .msg
+            }
+        });
+        assert_eq!(results[1], 42);
+    }
+
+    #[test]
+    fn total_loss_drops_every_frame() {
+        let results = run_socket_cluster_with_faults::<u64, _, _>(
+            2,
+            SocketClusterOptions::default(),
+            FaultSpec::new(Loss::new(1.0, 7)),
+            |t| {
+                if t.rank().0 == 0 {
+                    for i in 0..5 {
+                        t.send(Rank(1), Tag(0), i);
+                    }
+                    t.fault_counters().dropped
+                } else {
+                    let got = t.recv_timeout(SimDuration::from_millis(20));
+                    assert!(got.is_none(), "total loss delivered a message");
+                    0
+                }
+            },
+        );
+        assert_eq!(results[0], 5);
+    }
+
+    #[test]
+    fn frame_corruption_without_corruptor_drops_or_perturbs() {
+        use netsim::Corrupt;
+        // Corrupt every frame; bool payloads make every flipped byte a
+        // decode failure, so all frames must be dropped at the receiver.
+        let results = run_socket_cluster_with_faults::<bool, _, _>(
+            2,
+            SocketClusterOptions::default(),
+            FaultSpec::new(Corrupt::new(1.0, 1.0, 3)),
+            |t| {
+                if t.rank().0 == 0 {
+                    for _ in 0..4 {
+                        t.send(Rank(1), Tag(0), true);
+                    }
+                    // Give frames time to arrive and be rejected.
+                    let got = t.recv_timeout(SimDuration::from_millis(200));
+                    got.is_none() as u64
+                } else {
+                    let got = t.recv_timeout(SimDuration::from_millis(100));
+                    assert!(got.is_none(), "corrupt bool frame decoded");
+                    t.decode_failures()
+                }
+            },
+        );
+        assert_eq!(results[1], 4, "every corrupted frame must be rejected");
+    }
+
+    #[test]
+    fn peer_disconnect_surfaces_as_crash_event_not_panic() {
+        // Rank 0 exits immediately (dropping its transport closes its
+        // sockets). Rank 1 must observe the disconnect as a crash-model
+        // event: bounded waits keep expiring, nothing panics, and the
+        // peer shows up in disconnected_peers().
+        let results = run_socket_cluster::<u8, _, _>(2, SocketClusterOptions::default(), |t| {
+            if t.rank().0 == 0 {
+                0
+            } else {
+                // Survive an arbitrary number of bounded waits across the
+                // peer's death.
+                let mut waits = 0u64;
+                for _ in 0..50 {
+                    if t.recv_timeout(SimDuration::from_millis(10)).is_some() {
+                        panic!("no message was ever sent");
+                    }
+                    waits += 1;
+                    if !t.disconnected_peers().is_empty() {
+                        break;
+                    }
+                }
+                assert_eq!(t.disconnected_peers(), vec![Rank(0)]);
+                // Sending into the void must not panic either.
+                t.send(Rank(0), Tag(0), 9);
+                waits
+            }
+        });
+        assert!(results[1] >= 1);
+    }
+
+    #[test]
+    fn multi_process_entrypoint_meshes_two_ranks() {
+        // Exercise connect_socket_cluster the way two separate processes
+        // would, using two plain threads with pre-agreed ports.
+        let l0 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let l1 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addrs = [l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        drop((l0, l1)); // free the ports for connect_socket_cluster to rebind
+        let h0 = std::thread::spawn(move || {
+            let mut t =
+                connect_socket_cluster::<u64>(0, &addrs, SocketClusterOptions::default()).unwrap();
+            t.send(Rank(1), Tag(0), 11);
+            t.recv().msg
+        });
+        let h1 = std::thread::spawn(move || {
+            let mut t =
+                connect_socket_cluster::<u64>(1, &addrs, SocketClusterOptions::default()).unwrap();
+            let got = t.recv().msg;
+            t.send(Rank(0), Tag(0), got + 1);
+            got
+        });
+        assert_eq!(h1.join().unwrap(), 11);
+        assert_eq!(h0.join().unwrap(), 12);
+    }
+
+    #[test]
+    fn no_faults_spec_behaves_like_fault_free() {
+        let got = run_socket_cluster_with_faults::<u64, _, _>(
+            2,
+            SocketClusterOptions::default(),
+            FaultSpec::new(NoFaults),
+            |t| {
+                if t.rank().0 == 0 {
+                    t.send(Rank(1), Tag(0), 5);
+                    t.fault_counters().delivered
+                } else {
+                    t.recv().msg
+                }
+            },
+        );
+        assert_eq!(got, vec![1, 5]);
+    }
+}

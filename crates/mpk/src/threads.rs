@@ -72,17 +72,22 @@ struct MailboxState<M> {
     seq: u64,
 }
 
-struct ThreadMailbox<M> {
+/// Priority mailbox shared by the in-process transports: the thread
+/// backend delivers into it directly, the socket backend
+/// ([`crate::SocketTransport`]) from its per-peer reader threads. Either
+/// way the condvar wait discipline (and its zero-spin property) is this
+/// one implementation.
+pub(crate) struct ThreadMailbox<M> {
     state: Mutex<MailboxState<M>>,
     cv: Condvar,
     /// Number of condvar blocks performed by timed receives. A wait on an
     /// empty mailbox that runs to its deadline is exactly one block —
     /// there is no polling quantum to re-wake on.
-    timed_waits: AtomicU64,
+    pub(crate) timed_waits: AtomicU64,
 }
 
 impl<M> ThreadMailbox<M> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ThreadMailbox {
             state: Mutex::new(MailboxState {
                 heap: BinaryHeap::new(),
@@ -93,7 +98,7 @@ impl<M> ThreadMailbox<M> {
         }
     }
 
-    fn push(&self, visible_at: Instant, env: Envelope<M>) {
+    pub(crate) fn push(&self, visible_at: Instant, env: Envelope<M>) {
         let mut st = self.state.lock();
         let seq = st.seq;
         st.seq += 1;
@@ -105,7 +110,7 @@ impl<M> ThreadMailbox<M> {
         self.cv.notify_all();
     }
 
-    fn try_pop(&self) -> Option<Envelope<M>> {
+    pub(crate) fn try_pop(&self) -> Option<Envelope<M>> {
         let mut st = self.state.lock();
         match st.heap.peek() {
             Some(t) if t.visible_at <= Instant::now() => Some(st.heap.pop().unwrap().env),
@@ -113,7 +118,7 @@ impl<M> ThreadMailbox<M> {
         }
     }
 
-    fn pop_blocking(&self) -> Envelope<M> {
+    pub(crate) fn pop_blocking(&self) -> Envelope<M> {
         let mut st = self.state.lock();
         loop {
             let now = Instant::now();
@@ -128,7 +133,7 @@ impl<M> ThreadMailbox<M> {
         }
     }
 
-    fn pop_deadline(&self, deadline: Instant) -> Option<Envelope<M>> {
+    pub(crate) fn pop_deadline(&self, deadline: Instant) -> Option<Envelope<M>> {
         let mut st = self.state.lock();
         loop {
             let now = Instant::now();

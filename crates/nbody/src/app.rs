@@ -25,7 +25,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use mpk::{Rank, WireSize};
+use mpk::{Rank, WireCodec, WireSize};
 use speccore::{CheckOutcome, History, SpeculativeApp};
 
 use crate::forces::{
@@ -73,6 +73,42 @@ impl WireSize for PartitionShared {
         // for on the wire — two length-prefixed arrays of 24-byte vectors —
         // so the network cost model is independent of the in-memory layout.
         2 * (8 + 24 * self.pos.len())
+    }
+}
+
+/// The socket wire encoding is exactly the AoS layout [`WireSize`]
+/// models: two length-prefixed arrays of `(x, y, z)` triples, so
+/// `wire_size` equals the encoded length byte-for-byte.
+impl WireCodec for PartitionShared {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for soa in [&self.pos, &self.vel] {
+            (soa.len() as u64).encode(out);
+            for i in 0..soa.len() {
+                soa.x[i].encode(out);
+                soa.y[i].encode(out);
+                soa.z[i].encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let decode_soa = |buf: &mut &[u8]| -> Option<Soa3> {
+            let len = u64::decode(buf)? as usize;
+            if len.checked_mul(24)? > buf.len() {
+                return None;
+            }
+            let mut soa = Soa3::new();
+            for _ in 0..len {
+                let x = f64::decode(buf)?;
+                let y = f64::decode(buf)?;
+                let z = f64::decode(buf)?;
+                soa.push(Vec3::new(x, y, z));
+            }
+            Some(soa)
+        };
+        let pos = decode_soa(buf)?;
+        let vel = decode_soa(buf)?;
+        (pos.len() == vel.len()).then_some(PartitionShared { pos, vel })
     }
 }
 

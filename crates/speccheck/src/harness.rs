@@ -6,8 +6,8 @@
 use crate::scenario::{SpecParams, SyntheticScenario};
 use desim::{SimDuration, SimTime, TieBreak};
 use mpk::{
-    run_sim_cluster_with_options, run_thread_cluster, Envelope, FaultCounters, FaultSpec, Rank,
-    SimClusterOptions, Tag, ThreadClusterOptions, Transport,
+    run_sim_cluster_with_options, run_socket_cluster, run_thread_cluster, Envelope, FaultCounters,
+    FaultSpec, Rank, SimClusterOptions, SocketClusterOptions, Tag, ThreadClusterOptions, Transport,
 };
 use speccore::{run_baseline, run_speculative, IterMsg, RunStats, SpecConfig};
 
@@ -211,6 +211,27 @@ pub fn run_thread(sc: &SyntheticScenario, theta: f64, mode: &DriverMode) -> RunO
     let outs = run_thread_cluster::<IterMsg<Vec<f64>>, _, _>(
         sc.p,
         ThreadClusterOptions::default(),
+        move |t| drive_synthetic(t, &scenario, theta, &mode),
+    );
+    let (fingerprints, stats) = outs.into_iter().unzip();
+    RunOutput {
+        fingerprints,
+        stats,
+        elapsed: 0.0,
+    }
+}
+
+/// Run the scenario over real loopback TCP sockets: every message is
+/// encoded, framed, crosses the kernel's network stack, and is decoded
+/// on the far side. The third differential arm — agreement with
+/// [`run_sim`] and [`run_thread`] proves the wire codec and socket
+/// delivery path preserve the algorithm's semantics end to end.
+pub fn run_socket(sc: &SyntheticScenario, theta: f64, mode: &DriverMode) -> RunOutput {
+    let scenario = sc.clone();
+    let mode = mode.clone();
+    let outs = run_socket_cluster::<IterMsg<Vec<f64>>, _, _>(
+        sc.p,
+        SocketClusterOptions::default(),
         move |t| drive_synthetic(t, &scenario, theta, &mode),
     );
     let (fingerprints, stats) = outs.into_iter().unzip();

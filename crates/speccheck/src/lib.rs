@@ -3,8 +3,9 @@
 //! The workspace's correctness claims are mostly *equivalences*: the
 //! speculative driver with θ = 0 (or FW = 0) is bit-identical to the
 //! blocking baseline; a [`mpk::FaultSpec::none`] run is bit-identical to
-//! a fault-free one; the virtual-time simulator and the real-thread
-//! backend agree on final values under exact semantics; and a seeded run
+//! a fault-free one; the virtual-time simulator, the real-thread backend,
+//! and the TCP socket backend agree on final values under exact
+//! semantics; and a seeded run
 //! reproduces bit-for-bit regardless of how same-virtual-time event ties
 //! are broken. Hand-picked examples exercise each claim once; this crate
 //! exercises them across *generated scenario space*:
@@ -41,8 +42,8 @@ pub mod scenario;
 
 pub use golden::assert_matches_golden;
 pub use harness::{
-    drive_synthetic, run_sim, run_sim_polled, run_sim_with_faults, run_thread, DriverMode,
-    PolledRecv, RunOutput,
+    drive_synthetic, run_sim, run_sim_polled, run_sim_with_faults, run_socket, run_thread,
+    DriverMode, PolledRecv, RunOutput,
 };
 pub use scenario::{
     delay_model, exact_spec_params, fault_stack_scenario, load_scenario, loss_scenario,

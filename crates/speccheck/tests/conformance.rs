@@ -21,8 +21,8 @@
 use desim::{SimDuration, TieBreak};
 use proptest::prelude::*;
 use speccheck::{
-    exact_spec_params, run_sim, run_sim_polled, run_sim_with_faults, run_thread, spec_params,
-    synthetic_scenario, DriverMode,
+    exact_spec_params, run_sim, run_sim_polled, run_sim_with_faults, run_socket, run_thread,
+    spec_params, synthetic_scenario, DriverMode,
 };
 use speccore::{FaultTolerance, SpecConfig};
 
@@ -213,6 +213,45 @@ fn thread_backend_timed_wait_never_spins() {
     use desim::SimDuration;
     use mpk::{run_thread_cluster, ThreadClusterOptions, Transport};
     let waits = run_thread_cluster::<u8, _, _>(1, ThreadClusterOptions::default(), |t| {
+        assert!(t.recv_timeout(SimDuration::from_millis(25)).is_none());
+        t.timed_waits()
+    });
+    assert_eq!(waits[0], 1, "one expired wait must cost exactly one block");
+}
+
+proptest! {
+    // Socket runs mesh real TCP connections per case, so fewer cases
+    // than the in-process properties; the regression file still replays
+    // any counterexample first.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Three-way transport agreement: the virtual-time simulator, the
+    /// in-process thread backend, and the real TCP socket backend
+    /// produce bit-identical state fingerprints under exact semantics.
+    /// This is the proof that encoding, framing, kernel delivery, and
+    /// decoding preserve the algorithm end to end.
+    #[test]
+    fn sim_thread_and_socket_agree_under_exact_semantics(
+        sc in synthetic_scenario(),
+        params in exact_spec_params(),
+    ) {
+        let mode = DriverMode::from_params(&params);
+        let sim = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
+        let thread = run_thread(&sc, params.theta, &mode);
+        let socket = run_socket(&sc, params.theta, &mode);
+        prop_assert_eq!(&sim.fingerprints, &thread.fingerprints);
+        prop_assert_eq!(&sim.fingerprints, &socket.fingerprints);
+    }
+}
+
+/// The socket backend inherits the zero-spin bounded wait from the shared
+/// mailbox: one expired timeout on a silent wire is exactly one condvar
+/// block.
+#[test]
+fn socket_backend_timed_wait_never_spins() {
+    use desim::SimDuration;
+    use mpk::{run_socket_cluster, SocketClusterOptions, Transport};
+    let waits = run_socket_cluster::<u8, _, _>(1, SocketClusterOptions::default(), |t| {
         assert!(t.recv_timeout(SimDuration::from_millis(25)).is_none());
         t.timed_waits()
     });

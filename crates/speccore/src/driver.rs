@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use desim::{SimDuration, SimTime};
-use mpk::{Envelope, Rank, Tag, Transport, WireSize};
+use mpk::{Envelope, Rank, Tag, Transport, WireCodec, WireSize};
 use obs::{Gauge, Mark, Phase};
 
 use crate::app::SpeculativeApp;
@@ -43,6 +43,22 @@ pub struct IterMsg<S> {
 impl<S: WireSize> WireSize for IterMsg<S> {
     fn wire_size(&self) -> usize {
         8 + self.data.wire_size()
+    }
+}
+
+/// The real encoding matches the [`WireSize`] model above byte-for-byte,
+/// so socket runs put exactly the modelled payload on the wire.
+impl<S: WireCodec> WireCodec for IterMsg<S> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.iter.encode(out);
+        self.data.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(IterMsg {
+            iter: u64::decode(buf)?,
+            data: S::decode(buf)?,
+        })
     }
 }
 

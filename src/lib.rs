@@ -18,7 +18,7 @@
 //! |-------|------|
 //! | [`desim`] | Deterministic discrete-event simulation kernel (virtual time, coroutine processes, mailboxes) |
 //! | [`netsim`] | Heterogeneous machines (`M_i`), shared-medium/jitter/transient network models, background load |
-//! | [`mpk`] | PVM-style message-passing `Transport` with virtual-time and real-thread backends |
+//! | [`mpk`] | PVM-style message-passing `Transport` with virtual-time, real-thread, and real-TCP-socket backends |
 //! | [`speccore`] | **The paper's contribution**: the speculative driver (Figures 1 & 3, forward/backward windows, θ checks, corrections, rollback, adaptive window) |
 //! | [`nbody`] | The §5 case study: O(N²) N-body with eq. 10 speculation and eq. 11 checking (plus Barnes–Hut) |
 //! | [`perfmodel`] | The §4 empirical performance model (eqs. 3–9, Figures 5/6/9) |
@@ -64,9 +64,11 @@ pub use workloads;
 pub mod prelude {
     pub use desim::{SimDuration, SimTime, Simulation, TieBreak};
     pub use mpk::{
-        run_sim_cluster, run_sim_cluster_with_faults, run_sim_cluster_with_options,
-        run_thread_cluster, run_thread_cluster_with_faults, Envelope, FaultCounters, FaultSpec,
-        Rank, SimClusterOptions, Tag, ThreadClusterOptions, Transport, WireSize,
+        connect_socket_cluster, connect_socket_cluster_with_faults, run_sim_cluster,
+        run_sim_cluster_with_faults, run_sim_cluster_with_options, run_socket_cluster,
+        run_socket_cluster_with_faults, run_thread_cluster, run_thread_cluster_with_faults,
+        Envelope, FaultCounters, FaultSpec, Rank, SimClusterOptions, SocketClusterOptions,
+        SocketTransport, Tag, ThreadClusterOptions, Transport, WireCodec, WireSize,
     };
     pub use nbody::{
         binary_pair, centered_cloud, colliding_clouds, partition_proportional, rotating_disk,

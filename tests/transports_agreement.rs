@@ -1,6 +1,6 @@
-//! The virtual-time and real-thread backends run the same speculative
-//! algorithm and must produce the same *results* (timing differs by
-//! construction).
+//! The virtual-time, real-thread, and real-TCP-socket backends run the
+//! same speculative algorithm and must produce the same *results*
+//! (timing differs by construction).
 
 use speculative_computation::prelude::*;
 
@@ -25,7 +25,7 @@ fn run_exact<T: Transport<Msg = IterMsg<Vec<f64>>>>(t: &mut T, n: usize, iters: 
 }
 
 #[test]
-fn sim_and_thread_backends_agree_exactly() {
+fn sim_thread_and_socket_backends_agree_exactly() {
     let n = 32;
     let p = 4;
     let iters = 8;
@@ -49,10 +49,92 @@ fn sim_and_thread_backends_agree_exactly() {
         move |t| run_exact(t, n, iters),
     );
 
+    // Third arm: every message is codec-encoded, framed, and crosses the
+    // kernel's TCP stack on loopback.
+    let socket_out = run_socket_cluster::<IterMsg<Vec<f64>>, _, _>(
+        p,
+        SocketClusterOptions::default(),
+        move |t| run_exact(t, n, iters),
+    );
+
     assert_eq!(
         sim_out, thread_out,
-        "backends must agree bit-for-bit under θ=0+recompute"
+        "sim and thread backends must agree bit-for-bit under θ=0+recompute"
     );
+    assert_eq!(
+        sim_out, socket_out,
+        "socket backend must agree bit-for-bit with the in-process backends"
+    );
+}
+
+/// Frame-layer loss on the socket backend feeds the same fault-tolerance
+/// path as the thread backend's mailbox-layer loss: under total loss with
+/// an identically-seeded `FaultSpec`, nothing is ever delivered on either
+/// backend, so the speculate-through-loss machinery must promote the same
+/// speculations and converge to the same values.
+fn run_lossy<T: Transport<Msg = IterMsg<Vec<f64>>>>(
+    t: &mut T,
+    n: usize,
+    iters: u64,
+) -> (Vec<f64>, RunStats) {
+    let ranges = even_ranges(n, t.size());
+    let scfg = SyntheticConfig {
+        theta: 0.0,
+        jump_prob: 0.1,
+        seed: 5,
+        ..Default::default()
+    };
+    let mut app = SyntheticApp::new(n, &ranges, t.rank().0, scfg);
+    let cfg = SpecConfig::speculative(1)
+        .with_correction(CorrectionMode::Recompute)
+        .with_fault_tolerance(
+            FaultTolerance::new(SimDuration::from_millis(5)).with_staleness_budget(1),
+        );
+    let stats = run_speculative(t, &mut app, iters, cfg);
+    (app.values().to_vec(), stats)
+}
+
+#[test]
+fn socket_loss_promotions_match_thread_backend() {
+    let n = 24;
+    let p = 3;
+    let iters = 5;
+    let seed = 42;
+
+    let thread_out = run_thread_cluster_with_faults::<IterMsg<Vec<f64>>, _, _>(
+        p,
+        ThreadClusterOptions::default(),
+        Loss::new(1.0, seed),
+        move |t| run_lossy(t, n, iters),
+    );
+    let socket_out = run_socket_cluster_with_faults::<IterMsg<Vec<f64>>, _, _>(
+        p,
+        SocketClusterOptions::default(),
+        FaultSpec::new(Loss::new(1.0, seed)),
+        move |t| run_lossy(t, n, iters),
+    );
+
+    for (rank, ((tv, ts), (sv, ss))) in thread_out.iter().zip(&socket_out).enumerate() {
+        assert_eq!(
+            tv, sv,
+            "rank {rank}: total loss must leave both backends on identical values"
+        );
+        assert_eq!(ts.iterations, iters);
+        assert_eq!(ss.iterations, iters);
+        assert!(
+            ss.speculate_through_loss_commits > 0,
+            "rank {rank}: socket backend never promoted through loss"
+        );
+        assert_eq!(
+            ts.speculate_through_loss_commits, ss.speculate_through_loss_commits,
+            "rank {rank}: promotion counts must match under the same FaultSpec seed"
+        );
+        assert_eq!(ts.messages_lost, ss.messages_lost, "rank {rank}");
+        assert_eq!(
+            ts.retransmit_requests, ss.retransmit_requests,
+            "rank {rank}"
+        );
+    }
 }
 
 #[test]
