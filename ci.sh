@@ -31,6 +31,15 @@ echo "== regression corpus replay + full-grid inertness (explicit)"
 cargo test -q -p speccheck --test conformance fault_tolerance_is_inert_without_faults
 cargo test -q -p speccheck --test oracles loss_commits_bounded_by_losses
 
+echo "== delta-exchange conformance (explicit)"
+# The PR 7 equivalences by name: floor=0 delta exchange is
+# fingerprint-identical to full broadcast across the θ/FW grid and
+# across all three backends, and a nonzero floor's drift stays inside
+# the quantization envelope.
+cargo test -q -p speccheck --test conformance lossless_delta_equals_full_broadcast_across_grid
+cargo test -q -p speccheck --test conformance quantized_delta_drift_is_bounded
+cargo test -q -p speccheck --test conformance lossless_delta_agrees_across_all_three_backends
+
 echo "== coverage audit (informational)"
 # Name-based audit of perfmodel/workloads public APIs against the test
 # corpus. Informational here; pass --strict to fail on gaps.
@@ -50,14 +59,18 @@ SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench kernels
 
 echo "== transport bench smoke (release)"
 # Emits BENCH_transport.json: messages/sec for broadcast and ping-pong
-# traffic over all three Transport backends (sim, thread, socket).
+# traffic over all three Transport backends (sim, thread, socket), plus
+# the deterministic full-vs-delta bytes-on-wire rows for the N-body
+# exchange phase.
 SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench transport_regression
 
-echo "== transport regression gate"
+echo "== transport regression gate (throughput floors + byte ceilings)"
 # Compare the fresh BENCH_transport.json against the checked-in
-# throughput floors; fail on >25% regression below budget. Refresh the
-# floors with BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh after intentional
-# perf changes or a CI hardware move.
+# throughput floors (fail on >25% regression below budget), hold the
+# exchange byte rows under their ceilings, and require delta mode to
+# stay ≥3× cheaper per iteration than full broadcast. Refresh with
+# BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh after intentional changes or
+# a CI hardware move.
 ci/bench_gate.sh
 
 echo "CI green."

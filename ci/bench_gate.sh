@@ -3,6 +3,12 @@
 # against the checked-in per-row throughput budgets and fail CI when any
 # backend×mode row has regressed by more than 25%.
 #
+# The artifact's `exchange` rows (full vs delta bytes-on-wire of the
+# N-body exchange phase, measured deterministically on the simulator)
+# are gated the opposite way: each row must stay *under* its checked-in
+# byte ceiling, and the delta row must stay at least MIN_DELTA_RATIO x
+# cheaper per iteration than the full row.
+#
 # Usage:
 #   ci/bench_gate.sh                    # gate against ci/bench_budgets.json
 #   BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh
@@ -29,6 +35,9 @@ ARTIFACT="${BENCH_TRANSPORT_ARTIFACT:-BENCH_transport.json}"
 BUDGETS="ci/bench_budgets.json"
 # A row fails when fresh < budget * TOLERANCE (i.e. >25% regression).
 TOLERANCE="0.75"
+# The delta exchange row must move at least this many times fewer bytes
+# per iteration than the full row (the PR 7 acceptance bar).
+MIN_DELTA_RATIO="3.0"
 
 if ! command -v jq >/dev/null 2>&1; then
     echo "bench gate: jq not found; skipping (gate requires jq)" >&2
@@ -42,7 +51,12 @@ if [[ ! -f "$ARTIFACT" ]]; then
 fi
 
 if [[ "${BENCH_UPDATE_BUDGETS:-0}" == "1" ]]; then
-    jq '{budgets: (.rows | map({key: "\(.backend)_\(.mode)", value: (.msgs_per_sec * 0.5 | floor)}) | from_entries)}' \
+    # Throughput budgets are floors (half the measured best absorbs host
+    # variance); byte ceilings are caps with 25% headroom over the
+    # deterministic measurement, so codec bloat trips the gate while a
+    # deliberate format change only needs a committed refresh.
+    jq '{budgets: (.rows | map({key: "\(.backend)_\(.mode)", value: (.msgs_per_sec * 0.5 | floor)}) | from_entries),
+         byte_ceilings: ((.exchange // []) | map({key: "nbody_\(.mode)", value: (.bytes_per_iter * 1.25 | ceil)}) | from_entries)}' \
         "$ARTIFACT" >"$BUDGETS"
     echo "bench gate: rewrote $BUDGETS from $ARTIFACT:"
     cat "$BUDGETS"
@@ -82,6 +96,51 @@ while IFS= read -r key; do
         fail=1
     fi
 done < <(jq -r '.budgets | keys[]' "$BUDGETS")
+
+# Bytes-on-wire ceilings: each exchange row must come in at or under its
+# checked-in cap (these are deterministic virtual-time counters, so any
+# increase is a real codec/protocol change, not noise).
+while IFS=$'\t' read -r key fresh; do
+    ceiling=$(jq -r --arg k "$key" '.byte_ceilings[$k] // empty' "$BUDGETS")
+    if [[ -z "$ceiling" ]]; then
+        echo "FAIL  $key: no byte ceiling in $BUDGETS (add it with BENCH_UPDATE_BUDGETS=1)"
+        fail=1
+        continue
+    fi
+    ok=$(jq -n --argjson f "$fresh" --argjson c "$ceiling" '$f <= $c')
+    if [[ "$ok" == "true" ]]; then
+        printf 'ok    %-18s %12.0f bytes/iter  (ceiling %s)\n' "$key" "$fresh" "$ceiling"
+    else
+        printf 'FAIL  %-18s %12.0f bytes/iter  > ceiling %s\n' "$key" "$fresh" "$ceiling"
+        fail=1
+    fi
+done < <(jq -r '(.exchange // [])[] | "nbody_\(.mode)\t\(.bytes_per_iter)"' "$ARTIFACT")
+
+# Every byte-ceilinged row must be present in the artifact.
+while IFS= read -r key; do
+    present=$(jq -r --arg k "$key" '(.exchange // []) | map("nbody_\(.mode)") | index($k) != null' "$ARTIFACT")
+    if [[ "$present" != "true" ]]; then
+        echo "FAIL  $key: byte-ceilinged row missing from $ARTIFACT"
+        fail=1
+    fi
+done < <(jq -r '(.byte_ceilings // {}) | keys[]' "$BUDGETS")
+
+# The headline claim: delta encoding keeps the steady-state exchange at
+# least MIN_DELTA_RATIO x cheaper in bytes/iteration than full frames.
+ratio=$(jq -r '(.exchange // []) | map({(.mode): .bytes_per_iter}) | add // {}
+               | if .full and .delta then (.full / .delta) else empty end' "$ARTIFACT")
+if [[ -z "$ratio" ]]; then
+    echo "FAIL  exchange rows (full + delta) missing from $ARTIFACT"
+    fail=1
+else
+    ok=$(jq -n --argjson r "$ratio" --argjson m "$MIN_DELTA_RATIO" '$r >= $m')
+    if [[ "$ok" == "true" ]]; then
+        printf 'ok    %-18s %12.1fx bytes saved  (must be >= %sx)\n' "full/delta" "$ratio" "$MIN_DELTA_RATIO"
+    else
+        printf 'FAIL  %-18s %12.1fx bytes saved  < required %sx\n' "full/delta" "$ratio" "$MIN_DELTA_RATIO"
+        fail=1
+    fi
+fi
 
 if [[ "$fail" != "0" ]]; then
     echo "bench gate: transport throughput regressed >25% (or rows drifted); see above." >&2

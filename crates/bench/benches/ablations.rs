@@ -120,6 +120,7 @@ fn main() {
             correction: CorrectionMode::Incremental,
             collect_log: false,
             fault: None,
+            delta: None,
         };
         let r = run(&scale, cfg, 40);
         println!(

@@ -12,6 +12,12 @@
 //! `ci/bench_gate.sh` fails CI when any `msgs_per_sec` falls more than
 //! 25% below the checked-in budget (`ci/bench_budgets.json`, refreshed
 //! with `BENCH_UPDATE_BUDGETS=1`).
+//!
+//! The artifact also carries two deterministic *bytes-on-wire* rows: the
+//! N-body exchange phase broadcast as full snapshots vs delta frames on
+//! the simulator. The gate holds each row under its checked-in byte
+//! ceiling and requires the delta row to stay at least 3× cheaper per
+//! iteration than the full row.
 
 use std::time::Instant;
 
@@ -20,8 +26,10 @@ use mpk::{
     run_sim_cluster, run_socket_cluster, run_thread_cluster, Rank, SocketClusterOptions, Tag,
     ThreadClusterOptions, Transport,
 };
+use nbody::{run_parallel, uniform_cloud, ParallelRunConfig};
 use netsim::{ClusterSpec, ConstantLatency, Unloaded};
-use spec_bench::artifact::{transport_json, TransportRow};
+use spec_bench::artifact::{transport_json, ExchangeRow, TransportRow};
+use speccore::DeltaExchange;
 
 const BROADCAST_P: usize = 4;
 const BROADCAST_FLOATS: usize = 256;
@@ -148,6 +156,49 @@ fn run_backend(backend: &str, mode: &str) -> TransportRow {
     }
 }
 
+const EXCHANGE_P: usize = 4;
+const EXCHANGE_BODIES: usize = 64;
+const EXCHANGE_ITERS: u64 = 64;
+const EXCHANGE_FLOOR: f64 = 1e-2;
+const EXCHANGE_KEYFRAME: u64 = 32;
+
+/// Bytes-on-wire of the driver's exchange phase: the paper-testbed
+/// N-body workload at steady state, broadcast either as full partition
+/// snapshots or as quantized delta frames. Runs on the virtual-time
+/// simulator, so the byte counters are deterministic — the gate compares
+/// them exactly, with no best-of-N sampling.
+fn run_exchange(delta: Option<DeltaExchange>) -> ExchangeRow {
+    let particles = uniform_cloud(EXCHANGE_BODIES, 11);
+    let cluster = ClusterSpec::homogeneous(EXCHANGE_P, 1000.0);
+    let mut cfg = ParallelRunConfig::new(EXCHANGE_ITERS, 2);
+    if let Some(d) = delta {
+        cfg.spec = cfg.spec.with_delta_exchange(d);
+    }
+    let result = run_parallel(
+        &particles,
+        &cluster,
+        ConstantLatency(SimDuration::from_millis(2)),
+        Unloaded,
+        cfg,
+    )
+    .unwrap();
+    ExchangeRow {
+        mode: if delta.is_some() { "delta" } else { "full" }.into(),
+        p: EXCHANGE_P,
+        bodies: EXCHANGE_BODIES,
+        iters: EXCHANGE_ITERS,
+        floor: delta.map_or(0.0, |d| d.floor),
+        keyframe: delta.map_or(0, |d| d.keyframe_interval),
+        bytes_sent: result.stats.per_rank.iter().map(|s| s.bytes_sent).sum(),
+        suppressed_bytes: result
+            .stats
+            .per_rank
+            .iter()
+            .map(|s| s.delta_suppressed_bytes)
+            .sum(),
+    }
+}
+
 fn main() {
     let mut rows = Vec::new();
     for backend in ["sim", "thread", "socket"] {
@@ -155,6 +206,10 @@ fn main() {
             rows.push(run_backend(backend, mode));
         }
     }
+    let exchange = vec![
+        run_exchange(None),
+        run_exchange(Some(DeltaExchange::new(EXCHANGE_FLOOR, EXCHANGE_KEYFRAME))),
+    ];
 
     println!("transport backend regression (messages/sec, setup included):");
     for row in &rows {
@@ -169,7 +224,28 @@ fn main() {
         );
     }
 
-    match spec_bench::artifact::write("transport", &transport_json(&rows)) {
+    println!("exchange bytes on wire (nbody, sim backend, deterministic):");
+    for row in &exchange {
+        println!(
+            "  {:<6} p={} bodies={} floor={:.0e} keyframe={:>2}  {:>8.0} bytes/iter  \
+             (suppressed {} B total)",
+            row.mode,
+            row.p,
+            row.bodies,
+            row.floor,
+            row.keyframe,
+            row.bytes_per_iter(),
+            row.suppressed_bytes,
+        );
+    }
+    let full_bpi = exchange[0].bytes_per_iter();
+    let delta_bpi = exchange[1].bytes_per_iter();
+    println!(
+        "  delta cuts steady-state bytes/iter {:.1}x vs full",
+        full_bpi / delta_bpi
+    );
+
+    match spec_bench::artifact::write("transport", &transport_json(&rows, &exchange)) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {
             eprintln!("failed to write transport artifact: {e}");

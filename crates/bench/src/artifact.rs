@@ -186,9 +186,45 @@ impl TransportRow {
     }
 }
 
-/// Transport throughput/latency rows (sim vs thread vs socket) as JSON —
-/// the artifact `ci/bench_gate.sh` compares against checked-in budgets.
-pub fn transport_json(rows: &[TransportRow]) -> Json {
+/// One deterministic bytes-on-wire measurement of the speculative
+/// driver's exchange phase: an N-body run on the virtual-time simulator
+/// with the given broadcast mode, reduced to total metered send bytes.
+/// Virtual time makes the row bit-reproducible — the byte gate compares
+/// exact counter sums, not a noisy wall clock.
+#[derive(Clone, Debug)]
+pub struct ExchangeRow {
+    /// Broadcast mode (`"full"` for snapshot frames, `"delta"` for
+    /// shadow-diffed frames under a quantization floor).
+    pub mode: String,
+    /// Cluster size.
+    pub p: usize,
+    /// Total bodies across all partitions.
+    pub bodies: usize,
+    /// Timesteps driven.
+    pub iters: u64,
+    /// Quantization floor (0 for the full-broadcast row).
+    pub floor: f64,
+    /// Keyframe interval (0 for the full-broadcast row).
+    pub keyframe: u64,
+    /// Metered wire bytes sent, summed over all ranks.
+    pub bytes_sent: u64,
+    /// Bytes the delta encoder suppressed versus full frames.
+    pub suppressed_bytes: u64,
+}
+
+impl ExchangeRow {
+    /// Cluster-total bytes placed on the wire per iteration — the
+    /// byte-ceiling-gated metric.
+    pub fn bytes_per_iter(&self) -> f64 {
+        self.bytes_sent as f64 / self.iters as f64
+    }
+}
+
+/// Transport throughput/latency rows (sim vs thread vs socket) plus
+/// full-vs-delta exchange byte rows as JSON — the artifact
+/// `ci/bench_gate.sh` compares against checked-in budgets and byte
+/// ceilings.
+pub fn transport_json(rows: &[TransportRow], exchange: &[ExchangeRow]) -> Json {
     Json::obj([
         ("name", Json::Str("transport".into())),
         ("kind", Json::Str("transport_backend_regression".into())),
@@ -205,6 +241,27 @@ pub fn transport_json(rows: &[TransportRow]) -> Json {
                             ("msgs", Json::U64(r.msgs)),
                             ("secs", f(r.secs)),
                             ("msgs_per_sec", f(r.msgs_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "exchange",
+            Json::Arr(
+                exchange
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("mode", Json::Str(r.mode.clone())),
+                            ("p", Json::U64(r.p as u64)),
+                            ("bodies", Json::U64(r.bodies as u64)),
+                            ("iters", Json::U64(r.iters)),
+                            ("floor", f(r.floor)),
+                            ("keyframe", Json::U64(r.keyframe)),
+                            ("bytes_sent", Json::U64(r.bytes_sent)),
+                            ("suppressed_bytes", Json::U64(r.suppressed_bytes)),
+                            ("bytes_per_iter", f(r.bytes_per_iter())),
                         ])
                     })
                     .collect(),

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod delta;
 mod sim;
 mod socket;
 mod threads;
@@ -30,6 +31,7 @@ mod transport;
 mod types;
 
 pub use codec::{decode_exact, encode_to_vec, encoded_len_matches_wire_size, WireCodec};
+pub use delta::DeltaFrame;
 pub use sim::{
     run_sim_cluster, run_sim_cluster_with_faults, run_sim_cluster_with_options, Corruptor,
     FaultSpec, SimClusterOptions, SimTransport,

@@ -483,6 +483,47 @@ impl SpeculativeApp for NBodyApp {
         Some(self.apply_correction(from, speculated, actual, (depth + 1) as f64))
     }
 
+    fn delta_extract(&self, shared: &Arc<PartitionShared>, out: &mut Vec<f64>) -> bool {
+        // Six lanes per particle, particle-major: the layout is a pure
+        // function of the partition size, so lane indices are stable across
+        // iterations and identical on sender and receiver.
+        out.clear();
+        out.reserve(6 * shared.len());
+        for i in 0..shared.len() {
+            out.extend_from_slice(&[
+                shared.pos.x[i],
+                shared.pos.y[i],
+                shared.pos.z[i],
+                shared.vel.x[i],
+                shared.vel.y[i],
+                shared.vel.z[i],
+            ]);
+        }
+        true
+    }
+
+    fn delta_patch(
+        &self,
+        base: &Arc<PartitionShared>,
+        entries: &[(u32, f64)],
+    ) -> Option<Arc<PartitionShared>> {
+        let mut next = PartitionShared::clone(base);
+        for &(lane, value) in entries {
+            let (i, comp) = (lane as usize / 6, lane as usize % 6);
+            let soa = if comp < 3 {
+                &mut next.pos
+            } else {
+                &mut next.vel
+            };
+            match comp % 3 {
+                0 => soa.x[i] = value,
+                1 => soa.y[i] = value,
+                _ => soa.z[i] = value,
+            }
+        }
+        Some(Arc::new(next))
+    }
+
     fn checkpoint(&self) -> NBodyCheckpoint {
         NBodyCheckpoint {
             pos: self.pos.clone(),
@@ -512,6 +553,33 @@ mod tests {
     use super::*;
     use crate::particle::{rotating_disk, uniform_cloud};
     use crate::partition::partition_proportional;
+
+    #[test]
+    fn delta_extract_patch_roundtrip_is_exact() {
+        let app = make_app(12, 2, 0, 0.1);
+        let a = app.shared();
+        let mut lanes_a = Vec::new();
+        assert!(app.delta_extract(&a, &mut lanes_a));
+        assert_eq!(lanes_a.len(), 6 * a.len());
+
+        let mut moved = PartitionShared::clone(&a);
+        moved.pos.x[3] += 0.25;
+        moved.vel.z[5] -= 1.5;
+        let moved = Arc::new(moved);
+        let mut lanes_b = Vec::new();
+        app.delta_extract(&moved, &mut lanes_b);
+
+        let entries: Vec<(u32, f64)> = lanes_a
+            .iter()
+            .zip(&lanes_b)
+            .enumerate()
+            .filter(|(_, (x, y))| x.to_bits() != y.to_bits())
+            .map(|(i, (_, y))| (i as u32, *y))
+            .collect();
+        assert_eq!(entries.len(), 2, "exactly the two touched lanes differ");
+        let patched = app.delta_patch(&a, &entries).unwrap();
+        assert_eq!(*patched, *moved);
+    }
 
     fn hist_of(shares: &[Arc<PartitionShared>]) -> History<Arc<PartitionShared>> {
         let mut h = History::new(4);

@@ -42,8 +42,8 @@ pub use fault::{
 pub use load::{BoxedLoadModel, LoadModel, RandomSpikes, UniformNoise, Unloaded};
 pub use machine::MachineSpec;
 pub use network::{
-    BoxedNetworkModel, ConstantLatency, Jitter, LinkLatency, MsgCtx, NetworkModel, ScriptedDelays,
-    SharedMedium, TransientDelays,
+    BoxedNetworkModel, ConstantLatency, Jitter, LinkBandwidth, LinkLatency, MsgCtx, NetworkModel,
+    ScriptedDelays, SharedMedium, TransientDelays,
 };
 
 #[cfg(test)]

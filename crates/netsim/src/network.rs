@@ -64,6 +64,62 @@ impl NetworkModel for LinkLatency {
     }
 }
 
+/// Switched network: every directed `(src, dst)` pair is its own full-duplex
+/// link with the given bandwidth, so messages on the *same* link queue
+/// behind each other while different links transmit in parallel.
+///
+/// This sits between [`LinkLatency`] (size-proportional delay, but infinite
+/// capacity — two back-to-back sends never contend) and [`SharedMedium`]
+/// (every message in the cluster fights for one bus). It is the model that
+/// makes the delta exchange's bytes-on-the-wire a first-class cost: a rank
+/// that broadcasts a full partition to `p-1` peers pays each link's
+/// serialization once, and shrinking the frames shrinks the occupancy of
+/// every link it feeds.
+#[derive(Debug)]
+pub struct LinkBandwidth {
+    /// Propagation + protocol-stack latency per message.
+    pub latency: SimDuration,
+    /// Per-link bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    busy_until: std::collections::HashMap<(usize, usize), SimTime>,
+}
+
+impl LinkBandwidth {
+    /// A quiet switched network with the given per-message latency and
+    /// per-link bandwidth.
+    pub fn new(latency: SimDuration, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        LinkBandwidth {
+            latency,
+            bytes_per_sec,
+            busy_until: std::collections::HashMap::new(),
+        }
+    }
+
+    /// When the `(src, dst)` link next becomes idle (for tests/diagnostics).
+    /// A link that has never carried a message is idle at time zero.
+    pub fn link_busy_until(&self, src: usize, dst: usize) -> SimTime {
+        self.busy_until
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+impl NetworkModel for LinkBandwidth {
+    fn delay(&mut self, ctx: &MsgCtx) -> SimDuration {
+        let tx = SimDuration::from_secs_f64(ctx.bytes as f64 / self.bytes_per_sec);
+        let busy = self
+            .busy_until
+            .entry((ctx.src, ctx.dst))
+            .or_insert(SimTime::ZERO);
+        let start = (*busy).max(ctx.now);
+        let done = start + tx;
+        *busy = done;
+        done.duration_since(ctx.now) + self.latency
+    }
+}
+
 /// Shared-medium (Ethernet-like) network: all messages serialize through one
 /// bus. A message must wait for the bus to free up, then occupies it for its
 /// transmission time, then takes a further fixed latency to be absorbed by
@@ -249,6 +305,34 @@ mod tests {
             bytes_per_sec: 1e6,
         };
         assert_eq!(m.delay(&ctx(1000, 0)), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn link_bandwidth_serializes_per_link_only() {
+        // 1 MB/s links, zero latency. Two 1000-byte messages on the same
+        // link queue (1ms then 2ms); a message on a different link at the
+        // same instant does not (1ms).
+        let mut m = LinkBandwidth::new(SimDuration::ZERO, 1e6);
+        assert_eq!(m.delay(&ctx(1000, 0)), SimDuration::from_millis(1));
+        assert_eq!(m.delay(&ctx(1000, 0)), SimDuration::from_millis(2));
+        let other = MsgCtx {
+            src: 0,
+            dst: 2,
+            bytes: 1000,
+            now: SimTime::ZERO,
+        };
+        assert_eq!(m.delay(&other), SimDuration::from_millis(1));
+        assert_eq!(m.link_busy_until(0, 1), SimTime::from_nanos(2_000_000));
+        assert_eq!(m.link_busy_until(0, 2), SimTime::from_nanos(1_000_000));
+        assert_eq!(m.link_busy_until(2, 0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn link_bandwidth_idles_between_spaced_sends_and_adds_latency() {
+        let mut m = LinkBandwidth::new(SimDuration::from_millis(5), 1e6);
+        assert_eq!(m.delay(&ctx(1000, 0)), SimDuration::from_millis(6));
+        // Next send well after the link freed: no queueing.
+        assert_eq!(m.delay(&ctx(1000, 10_000_000)), SimDuration::from_millis(6));
     }
 
     #[test]

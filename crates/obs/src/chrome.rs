@@ -130,6 +130,9 @@ fn mark_args(mark: Mark) -> Json {
         ]),
         Mark::PeerCrashed { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
         Mark::PeerRecovered { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
+        Mark::DeltaSuppressed { to, bytes } => {
+            Json::obj([("to", Json::U64(to.into())), ("bytes", Json::U64(bytes))])
+        }
         Mark::TimerFired { waited_ns } => Json::obj([("waited_ns", Json::U64(waited_ns))]),
         Mark::RecvWakeup { from, waited_ns } => Json::obj([
             ("from", Json::U64(from.into())),

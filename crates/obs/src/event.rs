@@ -120,6 +120,14 @@ pub enum Mark {
         /// The recovered rank.
         peer: u32,
     },
+    /// A delta frame replaced a full snapshot on the wire, saving bytes.
+    DeltaSuppressed {
+        /// Destination rank of the delta frame.
+        to: u32,
+        /// Bytes the full snapshot would have cost minus what the delta
+        /// frame actually cost (zero when the delta was larger).
+        bytes: u64,
+    },
     /// A timed receive's deadline expired with no message: the transport
     /// woke on its (single) timer event, not on an arrival.
     TimerFired {
@@ -151,6 +159,7 @@ impl Mark {
             Mark::MessageDuplicated { .. } => "message_duplicated",
             Mark::PeerCrashed { .. } => "peer_crashed",
             Mark::PeerRecovered { .. } => "peer_recovered",
+            Mark::DeltaSuppressed { .. } => "delta_suppressed",
             Mark::TimerFired { .. } => "timer_fired",
             Mark::RecvWakeup { .. } => "recv_wakeup",
         }

@@ -166,13 +166,34 @@ impl RunReport {
         acc
     }
 
+    /// Cluster-wide wire-byte totals summed over every rank's counters:
+    /// `(bytes_sent, bytes_received, delta_suppressed_bytes)`.
+    pub fn byte_totals(&self) -> (u64, u64, u64) {
+        self.per_rank.iter().fold((0, 0, 0), |(s, r, d), rank| {
+            (
+                s + rank.counters.bytes_sent,
+                r + rank.counters.bytes_received,
+                d + rank.counters.delta_suppressed_bytes,
+            )
+        })
+    }
+
     /// The report as a JSON tree.
     pub fn to_json(&self) -> Json {
+        let (bytes_sent, bytes_received, delta_suppressed) = self.byte_totals();
         Json::obj([
             ("name", Json::Str(self.name.clone())),
             ("total_ns", Json::U64(self.total_ns)),
             ("ranks", Json::U64(self.per_rank.len() as u64)),
             ("phase_totals_ns", phases_json(&self.phase_totals())),
+            (
+                "byte_totals",
+                Json::obj([
+                    ("bytes_sent", Json::U64(bytes_sent)),
+                    ("bytes_received", Json::U64(bytes_received)),
+                    ("delta_suppressed_bytes", Json::U64(delta_suppressed)),
+                ]),
+            ),
             (
                 "per_rank",
                 Json::Arr(self.per_rank.iter().map(rank_json).collect()),
@@ -210,6 +231,10 @@ fn counters_json(c: &CounterTotals) -> Json {
         ("messages_duplicated", Json::U64(c.messages_duplicated)),
         ("peer_crashes", Json::U64(c.peer_crashes)),
         ("peer_recoveries", Json::U64(c.peer_recoveries)),
+        (
+            "delta_suppressed_bytes",
+            Json::U64(c.delta_suppressed_bytes),
+        ),
         ("timer_fires", Json::U64(c.timer_fires)),
         ("recv_wakeups", Json::U64(c.recv_wakeups)),
         ("wakeup_wait_ns", Json::U64(c.wakeup_wait_ns)),

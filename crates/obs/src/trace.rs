@@ -100,6 +100,8 @@ pub struct CounterTotals {
     pub peer_crashes: u64,
     /// Crashed ranks that finished restarting.
     pub peer_recoveries: u64,
+    /// Wire bytes saved by delta frames standing in for full snapshots.
+    pub delta_suppressed_bytes: u64,
     /// Timed receives that expired on their deadline timer.
     pub timer_fires: u64,
     /// Blocked timed receives woken by an arrival before their deadline.
@@ -224,6 +226,7 @@ impl RunTrace {
                     }
                     Mark::PeerCrashed { .. } => c.peer_crashes += 1,
                     Mark::PeerRecovered { .. } => c.peer_recoveries += 1,
+                    Mark::DeltaSuppressed { bytes, .. } => c.delta_suppressed_bytes += bytes,
                     Mark::TimerFired { waited_ns } => {
                         c.timer_fires += 1;
                         c.wakeup_wait_ns += waited_ns;

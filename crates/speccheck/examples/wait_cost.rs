@@ -27,6 +27,8 @@ fn scenario() -> (SyntheticScenario, DriverMode, FaultScenario) {
         latency_us: 1_000,
         jitter_frac: 0.0,
         jump_prob: 0.0,
+        delta_floor: 0.0,
+        delta_keyframe: 1,
         seed: 42,
     };
     let fault = FaultScenario {

@@ -168,6 +168,49 @@ pub fn run_sim_with_faults(
     }
 }
 
+/// Run the scenario on the simulator and return each rank's final
+/// variable values — for properties that bound *numeric* drift (e.g. the
+/// quantized delta exchange) rather than compare fingerprints.
+pub fn run_sim_values(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    tie: TieBreak,
+) -> Vec<Vec<f64>> {
+    let scenario = sc.clone();
+    let mode = mode.clone();
+    let (outs, _) = run_sim_cluster_with_options::<IterMsg<Vec<f64>>, _, _>(
+        &sc.cluster(),
+        sc.net(),
+        netsim::Unloaded,
+        FaultSpec::none(),
+        SimClusterOptions {
+            tie_break: tie,
+            ..Default::default()
+        },
+        move |t| {
+            let ranges = scenario.ranges();
+            let mut app = workloads::SyntheticApp::new(
+                scenario.n,
+                &ranges,
+                t.rank().0,
+                scenario.app_cfg(theta),
+            );
+            match &mode {
+                DriverMode::Baseline => {
+                    run_baseline(t, &mut app, scenario.iters);
+                }
+                DriverMode::Speculative(cfg) => {
+                    run_speculative(t, &mut app, scenario.iters, cfg.clone());
+                }
+            }
+            app.values().to_vec()
+        },
+    )
+    .expect("generated scenario must complete");
+    outs
+}
+
 /// [`run_sim_with_faults`] with the reference *polling* receive of
 /// [`PolledRecv`] in place of the event-driven one: every bounded wait
 /// advances in quanta instead of blocking to an exact deadline.

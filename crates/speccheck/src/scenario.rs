@@ -23,7 +23,7 @@ use netsim::{
 };
 use proptest::prelude::*;
 use proptest::TestRng;
-use speccore::{CorrectionMode, FaultTolerance, SpecConfig};
+use speccore::{CorrectionMode, DeltaExchange, FaultTolerance, SpecConfig};
 use std::ops::Range;
 use workloads::SyntheticConfig;
 
@@ -55,6 +55,12 @@ pub struct SyntheticScenario {
     /// Probability per iteration of a discontinuous value jump
     /// (speculation poison; exercises the misspeculation paths).
     pub jump_prob: f64,
+    /// Quantization floor for the delta-exchange axis (`0` = lossless
+    /// deltas). Only consulted by properties that opt into delta mode.
+    pub delta_floor: f64,
+    /// Keyframe interval for the delta-exchange axis (≥ 1; `1` = every
+    /// frame is a full snapshot).
+    pub delta_keyframe: u64,
     /// Seed for the workload's jump process and any jittered network.
     pub seed: u64,
 }
@@ -85,6 +91,12 @@ impl SyntheticScenario {
         (0..self.p)
             .map(|i| i * self.n / self.p..(i + 1) * self.n / self.p)
             .collect()
+    }
+
+    /// The scenario's delta-exchange policy at this floor/keyframe point
+    /// (properties override the floor to pin lossless or lossy behavior).
+    pub fn delta_policy(&self) -> DeltaExchange {
+        DeltaExchange::new(self.delta_floor, self.delta_keyframe)
     }
 
     /// The workload config at acceptance threshold `theta`.
@@ -131,6 +143,12 @@ impl Strategy for SyntheticScenarioStrategy {
                 0.2 + rng.unit_f64() * 0.7
             },
             jump_prob: rng.unit_f64() * 0.3,
+            delta_floor: if rng.below(2) == 0 {
+                0.0
+            } else {
+                rng.unit_f64() * 1e-3
+            },
+            delta_keyframe: 1 + rng.below(8),
             seed: rng.next_u64(),
         }
     }
@@ -180,6 +198,14 @@ impl Strategy for SyntheticScenarioStrategy {
         });
         push(SyntheticScenario {
             jump_prob: 0.0,
+            ..v.clone()
+        });
+        push(SyntheticScenario {
+            delta_floor: 0.0,
+            ..v.clone()
+        });
+        push(SyntheticScenario {
+            delta_keyframe: 1,
             ..v.clone()
         });
         push(SyntheticScenario {
@@ -524,12 +550,15 @@ mod tests {
             assert!(sc.n >= sc.p, "every rank must own at least one variable");
             assert!(sc.iters >= 2);
             assert!(sc.ramp < 0.9, "slowest machine must keep >10% capacity");
+            assert!(sc.delta_keyframe >= 1);
+            assert!(sc.delta_floor >= 0.0 && sc.delta_floor.is_finite());
             // The builders must accept every generated value.
             let cluster = sc.cluster();
             assert_eq!(cluster.len(), sc.p);
             let ranges = sc.ranges();
             assert_eq!(ranges.last().unwrap().end, sc.n);
             let _ = sc.net();
+            let _ = sc.delta_policy();
         }
     }
 
@@ -554,6 +583,8 @@ mod tests {
             latency_us: 0,
             jitter_frac: 0.0,
             jump_prob: 0.0,
+            delta_floor: 0.0,
+            delta_keyframe: 1,
             seed: 0,
         };
         assert!(s.shrink(&floor).is_empty());

@@ -21,10 +21,31 @@
 use desim::{SimDuration, TieBreak};
 use proptest::prelude::*;
 use speccheck::{
-    exact_spec_params, run_sim, run_sim_polled, run_sim_with_faults, run_socket, run_thread,
-    spec_params, synthetic_scenario, DriverMode,
+    exact_spec_params, run_sim, run_sim_polled, run_sim_values, run_sim_with_faults, run_socket,
+    run_thread, spec_params, synthetic_scenario, DriverMode, SpecParams, SyntheticScenario,
 };
-use speccore::{FaultTolerance, SpecConfig};
+use speccore::{DeltaExchange, FaultTolerance, SpecConfig};
+
+/// The grid point's driver mode with a delta-exchange policy attached.
+fn delta_mode(params: &SpecParams, floor: f64, keyframe: u64) -> DriverMode {
+    DriverMode::Speculative(
+        params
+            .build()
+            .with_delta_exchange(DeltaExchange::new(floor, keyframe)),
+    )
+}
+
+/// Delta frames only apply in order; a reordered frame is dropped and
+/// healed later, which is correct but changes *which* values feed θ > 0
+/// runs. Equality-with-full-broadcast properties therefore pin the
+/// network to FIFO-preserving constant latency (the jitter model can
+/// reorder same-link messages).
+fn fifo_net(sc: &SyntheticScenario) -> SyntheticScenario {
+    SyntheticScenario {
+        jitter_frac: 0.0,
+        ..sc.clone()
+    }
+}
 
 proptest! {
     /// Sim and thread transports agree bit-for-bit on final state under
@@ -184,6 +205,72 @@ proptest! {
         prop_assert_eq!(counters(&a), counters(&b));
     }
 
+    /// Lossless (floor = 0) delta exchange is bit-identical to full
+    /// broadcast across the **whole** θ/FW grid: every delta frame
+    /// reconstructs the sender's exact snapshot, and keyframes merely
+    /// re-seed shadows. Timing is also untouched — on a size-independent
+    /// latency model the virtual end times match exactly.
+    #[test]
+    fn lossless_delta_equals_full_broadcast_across_grid(
+        sc in synthetic_scenario(),
+        params in spec_params(),
+    ) {
+        let sc = fifo_net(&sc);
+        let mode = DriverMode::from_params(&params);
+        let full = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
+        let delta = run_sim(
+            &sc,
+            params.theta,
+            &delta_mode(&params, 0.0, sc.delta_keyframe),
+            TieBreak::Fifo,
+        );
+        prop_assert_eq!(&full.fingerprints, &delta.fingerprints);
+        prop_assert_eq!(full.elapsed, delta.elapsed);
+        for s in &delta.stats {
+            prop_assert_eq!(s.delta_frames_dropped, 0);
+            prop_assert_eq!(s.iterations, sc.iters);
+        }
+    }
+
+    /// A positive quantization floor offsets every exchanged value by at
+    /// most `floor`, and the workload's dynamics amplify a received
+    /// offset by at most the jump factor per iteration — so the final
+    /// drift against the full-broadcast run stays inside the closed-form
+    /// envelope `α·floor·Σ(1+jump)^k`. θ = 0 + recompute pins every
+    /// other error source to zero, isolating quantization.
+    #[test]
+    fn quantized_delta_drift_is_bounded(
+        sc in synthetic_scenario(),
+        params in exact_spec_params(),
+    ) {
+        let sc = fifo_net(&sc);
+        let floor = if sc.delta_floor > 0.0 { sc.delta_floor } else { 1e-4 };
+        let mode = DriverMode::from_params(&params);
+        let full = run_sim_values(&sc, 0.0, &mode, TieBreak::Fifo);
+        let lossy = run_sim_values(
+            &sc,
+            0.0,
+            &delta_mode(&params, floor, sc.delta_keyframe),
+            TieBreak::Fifo,
+        );
+        // app_cfg: alpha = 0.1, multiplicative jumps of ±0.5.
+        let (alpha, jump) = (0.1, 0.5);
+        let envelope: f64 = (0..sc.iters)
+            .map(|k| (1.0f64 + jump).powi(k as i32))
+            .sum::<f64>()
+            * alpha
+            * floor;
+        let bound = envelope * 4.0 + 1e-12;
+        for (rank, (f, l)) in full.iter().zip(&lossy).enumerate() {
+            for (i, (a, b)) in f.iter().zip(l).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "rank {} var {}: |{} - {}| > {}", rank, i, a, b, bound
+                );
+            }
+        }
+    }
+
     /// Under exact semantics the *result* cannot hinge on how
     /// same-virtual-time ties are broken: FIFO, LIFO, and seeded
     /// permutations of simultaneous events all land on the same final
@@ -239,6 +326,26 @@ proptest! {
         let sim = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
         let thread = run_thread(&sc, params.theta, &mode);
         let socket = run_socket(&sc, params.theta, &mode);
+        prop_assert_eq!(&sim.fingerprints, &thread.fingerprints);
+        prop_assert_eq!(&sim.fingerprints, &socket.fingerprints);
+    }
+
+    /// Lossless delta exchange agrees with full broadcast on **all three
+    /// backends** under exact semantics: delta frames survive real
+    /// encode/frame/decode over TCP and in-process mailboxes alike, and
+    /// land on the PR 6 full-broadcast fingerprints bit for bit.
+    #[test]
+    fn lossless_delta_agrees_across_all_three_backends(
+        sc in synthetic_scenario(),
+        params in exact_spec_params(),
+    ) {
+        let sc = fifo_net(&sc);
+        let mode = delta_mode(&params, 0.0, sc.delta_keyframe);
+        let full = run_sim(&sc, params.theta, &DriverMode::from_params(&params), TieBreak::Fifo);
+        let sim = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
+        let thread = run_thread(&sc, params.theta, &mode);
+        let socket = run_socket(&sc, params.theta, &mode);
+        prop_assert_eq!(&full.fingerprints, &sim.fingerprints);
         prop_assert_eq!(&sim.fingerprints, &thread.fingerprints);
         prop_assert_eq!(&sim.fingerprints, &socket.fingerprints);
     }

@@ -115,6 +115,31 @@ pub trait SpeculativeApp {
         None
     }
 
+    /// Flatten a [`Shared`](Self::Shared) snapshot into scalar lanes for
+    /// delta exchange, appending into `out` (cleared first). Returns
+    /// `false` — the default — when the app does not support deltas, in
+    /// which case the driver ignores any
+    /// [`DeltaExchange`](crate::config::DeltaExchange) policy and keeps
+    /// broadcasting full snapshots.
+    ///
+    /// The lane layout must be a pure, stable function of the partition
+    /// shape: the same index always refers to the same scalar across the
+    /// whole run, on every rank. An app that returns `true` here must also
+    /// implement [`delta_patch`](Self::delta_patch).
+    fn delta_extract(&self, shared: &Self::Shared, out: &mut Vec<f64>) -> bool {
+        let _ = (shared, out);
+        false
+    }
+
+    /// Rebuild a [`Shared`](Self::Shared) snapshot from `base` with the
+    /// given `(lane, value)` entries applied — the receiving side of
+    /// [`delta_extract`](Self::delta_extract)'s lane layout. Returns
+    /// `None` when the app does not support deltas (the default).
+    fn delta_patch(&self, base: &Self::Shared, entries: &[(u32, f64)]) -> Option<Self::Shared> {
+        let _ = (base, entries);
+        None
+    }
+
     /// Snapshot the state needed to re-execute from the current point.
     fn checkpoint(&self) -> Self::Checkpoint;
 

@@ -189,6 +189,56 @@ impl FaultTolerance {
     }
 }
 
+/// Delta-exchange policy: broadcast sparse updates against per-peer
+/// shadows instead of full partition snapshots.
+///
+/// Each sender keeps, per peer, a shadow of what that peer last
+/// reconstructed from this rank's stream, and sends only the scalar lanes
+/// whose change since the shadow exceeds `floor` (see
+/// [`mpk::DeltaFrame`]). `floor == 0.0` makes the stream lossless —
+/// bit-identical to full broadcasts — while a positive floor bounds each
+/// lane's staleness by `floor` and suppresses traffic for lanes that
+/// barely move. Every `keyframe_interval` iterations (and whenever a
+/// shadow is missing — bootstrap, retransmit, crash recovery) the full
+/// state is sent instead, bounding drift and re-synchronising peers that
+/// missed frames.
+///
+/// Delta frames assume per-link FIFO delivery (true of all three
+/// transports and of size-independent simulated latency): a frame only
+/// applies on top of its immediate predecessor, and a receiver drops
+/// frames that arrive over a gap. Under loss or reordering, combine with
+/// [`FaultTolerance`] so dropped frames heal via retransmission, the next
+/// keyframe, or speculate-through-loss promotion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaExchange {
+    /// Largest per-lane change that may be suppressed. `0.0` compares bit
+    /// patterns: the delta stream is exactly lossless.
+    pub floor: f64,
+    /// Broadcast a full keyframe whenever `iter % keyframe_interval == 0`
+    /// (at least 1; 1 degenerates to full broadcast every iteration).
+    pub keyframe_interval: u64,
+}
+
+impl DeltaExchange {
+    /// A delta policy with the given floor and keyframe interval.
+    pub fn new(floor: f64, keyframe_interval: u64) -> Self {
+        assert!(
+            floor >= 0.0 && floor.is_finite(),
+            "quantization floor must be finite and non-negative"
+        );
+        assert!(keyframe_interval >= 1, "keyframe interval must be >= 1");
+        DeltaExchange {
+            floor,
+            keyframe_interval,
+        }
+    }
+
+    /// Lossless deltas (floor 0) with the default keyframe cadence of 32.
+    pub fn lossless() -> Self {
+        DeltaExchange::new(0.0, 32)
+    }
+}
+
 /// Complete driver configuration.
 #[derive(Clone, Debug)]
 pub struct SpecConfig {
@@ -205,6 +255,11 @@ pub struct SpecConfig {
     /// transport and keeps the driver's behavior bit-identical to the
     /// fault-unaware implementation.
     pub fault: Option<FaultTolerance>,
+    /// Delta-exchange policy; `None` (the default) broadcasts full
+    /// partition snapshots exactly as before. Ignored for apps that do not
+    /// expose scalar lanes (see
+    /// [`SpeculativeApp::delta_extract`](crate::SpeculativeApp::delta_extract)).
+    pub delta: Option<DeltaExchange>,
 }
 
 impl SpecConfig {
@@ -216,6 +271,7 @@ impl SpecConfig {
             correction: CorrectionMode::Incremental,
             collect_log: false,
             fault: None,
+            delta: None,
         }
     }
 
@@ -227,6 +283,7 @@ impl SpecConfig {
             correction: CorrectionMode::Incremental,
             collect_log: false,
             fault: None,
+            delta: None,
         }
     }
 
@@ -252,6 +309,13 @@ impl SpecConfig {
     /// requests, crash recovery).
     pub fn with_fault_tolerance(mut self, ft: FaultTolerance) -> Self {
         self.fault = Some(ft);
+        self
+    }
+
+    /// Broadcast delta frames against per-peer shadows instead of full
+    /// partition snapshots.
+    pub fn with_delta_exchange(mut self, delta: DeltaExchange) -> Self {
+        self.delta = Some(delta);
         self
     }
 }
@@ -341,5 +405,29 @@ mod tests {
     #[should_panic(expected = "loss timeout must be positive")]
     fn zero_loss_timeout_is_rejected() {
         let _ = FaultTolerance::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn delta_exchange_builder() {
+        let d = DeltaExchange::new(0.25, 8);
+        assert_eq!(d.floor, 0.25);
+        assert_eq!(d.keyframe_interval, 8);
+        let c = SpecConfig::speculative(1).with_delta_exchange(d);
+        assert_eq!(c.delta, Some(d));
+        assert!(SpecConfig::baseline().delta.is_none());
+        let lossless = DeltaExchange::lossless();
+        assert_eq!(lossless.floor, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keyframe interval must be >= 1")]
+    fn zero_keyframe_interval_is_rejected() {
+        let _ = DeltaExchange::new(0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantization floor must be finite")]
+    fn negative_floor_is_rejected() {
+        let _ = DeltaExchange::new(-1.0, 4);
     }
 }

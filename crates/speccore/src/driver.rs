@@ -22,43 +22,97 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use desim::{SimDuration, SimTime};
-use mpk::{Envelope, Rank, Tag, Transport, WireCodec, WireSize};
+use mpk::{DeltaFrame, Envelope, Rank, Tag, Transport, WireCodec, WireSize, HEADER_BYTES};
 use obs::{Gauge, Mark, Phase};
 
 use crate::app::SpeculativeApp;
-use crate::config::{CorrectionMode, SpecConfig};
+use crate::config::{CorrectionMode, DeltaExchange, SpecConfig};
 use crate::history::History;
 use crate::stats::{IterationLog, RunStats};
 
-/// The message every rank broadcasts each iteration: its partition snapshot
-/// stamped with the iteration it belongs to.
+/// Wire discriminant for delta frames: the top bit of the iteration stamp.
+/// Iteration counts never approach 2^63, so full frames — whose encoding
+/// must stay byte-identical to the pre-delta protocol — always have it
+/// clear.
+const DELTA_BIT: u64 = 1 << 63;
+
+/// The message every rank broadcasts each iteration: either its full
+/// partition snapshot or a sparse [`DeltaFrame`] against the receiver's
+/// shadow, stamped with the iteration it belongs to.
 #[derive(Clone, Debug, PartialEq)]
 pub struct IterMsg<S> {
     /// Which iteration's `X_j` this is.
     pub iter: u64,
-    /// The partition values.
-    pub data: S,
+    /// Full snapshot or sparse delta.
+    pub body: MsgBody<S>,
+}
+
+/// Payload of an [`IterMsg`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MsgBody<S> {
+    /// The complete partition snapshot (the only body before delta
+    /// exchange; still used for keyframes, retransmissions and recovery).
+    Full(S),
+    /// Scalar lanes that moved past the quantization floor since the
+    /// previous frame to the same peer. Applies only on top of the
+    /// immediately preceding iteration's reconstruction.
+    Delta(DeltaFrame),
+}
+
+impl<S> IterMsg<S> {
+    /// A full-snapshot message.
+    pub fn full(iter: u64, data: S) -> Self {
+        debug_assert!(iter & DELTA_BIT == 0, "iteration stamp overflows wire tag");
+        IterMsg {
+            iter,
+            body: MsgBody::Full(data),
+        }
+    }
+
+    /// A delta-frame message.
+    pub fn delta(iter: u64, frame: DeltaFrame) -> Self {
+        debug_assert!(iter & DELTA_BIT == 0, "iteration stamp overflows wire tag");
+        IterMsg {
+            iter,
+            body: MsgBody::Delta(frame),
+        }
+    }
 }
 
 impl<S: WireSize> WireSize for IterMsg<S> {
     fn wire_size(&self) -> usize {
-        8 + self.data.wire_size()
+        8 + match &self.body {
+            MsgBody::Full(data) => data.wire_size(),
+            MsgBody::Delta(frame) => frame.wire_size(),
+        }
     }
 }
 
 /// The real encoding matches the [`WireSize`] model above byte-for-byte,
-/// so socket runs put exactly the modelled payload on the wire.
+/// so socket runs put exactly the modelled payload on the wire. Full
+/// frames encode exactly as the pre-delta `IterMsg` did (iteration stamp,
+/// then payload); delta frames set [`DELTA_BIT`] in the stamp.
 impl<S: WireCodec> WireCodec for IterMsg<S> {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.iter.encode(out);
-        self.data.encode(out);
+        match &self.body {
+            MsgBody::Full(data) => {
+                self.iter.encode(out);
+                data.encode(out);
+            }
+            MsgBody::Delta(frame) => {
+                (self.iter | DELTA_BIT).encode(out);
+                frame.encode(out);
+            }
+        }
     }
 
     fn decode(buf: &mut &[u8]) -> Option<Self> {
-        Some(IterMsg {
-            iter: u64::decode(buf)?,
-            data: S::decode(buf)?,
-        })
+        let stamp = u64::decode(buf)?;
+        if stamp & DELTA_BIT == 0 {
+            Some(IterMsg::full(stamp, S::decode(buf)?))
+        } else {
+            Some(IterMsg::delta(stamp & !DELTA_BIT, DeltaFrame::decode(buf)?))
+        }
     }
 }
 
@@ -144,11 +198,98 @@ fn promote_loss<S: Clone, C>(
     }
 }
 
+/// All per-run delta-exchange state. `policy` is `Some` only when the
+/// config asked for deltas *and* the app exposes scalar lanes; otherwise
+/// every field stays empty and the driver's behavior (and allocations) are
+/// bit-identical to the pre-delta protocol.
+struct DeltaState<S> {
+    policy: Option<DeltaExchange>,
+    /// Per-peer sender shadow: the scalar lanes that peer has
+    /// reconstructed from our stream (diff baseline). `None` until the
+    /// first full frame to that peer.
+    tx_shadow: Vec<Option<Vec<f64>>>,
+    /// Per-sender receiver shadow: `(iter, reconstruction)` of the
+    /// newest frame applied from that sender.
+    rx_shadow: Vec<Option<(u64, S)>>,
+    /// Highest iteration stamp seen on *any* frame from each peer —
+    /// including delta frames dropped over a gap, which prove the peer
+    /// advanced even though no value could be recorded. Feeds the
+    /// loss-promotion evidence check alongside the history.
+    seen_past: Vec<Option<u64>>,
+    /// Scratch: current partition flattened to scalar lanes.
+    cur: Vec<f64>,
+    /// Scratch: the frame being diffed for the peer in progress.
+    frame: DeltaFrame,
+}
+
+impl<S> DeltaState<S> {
+    fn inert(p: usize) -> Self {
+        DeltaState {
+            policy: None,
+            tx_shadow: (0..p).map(|_| None).collect(),
+            rx_shadow: (0..p).map(|_| None).collect(),
+            seen_past: vec![None; p],
+            cur: Vec::new(),
+            frame: DeltaFrame::new(),
+        }
+    }
+
+    /// Forget everything volatile (crash recovery): shadows on both sides
+    /// and the advancement evidence. The next frame to every peer will be
+    /// a full keyframe, and peers' next full frames re-seed our receiver
+    /// shadows.
+    fn reset(&mut self) {
+        self.tx_shadow.iter_mut().for_each(|s| *s = None);
+        self.rx_shadow.iter_mut().for_each(|s| *s = None);
+        self.seen_past.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+/// Send one message, keeping the modelled byte/message tallies.
+fn send_msg<T, S>(transport: &mut T, stats: &mut RunStats, to: Rank, tag: Tag, msg: IterMsg<S>)
+where
+    S: WireSize,
+    T: Transport<Msg = IterMsg<S>>,
+{
+    stats.bytes_sent += (HEADER_BYTES + msg.wire_size()) as u64;
+    stats.messages_sent += 1;
+    transport.send(to, tag, msg);
+}
+
+/// Send a full snapshot to one peer (retransmit request/reply, crash
+/// recovery), resetting the sender-side shadow so the peer's stream
+/// restarts from a known baseline.
+#[allow(clippy::too_many_arguments)]
+fn send_full_state<T, A>(
+    transport: &mut T,
+    stats: &mut RunStats,
+    app: &A,
+    dx: &mut DeltaState<A::Shared>,
+    to: Rank,
+    tag: Tag,
+    iter: u64,
+    data: &A::Shared,
+) where
+    A: SpeculativeApp,
+    A::Shared: WireSize,
+    T: Transport<Msg = IterMsg<A::Shared>>,
+{
+    if dx.policy.is_some() {
+        let capable = app.delta_extract(data, &mut dx.cur);
+        debug_assert!(capable, "delta policy active on a non-capable app");
+        let shadow = dx.tx_shadow[to.0].get_or_insert_with(Vec::new);
+        shadow.clear();
+        shadow.extend_from_slice(&dx.cur);
+    }
+    send_msg(transport, stats, to, tag, IterMsg::full(iter, data.clone()));
+}
+
 /// Run the non-speculative baseline (the paper's Figure 1) for
 /// `total_iters` iterations.
 pub fn run_baseline<T, A>(transport: &mut T, app: &mut A, total_iters: u64) -> RunStats
 where
     A: SpeculativeApp,
+    A::Shared: WireSize,
     T: Transport<Msg = IterMsg<A::Shared>>,
 {
     run_speculative(transport, app, total_iters, SpecConfig::baseline())
@@ -165,6 +306,7 @@ pub fn run_speculative<T, A>(
 ) -> RunStats
 where
     A: SpeculativeApp,
+    A::Shared: WireSize,
     T: Transport<Msg = IterMsg<A::Shared>>,
 {
     let me = transport.rank();
@@ -228,6 +370,16 @@ where
         .unwrap_or_default();
     let mut next_crash = 0usize;
 
+    // ---- delta-exchange state (inert unless configured AND the app
+    // exposes scalar lanes; inert means bit-identical legacy behavior) ----
+    let mut dx: DeltaState<A::Shared> = DeltaState::inert(p);
+    if let Some(pol) = config.delta {
+        let probe = app.shared();
+        if app.delta_extract(&probe, &mut dx.cur) {
+            dx.policy = Some(pol);
+        }
+    }
+
     let mut t_conf: u64 = 0; // next iteration to confirm
     let mut t_exec: u64 = 0; // next iteration to execute
     let mut waited_since_confirm = SimDuration::ZERO;
@@ -243,7 +395,7 @@ where
         return stats;
     }
 
-    broadcast(transport, &mut stats, p, me, 0, app.shared());
+    broadcast(transport, &mut stats, app, &mut dx, p, me, 0, app.shared());
 
     'main: while t_conf < total_iters {
         // Fold in everything that has arrived.
@@ -254,18 +406,27 @@ where
                 last_heard[src.0] = transport.now();
                 if env.tag == RETRANS_REQ_TAG {
                     // Re-send our latest broadcast; re-delivery is the ack.
-                    transport.send(
+                    send_full_state(
+                        transport,
+                        &mut stats,
+                        app,
+                        &mut dx,
                         src,
                         DATA_TAG,
-                        IterMsg {
-                            iter: last_broadcast.0,
-                            data: last_broadcast.1.clone(),
-                        },
+                        last_broadcast.0,
+                        &last_broadcast.1,
                     );
-                    stats.messages_sent += 1;
                 }
             }
-            stash(env, t_conf, &mut inbox, &mut history, &mut stats);
+            stash(
+                app,
+                &mut dx,
+                env,
+                t_conf,
+                &mut inbox,
+                &mut history,
+                &mut stats,
+            );
         }
 
         // ------------------------------------------------------------------
@@ -294,6 +455,7 @@ where
                     for h in history.iter_mut() {
                         *h = History::new(config.backward_window.max(1));
                     }
+                    dx.reset();
                     staleness.iter_mut().for_each(|s| *s = 0);
                     front_tracked = None;
                     peer_wait.iter_mut().for_each(|w| *w = None);
@@ -326,15 +488,16 @@ where
                     // backward windows; the requests carry our own state.
                     for k in 0..p {
                         if k != me.0 {
-                            transport.send(
+                            send_full_state(
+                                transport,
+                                &mut stats,
+                                app,
+                                &mut dx,
                                 Rank(k),
                                 RETRANS_REQ_TAG,
-                                IterMsg {
-                                    iter: last_broadcast.0,
-                                    data: last_broadcast.1.clone(),
-                                },
+                                last_broadcast.0,
+                                &last_broadcast.1,
                             );
-                            stats.messages_sent += 1;
                             stats.retransmit_requests += 1;
                         }
                     }
@@ -370,8 +533,13 @@ where
                     }
                     // Evidence of a genuine loss: the peer already broadcast
                     // an iteration past the front, so (links delivering in
-                    // order) the front's message is not merely late.
-                    let evidence = history[k].latest_iter().is_some_and(|li| li > front_iter);
+                    // order) the front's message is not merely late. A delta
+                    // frame dropped over a gap proves advancement just as a
+                    // recorded value does — without it, a delta stream whose
+                    // frames all miss their baseline would never build
+                    // evidence through the history alone.
+                    let evidence = history[k].latest_iter().is_some_and(|li| li > front_iter)
+                        || dx.seen_past[k].is_some_and(|si| si > front_iter);
                     match peer_wait[k] {
                         None => peer_wait[k] = Some(PeerWait::Armed { since: now }),
                         Some(PeerWait::Armed { since }) => {
@@ -433,15 +601,16 @@ where
                     }
                 }
                 for k in ask_retransmit {
-                    transport.send(
+                    send_full_state(
+                        transport,
+                        &mut stats,
+                        app,
+                        &mut dx,
                         Rank(k),
                         RETRANS_REQ_TAG,
-                        IterMsg {
-                            iter: last_broadcast.0,
-                            data: last_broadcast.1.clone(),
-                        },
+                        last_broadcast.0,
+                        &last_broadcast.1,
                     );
-                    stats.messages_sent += 1;
                     stats.retransmit_requests += 1;
                 }
             }
@@ -629,7 +798,16 @@ where
                     if ft.is_some() {
                         last_broadcast = (t_conf, rec.produced.clone());
                     }
-                    broadcast(transport, &mut stats, p, me, t_conf, rec.produced);
+                    broadcast(
+                        transport,
+                        &mut stats,
+                        app,
+                        &mut dx,
+                        p,
+                        me,
+                        t_conf,
+                        rec.produced,
+                    );
                 }
                 // Everything below t_conf is fully consumed.
                 inbox = inbox.split_off(&t_conf);
@@ -759,15 +937,16 @@ where
                 }
                 comp_ops += app.finish_iteration();
                 for k in ask_retransmit {
-                    transport.send(
+                    send_full_state(
+                        transport,
+                        &mut stats,
+                        app,
+                        &mut dx,
                         Rank(k),
                         RETRANS_REQ_TAG,
-                        IterMsg {
-                            iter: last_broadcast.0,
-                            data: last_broadcast.1.clone(),
-                        },
+                        last_broadcast.0,
+                        &last_broadcast.1,
                     );
-                    stats.messages_sent += 1;
                     stats.retransmit_requests += 1;
                 }
 
@@ -904,18 +1083,27 @@ where
                 staleness[src.0] = 0;
                 last_heard[src.0] = transport.now();
                 if env.tag == RETRANS_REQ_TAG {
-                    transport.send(
+                    send_full_state(
+                        transport,
+                        &mut stats,
+                        app,
+                        &mut dx,
                         src,
                         DATA_TAG,
-                        IterMsg {
-                            iter: last_broadcast.0,
-                            data: last_broadcast.1.clone(),
-                        },
+                        last_broadcast.0,
+                        &last_broadcast.1,
                     );
-                    stats.messages_sent += 1;
                 }
             }
-            stash(env, t_conf, &mut inbox, &mut history, &mut stats);
+            stash(
+                app,
+                &mut dx,
+                env,
+                t_conf,
+                &mut inbox,
+                &mut history,
+                &mut stats,
+            );
         }
     }
 
@@ -924,38 +1112,144 @@ where
     stats
 }
 
-fn broadcast<T, S>(transport: &mut T, stats: &mut RunStats, p: usize, me: Rank, iter: u64, data: S)
-where
-    S: Clone + Send + 'static,
-    T: Transport<Msg = IterMsg<S>>,
+/// Broadcast this iteration's partition to every peer. Without a delta
+/// policy every peer gets the full snapshot, exactly as before. With one,
+/// each peer gets either a keyframe (on the keyframe cadence, or when its
+/// shadow is missing) or the sparse diff against its sender shadow; the
+/// shadow is then advanced by *what was sent* — not by the true state —
+/// so quantization error never compounds across iterations.
+#[allow(clippy::too_many_arguments)] // the driver's send path in one place
+fn broadcast<T, A>(
+    transport: &mut T,
+    stats: &mut RunStats,
+    app: &A,
+    dx: &mut DeltaState<A::Shared>,
+    p: usize,
+    me: Rank,
+    iter: u64,
+    data: A::Shared,
+) where
+    A: SpeculativeApp,
+    A::Shared: WireSize,
+    T: Transport<Msg = IterMsg<A::Shared>>,
 {
+    let Some(pol) = dx.policy else {
+        for k in 0..p {
+            if k != me.0 {
+                send_msg(
+                    transport,
+                    stats,
+                    Rank(k),
+                    DATA_TAG,
+                    IterMsg::full(iter, data.clone()),
+                );
+            }
+        }
+        return;
+    };
+    let capable = app.delta_extract(&data, &mut dx.cur);
+    debug_assert!(capable, "delta policy active on a non-capable app");
+    let full_bytes = (HEADER_BYTES + 8 + data.wire_size()) as u64;
+    let keyframe_due = iter.is_multiple_of(pol.keyframe_interval);
+    let obs_rank = me.0 as u32;
     for k in 0..p {
-        if k != me.0 {
-            transport.send(
-                Rank(k),
-                DATA_TAG,
-                IterMsg {
-                    iter,
-                    data: data.clone(),
-                },
-            );
-            stats.messages_sent += 1;
+        if k == me.0 {
+            continue;
+        }
+        match &mut dx.tx_shadow[k] {
+            Some(shadow) if !keyframe_due => {
+                dx.frame.diff_into(&dx.cur, shadow, pol.floor);
+                dx.frame.apply(shadow);
+                let msg = IterMsg::delta(iter, dx.frame.clone());
+                let suppressed = full_bytes.saturating_sub((HEADER_BYTES + msg.wire_size()) as u64);
+                stats.delta_suppressed_bytes += suppressed;
+                let t_now = transport.now().as_nanos();
+                if let Some(r) = transport.recorder() {
+                    r.mark(
+                        obs_rank,
+                        t_now,
+                        Mark::DeltaSuppressed {
+                            to: k as u32,
+                            bytes: suppressed,
+                        },
+                    );
+                }
+                send_msg(transport, stats, Rank(k), DATA_TAG, msg);
+            }
+            shadow => {
+                let shadow = shadow.get_or_insert_with(Vec::new);
+                shadow.clear();
+                shadow.extend_from_slice(&dx.cur);
+                send_msg(
+                    transport,
+                    stats,
+                    Rank(k),
+                    DATA_TAG,
+                    IterMsg::full(iter, data.clone()),
+                );
+            }
         }
     }
 }
 
-fn stash<S: Clone>(
-    env: Envelope<IterMsg<S>>,
+/// Fold one received frame into the inbox and history. Full frames behave
+/// exactly as the pre-delta protocol did (and additionally re-seed the
+/// receiver shadow); a delta frame reconstructs the sender's snapshot by
+/// patching the shadow, but only when it extends it by exactly one
+/// iteration — duplicates and gap frames are dropped without touching the
+/// history or inbox, so they can never fabricate promotion evidence or
+/// corrupt a reconstruction. Gaps heal when the next keyframe, retransmit
+/// reply, or recovery request (all full frames) re-seeds the shadow.
+fn stash<A: SpeculativeApp>(
+    app: &A,
+    dx: &mut DeltaState<A::Shared>,
+    env: Envelope<IterMsg<A::Shared>>,
     t_conf: u64,
-    inbox: &mut BTreeMap<u64, HashMap<usize, S>>,
-    history: &mut [History<S>],
+    inbox: &mut BTreeMap<u64, HashMap<usize, A::Shared>>,
+    history: &mut [History<A::Shared>],
     stats: &mut RunStats,
-) {
+) where
+    A::Shared: WireSize,
+{
     stats.messages_received += 1;
-    let IterMsg { iter, data } = env.msg;
-    history[env.src.0].record(iter, data.clone());
+    stats.bytes_received += (HEADER_BYTES + env.msg.wire_size()) as u64;
+    let src = env.src.0;
+    let IterMsg { iter, body } = env.msg;
+    match &mut dx.seen_past[src] {
+        Some(sp) => *sp = (*sp).max(iter),
+        sp => *sp = Some(iter),
+    }
+    let data = match body {
+        MsgBody::Full(data) => {
+            if dx.policy.is_some() {
+                // Never regress the shadow: a stale (reordered or
+                // duplicated) full frame must not break the chain the
+                // newer deltas continue from.
+                match &dx.rx_shadow[src] {
+                    Some((si, _)) if *si > iter => {}
+                    _ => dx.rx_shadow[src] = Some((iter, data.clone())),
+                }
+            }
+            data
+        }
+        MsgBody::Delta(frame) => match dx.rx_shadow[src].take() {
+            Some((si, base)) if si + 1 == iter => {
+                let next = app
+                    .delta_patch(&base, &frame.entries)
+                    .expect("delta frame for a non-delta-capable app");
+                dx.rx_shadow[src] = Some((iter, next.clone()));
+                next
+            }
+            other => {
+                dx.rx_shadow[src] = other;
+                stats.delta_frames_dropped += 1;
+                return;
+            }
+        },
+    };
+    history[src].record(iter, data.clone());
     if iter >= t_conf {
-        inbox.entry(iter).or_default().insert(env.src.0, data);
+        inbox.entry(iter).or_default().insert(src, data);
     }
 }
 
@@ -1043,6 +1337,19 @@ mod tests {
             // Exact for a linear absorb.
             self.x += self.b * (actual - speculated);
             100
+        }
+        fn delta_extract(&self, shared: &f64, out: &mut Vec<f64>) -> bool {
+            out.clear();
+            out.push(*shared);
+            true
+        }
+        fn delta_patch(&self, base: &f64, entries: &[(u32, f64)]) -> Option<f64> {
+            let mut v = *base;
+            for &(lane, value) in entries {
+                debug_assert_eq!(lane, 0, "toy app has a single lane");
+                v = value;
+            }
+            Some(v)
         }
         fn checkpoint(&self) -> f64 {
             self.x
@@ -1286,6 +1593,7 @@ mod tests {
             correction: CorrectionMode::Incremental,
             collect_log: false,
             fault: None,
+            delta: None,
         };
         let iters = 40;
         let (out, _) = run_sim_cluster::<IterMsg<f64>, _, _>(
@@ -1556,6 +1864,176 @@ mod tests {
         };
         assert_eq!(run(9), run(9), "same seed must reproduce bit-exactly");
         assert_ne!(run(9), run(10), "different seeds should differ");
+    }
+
+    #[test]
+    fn lossless_delta_is_bit_identical_to_full_broadcast() {
+        let p = 4;
+        let iters = 16;
+        let theta = 0.05;
+        let full_cfg = SpecConfig::speculative(2);
+        let delta_cfg = full_cfg
+            .clone()
+            .with_delta_exchange(DeltaExchange::lossless());
+        let (full, t_full) = run_toy(p, iters, theta, full_cfg, 3);
+        let (delta, t_delta) = run_toy(p, iters, theta, delta_cfg, 3);
+        assert_eq!(t_full, t_delta, "floor=0 must not change the schedule");
+        for (j, ((xf, sf), (xd, sd))) in full.iter().zip(&delta).enumerate() {
+            assert_eq!(
+                xf.to_bits(),
+                xd.to_bits(),
+                "rank {j}: floor=0 delta must be bit-identical"
+            );
+            assert_eq!(sf.messages_sent, sd.messages_sent);
+            assert_eq!(sd.delta_frames_dropped, 0, "reliable net drops nothing");
+            assert_eq!(sf.total_time, sd.total_time);
+        }
+    }
+
+    #[test]
+    fn delta_mode_preserves_send_count_and_meters_bytes() {
+        let p = 4;
+        let iters = 12;
+        let cfg = SpecConfig::speculative(1).with_delta_exchange(DeltaExchange::new(1e-3, 4));
+        let (out, _) = run_toy(p, iters, 1e9, cfg, 2);
+        for (_, stats) in &out {
+            assert_eq!(stats.messages_sent, (p as u64 - 1) * iters);
+            assert!(stats.bytes_sent > 0, "sends must be metered");
+            assert!(stats.bytes_received > 0, "receives must be metered");
+            assert_eq!(stats.iterations, iters);
+        }
+    }
+
+    #[test]
+    fn keyframe_every_iteration_degenerates_to_full_broadcast() {
+        let p = 3;
+        let iters = 10;
+        let full_cfg = SpecConfig::speculative(1);
+        let kf_cfg = full_cfg
+            .clone()
+            .with_delta_exchange(DeltaExchange::new(0.5, 1));
+        let (full, _) = run_toy(p, iters, 0.05, full_cfg, 2);
+        let (kf, _) = run_toy(p, iters, 0.05, kf_cfg, 2);
+        for (j, ((xf, sf), (xk, sk))) in full.iter().zip(&kf).enumerate() {
+            assert_eq!(xf.to_bits(), xk.to_bits(), "rank {j}: K=1 is full frames");
+            assert_eq!(sf.bytes_sent, sk.bytes_sent, "rank {j}: same wire bytes");
+            assert_eq!(sk.delta_suppressed_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn quantized_delta_error_stays_bounded() {
+        // The toy map is a contraction (|a| + (p-1)|b| < 1), so a per-value
+        // quantization error of `floor` perturbs the fixed point by
+        // O(floor / (1 - ρ)) — far below this generous bound.
+        let p = 4;
+        let iters = 30;
+        let floor = 1e-3;
+        let cfg = SpecConfig::speculative(1).with_delta_exchange(DeltaExchange::new(floor, 8));
+        let (out, _) = run_toy(p, iters, 1e9, cfg, 2);
+        let reference = toy_reference(p, iters);
+        for (j, (x, stats)) in out.iter().enumerate() {
+            assert!(
+                (x - reference[j]).abs() < 0.05,
+                "rank {j} drifted past the quantization bound: {x} vs {}",
+                reference[j]
+            );
+            assert_eq!(stats.iterations, iters);
+        }
+    }
+
+    #[test]
+    fn stash_drops_gap_and_duplicate_delta_frames() {
+        use std::collections::{BTreeMap, HashMap};
+
+        let app = Toy::new(0, 2, 0.0);
+        let mut dx: DeltaState<f64> = DeltaState::inert(2);
+        dx.policy = Some(DeltaExchange::lossless());
+        let mut inbox: BTreeMap<u64, HashMap<usize, f64>> = BTreeMap::new();
+        let mut history = vec![History::new(4), History::new(4)];
+        let mut stats = RunStats::new(Rank(0));
+        let env = |iter: u64, body: MsgBody<f64>| Envelope {
+            src: Rank(1),
+            tag: DATA_TAG,
+            msg: IterMsg { iter, body },
+        };
+        let frame = |v: f64| DeltaFrame {
+            entries: vec![(0, v)],
+        };
+
+        // A full frame seeds the shadow.
+        stash(
+            &app,
+            &mut dx,
+            env(5, MsgBody::Full(2.0)),
+            0,
+            &mut inbox,
+            &mut history,
+            &mut stats,
+        );
+        assert_eq!(dx.rx_shadow[1], Some((5, 2.0)));
+
+        // A gap delta (iter 7 against shadow 5) is dropped untouched.
+        stash(
+            &app,
+            &mut dx,
+            env(7, MsgBody::Delta(frame(9.0))),
+            0,
+            &mut inbox,
+            &mut history,
+            &mut stats,
+        );
+        assert_eq!(stats.delta_frames_dropped, 1);
+        assert_eq!(history[1].latest_iter(), Some(5));
+        assert_eq!(
+            dx.rx_shadow[1],
+            Some((5, 2.0)),
+            "gap must not move the shadow"
+        );
+
+        // The in-order delta applies and advances the shadow.
+        stash(
+            &app,
+            &mut dx,
+            env(6, MsgBody::Delta(frame(3.0))),
+            0,
+            &mut inbox,
+            &mut history,
+            &mut stats,
+        );
+        assert_eq!(dx.rx_shadow[1], Some((6, 3.0)));
+        assert_eq!(history[1].latest_iter(), Some(6));
+        assert_eq!(inbox.get(&6).and_then(|m| m.get(&1)), Some(&3.0));
+
+        // A duplicate of that delta is inert.
+        stash(
+            &app,
+            &mut dx,
+            env(6, MsgBody::Delta(frame(3.0))),
+            0,
+            &mut inbox,
+            &mut history,
+            &mut stats,
+        );
+        assert_eq!(stats.delta_frames_dropped, 2);
+        assert_eq!(dx.rx_shadow[1], Some((6, 3.0)));
+
+        // A stale full frame never regresses the shadow.
+        stash(
+            &app,
+            &mut dx,
+            env(4, MsgBody::Full(1.0)),
+            0,
+            &mut inbox,
+            &mut history,
+            &mut stats,
+        );
+        assert_eq!(dx.rx_shadow[1], Some((6, 3.0)));
+
+        // `seen_past` remembers the gap frame's iteration as promotion
+        // evidence even though its payload was dropped.
+        assert_eq!(dx.seen_past[1], Some(7));
+        assert_eq!(stats.messages_received, 5);
     }
 }
 

@@ -45,7 +45,9 @@ pub mod speculator;
 mod stats;
 
 pub use app::{CheckOutcome, SpeculativeApp};
-pub use config::{AdaptiveWindow, CorrectionMode, FaultTolerance, SpecConfig, WindowPolicy};
-pub use driver::{run_baseline, run_speculative, IterMsg, DATA_TAG, RETRANS_REQ_TAG};
+pub use config::{
+    AdaptiveWindow, CorrectionMode, DeltaExchange, FaultTolerance, SpecConfig, WindowPolicy,
+};
+pub use driver::{run_baseline, run_speculative, IterMsg, MsgBody, DATA_TAG, RETRANS_REQ_TAG};
 pub use history::History;
 pub use stats::{ClusterStats, IterationLog, PhaseBreakdown, RunStats};

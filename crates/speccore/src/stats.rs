@@ -85,6 +85,21 @@ pub struct RunStats {
     pub messages_sent: u64,
     /// Messages received by this rank.
     pub messages_received: u64,
+    /// Modelled bytes this rank put on the wire (payload plus per-message
+    /// header), across data messages, retransmit traffic and replies.
+    pub bytes_sent: u64,
+    /// Modelled bytes received, same accounting as
+    /// [`bytes_sent`](Self::bytes_sent).
+    pub bytes_received: u64,
+    /// Bytes the delta exchange avoided sending: for every delta frame,
+    /// the size of the full snapshot it replaced minus the frame's own
+    /// size (never negative). Zero without a delta policy.
+    pub delta_suppressed_bytes: u64,
+    /// Delta frames received that could not be applied because their
+    /// predecessor never arrived (a gap) or because the frame was a
+    /// duplicate of one already applied. Gaps heal via retransmission or
+    /// the next keyframe; zero on fault-free FIFO links.
+    pub delta_frames_dropped: u64,
     /// Largest forward window actually used.
     pub max_depth_used: u64,
     /// Largest error among *accepted* speculations — the residual error
@@ -129,6 +144,10 @@ impl RunStats {
             executions: 0,
             messages_sent: 0,
             messages_received: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+            delta_suppressed_bytes: 0,
+            delta_frames_dropped: 0,
             max_depth_used: 0,
             max_accepted_error: 0.0,
             messages_lost: 0,
@@ -253,6 +272,26 @@ impl ClusterStats {
     /// Total crash/restart cycles, across ranks.
     pub fn total_restarts(&self) -> u64 {
         self.per_rank.iter().map(|r| r.peer_restarts).sum()
+    }
+
+    /// Total modelled bytes sent, across ranks.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Total modelled bytes received, across ranks.
+    pub fn total_bytes_received(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_received).sum()
+    }
+
+    /// Total bytes the delta exchange suppressed, across ranks.
+    pub fn total_delta_suppressed_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.delta_suppressed_bytes).sum()
+    }
+
+    /// Total delta frames dropped over gaps or duplicates, across ranks.
+    pub fn total_delta_frames_dropped(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.delta_frames_dropped).sum()
     }
 
     /// Largest error among accepted speculations, across ranks.

@@ -217,6 +217,20 @@ impl SpeculativeApp for PageRankApp {
         self.cfg.ops_per_edge * scanned
     }
 
+    fn delta_extract(&self, shared: &Vec<f64>, out: &mut Vec<f64>) -> bool {
+        out.clear();
+        out.extend_from_slice(shared);
+        true
+    }
+
+    fn delta_patch(&self, base: &Vec<f64>, entries: &[(u32, f64)]) -> Option<Vec<f64>> {
+        let mut next = base.clone();
+        for &(lane, value) in entries {
+            next[lane as usize] = value;
+        }
+        Some(next)
+    }
+
     fn checkpoint(&self) -> Vec<f64> {
         self.r.clone()
     }

@@ -196,6 +196,20 @@ impl SpeculativeApp for SyntheticApp {
         self.cfg.f_comp / 10 * self.x.len() as u64
     }
 
+    fn delta_extract(&self, shared: &Vec<f64>, out: &mut Vec<f64>) -> bool {
+        out.clear();
+        out.extend_from_slice(shared);
+        true
+    }
+
+    fn delta_patch(&self, base: &Vec<f64>, entries: &[(u32, f64)]) -> Option<Vec<f64>> {
+        let mut next = base.clone();
+        for &(lane, value) in entries {
+            next[lane as usize] = value;
+        }
+        Some(next)
+    }
+
     fn checkpoint(&self) -> (Vec<f64>, u64) {
         (self.x.clone(), self.iter)
     }

@@ -78,18 +78,18 @@ pub mod prelude {
     };
     pub use netsim::{
         ClusterSpec, ConstantLatency, Corrupt, CrashPlan, Duplicate, Fate, FaultModel, FaultPlan,
-        FaultStack, Jitter, LinkLatency, LinkPartition, Loss, MachineCrash, MachineSpec,
-        NetworkModel, NoFaults, RandomSpikes, ScriptedDelays, ScriptedFaults, SharedMedium,
-        TransientDelays, Unloaded,
+        FaultStack, Jitter, LinkBandwidth, LinkLatency, LinkPartition, Loss, MachineCrash,
+        MachineSpec, NetworkModel, NoFaults, RandomSpikes, ScriptedDelays, ScriptedFaults,
+        SharedMedium, TransientDelays, Unloaded,
     };
     pub use obs::{
         chrome_trace_string, fingerprint_f64s, Fingerprint, RunReport, RunTrace, SharedRecorder,
     };
     pub use perfmodel::{CommModel, ModelParams};
     pub use speccore::{
-        run_baseline, run_speculative, CheckOutcome, ClusterStats, CorrectionMode, FaultTolerance,
-        History, IterMsg, IterationLog, PhaseBreakdown, RunStats, SpecConfig, SpeculativeApp,
-        WindowPolicy,
+        run_baseline, run_speculative, CheckOutcome, ClusterStats, CorrectionMode, DeltaExchange,
+        FaultTolerance, History, IterMsg, IterationLog, MsgBody, PhaseBreakdown, RunStats,
+        SpecConfig, SpeculativeApp, WindowPolicy,
     };
     pub use workloads::{
         Graph, Heat2dApp, Heat2dConfig, HeatApp, HeatConfig, JacobiApp, JacobiConfig, LinearSystem,

@@ -369,6 +369,204 @@ fn fault_streams_are_deterministic_per_seed_and_distinct_across_seeds() {
 }
 
 // ---------------------------------------------------------------------------
+// Delta-exchange × fault interactions: dropped or duplicated delta frames
+// must heal through retransmission or the next keyframe, and a fault-free
+// lossless delta stream must be indistinguishable from full broadcast.
+// ---------------------------------------------------------------------------
+
+/// `chaos_config` with a delta-exchange policy stacked on top.
+fn delta_chaos_config(
+    iters: u64,
+    fw: u32,
+    loss_timeout_ms: u64,
+    delta: DeltaExchange,
+) -> ParallelRunConfig {
+    let mut cfg = chaos_config(iters, fw, loss_timeout_ms);
+    cfg.spec = cfg.spec.with_delta_exchange(delta);
+    cfg
+}
+
+#[test]
+fn fault_free_lossless_delta_matches_full_broadcast_bit_for_bit() {
+    let particles = uniform_cloud(32, 13);
+    let cluster = ClusterSpec::paper_testbed().fastest(6);
+    let iters = 30;
+    let net = || ConstantLatency(SimDuration::from_millis(2));
+    let full = run_parallel(
+        &particles,
+        &cluster,
+        net(),
+        Unloaded,
+        ParallelRunConfig::new(iters, 2),
+    )
+    .unwrap();
+    let mut cfg = ParallelRunConfig::new(iters, 2);
+    cfg.spec = cfg.spec.with_delta_exchange(DeltaExchange::new(0.0, 8));
+    let delta = run_parallel(&particles, &cluster, net(), Unloaded, cfg).unwrap();
+
+    // Floor 0 suppresses nothing: every broadcast carries the exact new
+    // state, just framed as sparse absolute entries, so the committed
+    // trajectory and the virtual schedule are bit-identical.
+    assert_eq!(position_bits(&full), position_bits(&delta));
+    assert_eq!(full.elapsed_secs(), delta.elapsed_secs());
+    for s in &delta.stats.per_rank {
+        assert_eq!(s.iterations, iters);
+        assert_eq!(s.delta_frames_dropped, 0, "FIFO net must not gap frames");
+        assert!(s.bytes_sent > 0, "delta runs must still meter bytes");
+    }
+}
+
+#[test]
+fn lost_delta_frames_heal_via_keyframes_and_retransmit() {
+    let particles = uniform_cloud(48, 17);
+    let cluster = ClusterSpec::paper_testbed().fastest(8);
+    let iters = 60;
+    let net = || ConstantLatency(SimDuration::from_millis(2));
+    let golden = run_parallel(
+        &particles,
+        &cluster,
+        net(),
+        Unloaded,
+        ParallelRunConfig::new(iters, 2),
+    )
+    .unwrap();
+    let lossy = || {
+        run_parallel_with_faults(
+            &particles,
+            &cluster,
+            net(),
+            Unloaded,
+            FaultSpec::new(Loss::new(0.05, 2026)),
+            delta_chaos_config(iters, 2, 40, DeltaExchange::new(0.0, 8)),
+        )
+        .unwrap()
+    };
+    let run1 = lossy();
+
+    // Liveness: a lost frame blanks the delta stream until the retransmit
+    // or the next keyframe re-seeds the receiver shadow — it must never
+    // stall the driver.
+    for s in &run1.stats.per_rank {
+        assert_eq!(s.iterations, iters, "rank {} stalled", s.rank.0);
+    }
+    assert!(run1.stats.total_messages_lost() > 0);
+    // The interaction genuinely occurred: at least one gapped delta frame
+    // was discarded on arrival rather than applied out of order.
+    let dropped: u64 = run1
+        .stats
+        .per_rank
+        .iter()
+        .map(|s| s.delta_frames_dropped)
+        .sum();
+    assert!(dropped > 0, "loss must have gapped the delta stream");
+
+    // Bounded error: floor 0 means every applied frame is exact, so the
+    // only drift source is the same loss-promotion path full broadcast
+    // has. Same envelope as the full-broadcast loss test.
+    let drift = max_drift(&run1, &golden);
+    assert!(drift < 1e-2, "lossy delta run drifted {drift:e}");
+    for p in &run1.particles {
+        assert!(p.pos.x.is_finite() && p.pos.y.is_finite() && p.pos.z.is_finite());
+    }
+
+    // Determinism: bit-exact replay under the same fault seed.
+    let run2 = lossy();
+    assert_eq!(position_bits(&run1), position_bits(&run2));
+    assert_eq!(run1.elapsed_secs(), run2.elapsed_secs());
+}
+
+#[test]
+fn duplicated_delta_frames_are_inert() {
+    let particles = uniform_cloud(24, 21);
+    let cluster = ClusterSpec::paper_testbed().fastest(4);
+    let iters = 24;
+    let net = || ConstantLatency(SimDuration::from_millis(2));
+    let delta = DeltaExchange::new(0.0, 8);
+    let clean = {
+        let mut cfg = ParallelRunConfig::new(iters, 1);
+        cfg.spec = cfg.spec.with_delta_exchange(delta);
+        run_parallel(&particles, &cluster, net(), Unloaded, cfg).unwrap()
+    };
+    let duped = {
+        let mut cfg = ParallelRunConfig::new(iters, 1);
+        cfg.spec = cfg.spec.with_delta_exchange(delta);
+        run_parallel_with_faults(
+            &particles,
+            &cluster,
+            net(),
+            Unloaded,
+            FaultSpec::new(Duplicate::new(0.5, 99)),
+            cfg,
+        )
+        .unwrap()
+    };
+    // A duplicated delta frame re-arrives at `iter == shadow_iter`, is
+    // dropped without touching the shadow, history, or inbox, and the
+    // committed results stay bit-identical.
+    assert_eq!(position_bits(&clean), position_bits(&duped));
+    let dup_drops: u64 = duped
+        .stats
+        .per_rank
+        .iter()
+        .map(|s| s.delta_frames_dropped)
+        .sum();
+    assert!(
+        dup_drops > 0,
+        "duplication must have exercised the dup-drop path"
+    );
+    let extra: u64 = duped
+        .stats
+        .per_rank
+        .iter()
+        .map(|s| s.messages_received)
+        .sum::<u64>()
+        - clean
+            .stats
+            .per_rank
+            .iter()
+            .map(|s| s.messages_received)
+            .sum::<u64>();
+    assert!(extra > 0, "duplication must actually have injected copies");
+}
+
+#[test]
+fn scripted_crash_under_delta_exchange_recovers() {
+    let particles = uniform_cloud(32, 19);
+    let cluster = ClusterSpec::paper_testbed().fastest(6);
+    let iters = 40;
+    let crash = MachineCrash {
+        rank: 2,
+        at: SimTime::from_nanos(100_000_000),
+        restart_after: SimDuration::from_millis(50),
+    };
+    let mut cfg = delta_chaos_config(iters, 2, 30, DeltaExchange::new(0.0, 8));
+    cfg.spec = cfg.spec.with_fault_tolerance(
+        FaultTolerance::new(SimDuration::from_millis(30)).with_crashes(vec![crash]),
+    );
+    let result = run_parallel_with_faults(
+        &particles,
+        &cluster,
+        ConstantLatency(SimDuration::from_millis(3)),
+        Unloaded,
+        FaultSpec::none(),
+        cfg,
+    )
+    .unwrap();
+
+    // Recovery resets both shadow sides and fans out full frames, so the
+    // restarted rank and its peers re-synchronize and finish every
+    // iteration with finite state.
+    for s in &result.stats.per_rank {
+        assert_eq!(s.iterations, iters, "rank {} deadlocked", s.rank.0);
+    }
+    assert_eq!(result.stats.per_rank[2].peer_restarts, 1);
+    assert_eq!(result.stats.total_restarts(), 1);
+    for p in &result.particles {
+        assert!(p.pos.x.is_finite() && p.pos.y.is_finite() && p.pos.z.is_finite());
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Loss-rate sweep backing the EXPERIMENTS.md appendix. Ignored by default;
 // run with: cargo test --release --test chaos -- --ignored --nocapture
 // ---------------------------------------------------------------------------

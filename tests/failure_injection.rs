@@ -140,6 +140,7 @@ fn adaptive_window_deepens_then_retreats() {
             correction: CorrectionMode::Incremental,
             collect_log: false,
             fault: None,
+            delta: None,
         };
         let (outs, _) = run_sim_cluster::<IterMsg<Vec<f64>>, _, _>(
             &cluster,
