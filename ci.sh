@@ -40,6 +40,20 @@ cargo test -q -p speccheck --test conformance lossless_delta_equals_full_broadca
 cargo test -q -p speccheck --test conformance quantized_delta_drift_is_bounded
 cargo test -q -p speccheck --test conformance lossless_delta_agrees_across_all_three_backends
 
+echo "== supervision conformance (explicit)"
+# The PR 8 lifecycle properties by name: supervision off is bit-inert;
+# a never-returning peer is quarantined and carried to completion in
+# degraded mode with commits bounded by losses; crash fingerprints for a
+# permanently-dead rank agree bit-for-bit across sim/thread/socket; a
+# crash→rejoin schedule completes on all three backends with the sim
+# run bit-replayable; and the fixed rejoin schedule pins the full
+# quarantine→rejoin→readmission lifecycle deterministically.
+cargo test -q -p speccheck --test conformance supervision_is_inert_without_faults
+cargo test -q -p speccheck --test conformance degraded_mode_carries_a_dead_peer_to_completion
+cargo test -q -p speccheck --test conformance crash_fingerprints_agree_across_all_three_backends
+cargo test -q -p speccheck --test conformance crash_rejoin_completes_on_all_three_backends
+cargo test -q -p speccheck --test conformance quarantined_peer_rejoins_and_is_readmitted
+
 echo "== coverage audit (informational)"
 # Name-based audit of perfmodel/workloads public APIs against the test
 # corpus. Informational here; pass --strict to fail on gaps.
@@ -50,6 +64,16 @@ echo "== chaos suite (release, fixed seeds)"
 # a scripted crash, asserting liveness, bounded error, and bit-exact
 # determinism per seed. Seeds are fixed inside the tests.
 cargo test --release --test chaos -q
+
+echo "== socket SIGKILL chaos (release, multi-process, hard timeout)"
+# One OS process per rank over loopback TCP; the highest rank is
+# SIGKILLed mid-run and restarted via the RESUME handshake. Asserts
+# termination, survivor quarantine/readmission, and bounded error vs
+# the fault-free reference. The timeout is a hard backstop: the run
+# itself finishes in ~10s, and its internal 90s deadline kills stuck
+# children with a diagnostic first.
+timeout 150 cargo test --release --test chaos_socket \
+    socket_rank_survives_sigkill_and_rejoins -- --exact --ignored --nocapture
 
 echo "== kernels bench smoke (release)"
 # Emits BENCH_kernels.json: wall-clock pairs/sec for the scalar and SoA

@@ -121,6 +121,7 @@ fn main() {
             collect_log: false,
             fault: None,
             delta: None,
+            supervision: None,
         };
         let r = run(&scale, cfg, 40);
         println!(

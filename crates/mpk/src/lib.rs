@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+mod backoff;
 mod codec;
 mod delta;
 mod sim;
@@ -30,6 +31,7 @@ mod threads;
 mod transport;
 mod types;
 
+pub use backoff::Backoff;
 pub use codec::{decode_exact, encode_to_vec, encoded_len_matches_wire_size, WireCodec};
 pub use delta::DeltaFrame;
 pub use sim::{
@@ -37,12 +39,14 @@ pub use sim::{
     FaultSpec, SimClusterOptions, SimTransport,
 };
 pub use socket::{
-    connect_socket_cluster, connect_socket_cluster_with_faults, run_socket_cluster,
-    run_socket_cluster_with_faults, SocketClusterOptions, SocketTransport, FRAME_OVERHEAD,
-    KIND_DATA, KIND_HELLO, WIRE_VERSION,
+    connect_socket_cluster, connect_socket_cluster_with_faults, rejoin_socket_cluster,
+    run_socket_cluster, run_socket_cluster_with_faults, SocketClusterOptions, SocketTransport,
+    SupervisionCounters, SupervisorOptions, DEFAULT_MAX_FRAME, FRAME_OVERHEAD, KIND_DATA,
+    KIND_GOODBYE, KIND_HEARTBEAT, KIND_HELLO, KIND_RESUME, WIRE_VERSION,
 };
 pub use threads::{
-    run_thread_cluster, run_thread_cluster_with_faults, ThreadClusterOptions, ThreadTransport,
+    run_thread_cluster, run_thread_cluster_with_fault_spec, run_thread_cluster_with_faults,
+    ThreadClusterOptions, ThreadTransport,
 };
 pub use transport::Transport;
 pub use types::{Envelope, FaultCounters, Rank, Tag, WireSize, HEADER_BYTES};

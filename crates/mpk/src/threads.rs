@@ -18,6 +18,7 @@ use netsim::{FaultModel, MsgCtx};
 use obs::{Mark, Recorder};
 use parking_lot::{Condvar, Mutex};
 
+use crate::sim::FaultSpec;
 use crate::transport::Transport;
 use crate::types::{Envelope, FaultCounters, Rank, Tag, WireSize, HEADER_BYTES};
 
@@ -159,13 +160,15 @@ impl<M> ThreadMailbox<M> {
     }
 }
 
-/// Shared fault state of a thread-backed cluster: one fate model consulted
+/// Shared fault state of a thread-backed cluster: one fault spec consulted
 /// under a lock (send order between threads is scheduler-dependent, so
 /// thread-backend faults are *not* reproducible across runs — use the sim
 /// backend for quantitative fault experiments) plus per-rank counters.
-struct ThreadFaults {
-    model: Mutex<Box<dyn FaultModel>>,
+struct ThreadFaults<M> {
+    spec: Mutex<FaultSpec<M>>,
     counters: Mutex<Vec<FaultCounters>>,
+    /// Deterministic per-hit counter handed to corruptors.
+    salt: AtomicU64,
 }
 
 /// A rank's endpoint on a thread-backed cluster.
@@ -176,7 +179,7 @@ pub struct ThreadTransport<M> {
     mailboxes: Arc<Vec<ThreadMailbox<M>>>,
     epoch: Instant,
     rec: Option<Box<dyn Recorder>>,
-    faults: Option<Arc<ThreadFaults>>,
+    faults: Option<Arc<ThreadFaults<M>>>,
 }
 
 impl<M> ThreadTransport<M> {
@@ -216,14 +219,24 @@ impl<M: WireSize + Clone + Send + 'static> Transport for ThreadTransport<M> {
         assert_ne!(to, self.rank, "self-sends are not modelled");
         let bytes = msg.wire_size() + HEADER_BYTES;
         let mut extra_copies = 0;
+        let mut msg = msg;
         if let Some(fs) = &self.faults {
+            let fs = Arc::clone(fs);
+            let t_now = SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64);
             let ctx = MsgCtx {
                 src: self.rank.0,
                 dst: to.0,
                 bytes,
-                now: SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64),
+                now: t_now,
             };
-            let fate = fs.model.lock().fate(&ctx);
+            let mut spec = fs.spec.lock();
+            let mut fate = spec.model.fate(&ctx);
+            // A send addressed to a crashed rank is lost like a datagram
+            // to a rebooting host — mirroring the sim and socket
+            // backends so crash schedules behave the same on all three.
+            if spec.crashes.is_down(to.0, t_now) {
+                fate.deliver = false;
+            }
             if !fate.deliver {
                 fs.counters.lock()[self.rank.0].dropped += 1;
                 if let Some(r) = self.rec.as_deref_mut() {
@@ -248,12 +261,21 @@ impl<M: WireSize + Clone + Send + 'static> Transport for ThreadTransport<M> {
                 }
                 return;
             }
-            let mut counters = fs.counters.lock();
-            counters[self.rank.0].delivered += 1;
-            counters[self.rank.0].duplicated += u64::from(fate.extra_copies);
+            {
+                let mut counters = fs.counters.lock();
+                counters[self.rank.0].delivered += 1;
+                counters[self.rank.0].duplicated += u64::from(fate.extra_copies);
+            }
             extra_copies = fate.extra_copies;
-            // Corruption fates are sim-only (they need a payload-aware
-            // corruptor); the thread backend models loss and duplication.
+            // Corruption applies only through a payload-aware corruptor
+            // (there is no frame layer to flip bytes in); without one,
+            // corruption fates are no-ops, as on the sim backend.
+            if fate.corrupt_amp > 0.0 {
+                if let Some(c) = spec.corruptor.as_mut() {
+                    let salt = fs.salt.fetch_add(1, AtomicOrdering::Relaxed);
+                    c(&mut msg, fate.corrupt_amp, salt);
+                }
+            }
         }
         let delay = self.opts.latency + self.opts.per_byte * bytes as u32;
         let visible_at = Instant::now() + delay;
@@ -433,9 +455,28 @@ where
     R: Send,
     F: Fn(&mut ThreadTransport<M>) -> R + Send + Sync,
 {
+    run_thread_cluster_with_fault_spec(p, opts, FaultSpec::new(model), f)
+}
+
+/// [`run_thread_cluster`] with a full [`FaultSpec`]: fate model plus
+/// scripted crash plan plus payload corruptor, mirroring the sim and
+/// socket backends so a crash→rejoin schedule runs identically (in
+/// values) on all three.
+pub fn run_thread_cluster_with_fault_spec<M, R, F>(
+    p: usize,
+    opts: ThreadClusterOptions,
+    spec: FaultSpec<M>,
+    f: F,
+) -> Vec<R>
+where
+    M: WireSize + Clone + Send + 'static,
+    R: Send,
+    F: Fn(&mut ThreadTransport<M>) -> R + Send + Sync,
+{
     let faults = Arc::new(ThreadFaults {
-        model: Mutex::new(Box::new(model)),
+        spec: Mutex::new(spec),
         counters: Mutex::new(vec![FaultCounters::default(); p]),
+        salt: AtomicU64::new(0),
     });
     run_thread_cluster_inner(p, opts, Some(faults), f)
 }
@@ -443,7 +484,7 @@ where
 fn run_thread_cluster_inner<M, R, F>(
     p: usize,
     opts: ThreadClusterOptions,
-    faults: Option<Arc<ThreadFaults>>,
+    faults: Option<Arc<ThreadFaults<M>>>,
     f: F,
 ) -> Vec<R>
 where

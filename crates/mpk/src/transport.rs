@@ -70,6 +70,13 @@ pub trait Transport {
     /// cluster start on the thread backend.
     fn now(&self) -> SimTime;
 
+    /// Tell the transport how far this rank's computation has advanced
+    /// (highest confirmed iteration). Backends with a resume handshake
+    /// report it to peers that reconnect; everywhere else it is a no-op.
+    fn note_progress(&mut self, iter: u64) {
+        let _ = iter;
+    }
+
     /// The structured telemetry sink attached to this endpoint, if any.
     ///
     /// Instrumented code emits with `if let Some(r) = t.recorder() { … }`,

@@ -350,9 +350,26 @@ pub struct MachineCrash {
 }
 
 impl MachineCrash {
-    /// When the machine is reachable again.
+    /// A crash the machine never recovers from: `rank` goes down at `at`
+    /// and stays down for the rest of the run. Survivors must finish in
+    /// degraded mode, carrying its partition by speculation alone.
+    pub fn permanent(rank: usize, at: SimTime) -> Self {
+        MachineCrash {
+            rank,
+            at,
+            restart_after: SimDuration::MAX,
+        }
+    }
+
+    /// When the machine is reachable again ([`SimTime::MAX`] for a
+    /// permanent crash — `SimTime + SimDuration` saturates).
     pub fn back_at(&self) -> SimTime {
         self.at + self.restart_after
+    }
+
+    /// True when the machine never comes back.
+    pub fn is_permanent(&self) -> bool {
+        self.back_at() == SimTime::MAX
     }
 }
 

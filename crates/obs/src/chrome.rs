@@ -128,8 +128,13 @@ fn mark_args(mark: Mark) -> Json {
             ("to", Json::U64(to.into())),
             ("copies", Json::U64(copies.into())),
         ]),
-        Mark::PeerCrashed { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
-        Mark::PeerRecovered { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
+        Mark::PeerCrashed { peer }
+        | Mark::PeerRecovered { peer }
+        | Mark::PeerSuspected { peer }
+        | Mark::PeerQuarantined { peer }
+        | Mark::PeerRejoined { peer }
+        | Mark::PeerDeparted { peer } => Json::obj([("peer", Json::U64(peer.into()))]),
+        Mark::DegradedEnter | Mark::DegradedExit => Json::obj([]),
         Mark::DeltaSuppressed { to, bytes } => {
             Json::obj([("to", Json::U64(to.into())), ("bytes", Json::U64(bytes))])
         }

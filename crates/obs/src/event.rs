@@ -120,6 +120,38 @@ pub enum Mark {
         /// The recovered rank.
         peer: u32,
     },
+    /// A peer has been silent past the heartbeat miss deadline — it may be
+    /// dead, but no disconnect has been observed yet.
+    PeerSuspected {
+        /// The silent rank.
+        peer: u32,
+    },
+    /// A suspected peer stayed silent long enough that the driver stopped
+    /// waiting for its inputs: its partition is carried forward by
+    /// speculation alone until it rejoins.
+    PeerQuarantined {
+        /// The quarantined rank.
+        peer: u32,
+    },
+    /// A quarantined peer was heard from again and was readmitted: the
+    /// driver ships it a full keyframe and resets the delta shadows before
+    /// resuming θ-checking against its values.
+    PeerRejoined {
+        /// The readmitted rank.
+        peer: u32,
+    },
+    /// A peer announced an orderly exit (goodbye frame) rather than
+    /// vanishing — its absence is expected, not a failure.
+    PeerDeparted {
+        /// The departing rank.
+        peer: u32,
+    },
+    /// The first peer entered quarantine: the cluster is now running in
+    /// degraded mode, committing some iterations on speculation alone.
+    DegradedEnter,
+    /// The last quarantined peer rejoined (or departed): the cluster left
+    /// degraded mode.
+    DegradedExit,
     /// A delta frame replaced a full snapshot on the wire, saving bytes.
     DeltaSuppressed {
         /// Destination rank of the delta frame.
@@ -159,6 +191,12 @@ impl Mark {
             Mark::MessageDuplicated { .. } => "message_duplicated",
             Mark::PeerCrashed { .. } => "peer_crashed",
             Mark::PeerRecovered { .. } => "peer_recovered",
+            Mark::PeerSuspected { .. } => "peer_suspected",
+            Mark::PeerQuarantined { .. } => "peer_quarantined",
+            Mark::PeerRejoined { .. } => "peer_rejoined",
+            Mark::PeerDeparted { .. } => "peer_departed",
+            Mark::DegradedEnter => "degraded_enter",
+            Mark::DegradedExit => "degraded_exit",
             Mark::DeltaSuppressed { .. } => "delta_suppressed",
             Mark::TimerFired { .. } => "timer_fired",
             Mark::RecvWakeup { .. } => "recv_wakeup",

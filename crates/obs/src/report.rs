@@ -231,6 +231,12 @@ fn counters_json(c: &CounterTotals) -> Json {
         ("messages_duplicated", Json::U64(c.messages_duplicated)),
         ("peer_crashes", Json::U64(c.peer_crashes)),
         ("peer_recoveries", Json::U64(c.peer_recoveries)),
+        ("peers_suspected", Json::U64(c.peers_suspected)),
+        ("peers_quarantined", Json::U64(c.peers_quarantined)),
+        ("peers_rejoined", Json::U64(c.peers_rejoined)),
+        ("peers_departed", Json::U64(c.peers_departed)),
+        ("degraded_enters", Json::U64(c.degraded_enters)),
+        ("degraded_exits", Json::U64(c.degraded_exits)),
         (
             "delta_suppressed_bytes",
             Json::U64(c.delta_suppressed_bytes),

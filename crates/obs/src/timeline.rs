@@ -21,6 +21,9 @@ fn fault_glyph(mark: Mark) -> Option<(char, u8)> {
         Mark::MessageDropped { .. } => Some(('D', 1)),
         Mark::PeerCrashed { .. } => Some(('K', 3)),
         Mark::PeerRecovered { .. } => Some(('R', 2)),
+        Mark::PeerSuspected { .. } => Some(('?', 1)),
+        Mark::PeerQuarantined { .. } => Some(('Q', 2)),
+        Mark::PeerRejoined { .. } => Some(('J', 2)),
         _ => None,
     }
 }
@@ -96,7 +99,7 @@ pub fn render(traces: &[RunTrace], width: usize) -> String {
         out.push_str("|\n");
     }
     let fault_legend = if any_faults {
-        " D=drop K=crash R=recover"
+        " D=drop K=crash R=recover ?=suspect Q=quarantine J=rejoin"
     } else {
         ""
     };

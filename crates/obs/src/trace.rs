@@ -100,6 +100,18 @@ pub struct CounterTotals {
     pub peer_crashes: u64,
     /// Crashed ranks that finished restarting.
     pub peer_recoveries: u64,
+    /// Peers flagged silent past the heartbeat miss deadline.
+    pub peers_suspected: u64,
+    /// Peers the driver stopped waiting for (speculate-through-failure).
+    pub peers_quarantined: u64,
+    /// Quarantined peers heard from again and readmitted.
+    pub peers_rejoined: u64,
+    /// Peers that announced an orderly exit via goodbye frame.
+    pub peers_departed: u64,
+    /// Transitions into degraded mode (first peer quarantined).
+    pub degraded_enters: u64,
+    /// Transitions out of degraded mode (last quarantined peer back).
+    pub degraded_exits: u64,
     /// Wire bytes saved by delta frames standing in for full snapshots.
     pub delta_suppressed_bytes: u64,
     /// Timed receives that expired on their deadline timer.
@@ -226,6 +238,12 @@ impl RunTrace {
                     }
                     Mark::PeerCrashed { .. } => c.peer_crashes += 1,
                     Mark::PeerRecovered { .. } => c.peer_recoveries += 1,
+                    Mark::PeerSuspected { .. } => c.peers_suspected += 1,
+                    Mark::PeerQuarantined { .. } => c.peers_quarantined += 1,
+                    Mark::PeerRejoined { .. } => c.peers_rejoined += 1,
+                    Mark::PeerDeparted { .. } => c.peers_departed += 1,
+                    Mark::DegradedEnter => c.degraded_enters += 1,
+                    Mark::DegradedExit => c.degraded_exits += 1,
                     Mark::DeltaSuppressed { bytes, .. } => c.delta_suppressed_bytes += bytes,
                     Mark::TimerFired { waited_ns } => {
                         c.timer_fires += 1;

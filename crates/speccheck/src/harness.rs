@@ -6,8 +6,9 @@
 use crate::scenario::{SpecParams, SyntheticScenario};
 use desim::{SimDuration, SimTime, TieBreak};
 use mpk::{
-    run_sim_cluster_with_options, run_socket_cluster, run_thread_cluster, Envelope, FaultCounters,
-    FaultSpec, Rank, SimClusterOptions, SocketClusterOptions, Tag, ThreadClusterOptions, Transport,
+    run_sim_cluster_with_options, run_socket_cluster, run_socket_cluster_with_faults,
+    run_thread_cluster, run_thread_cluster_with_fault_spec, Envelope, FaultCounters, FaultSpec,
+    Rank, SimClusterOptions, SocketClusterOptions, Tag, ThreadClusterOptions, Transport,
 };
 use speccore::{run_baseline, run_speculative, IterMsg, RunStats, SpecConfig};
 
@@ -254,6 +255,57 @@ pub fn run_thread(sc: &SyntheticScenario, theta: f64, mode: &DriverMode) -> RunO
     let outs = run_thread_cluster::<IterMsg<Vec<f64>>, _, _>(
         sc.p,
         ThreadClusterOptions::default(),
+        move |t| drive_synthetic(t, &scenario, theta, &mode),
+    );
+    let (fingerprints, stats) = outs.into_iter().unzip();
+    RunOutput {
+        fingerprints,
+        stats,
+        elapsed: 0.0,
+    }
+}
+
+/// [`run_thread`] with an explicit fault spec (loss model, crash plan,
+/// corruptor): the thread backend's wall-clock fault layer applies the
+/// same [`FaultSpec`] semantics the simulator does, so crash→rejoin
+/// schedules can be exercised on real OS threads.
+pub fn run_thread_with_faults(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    faults: FaultSpec<IterMsg<Vec<f64>>>,
+) -> RunOutput {
+    let scenario = sc.clone();
+    let mode = mode.clone();
+    let outs = run_thread_cluster_with_fault_spec::<IterMsg<Vec<f64>>, _, _>(
+        sc.p,
+        ThreadClusterOptions::default(),
+        faults,
+        move |t| drive_synthetic(t, &scenario, theta, &mode),
+    );
+    let (fingerprints, stats) = outs.into_iter().unzip();
+    RunOutput {
+        fingerprints,
+        stats,
+        elapsed: 0.0,
+    }
+}
+
+/// [`run_socket`] with an explicit fault spec applied at the socket
+/// send path — frames are dropped, duplicated, or suppressed (crashed
+/// destination) before they reach the kernel, over otherwise-real TCP.
+pub fn run_socket_with_faults(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    faults: FaultSpec<IterMsg<Vec<f64>>>,
+) -> RunOutput {
+    let scenario = sc.clone();
+    let mode = mode.clone();
+    let outs = run_socket_cluster_with_faults::<IterMsg<Vec<f64>>, _, _>(
+        sc.p,
+        SocketClusterOptions::default(),
+        faults,
         move |t| drive_synthetic(t, &scenario, theta, &mode),
     );
     let (fingerprints, stats) = outs.into_iter().unzip();

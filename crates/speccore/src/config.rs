@@ -189,6 +189,51 @@ impl FaultTolerance {
     }
 }
 
+/// Peer-supervision policy: a per-peer health lifecycle layered on top of
+/// [`FaultTolerance`].
+///
+/// Loss timeouts treat every missing message independently; supervision
+/// tracks the *peer*. A peer that has contributed nothing for
+/// `suspect_after` promotions in a row is `Suspected`; after
+/// `quarantine_after` it is `Quarantined` — the driver stops spending the
+/// loss timeout on it entirely and carries its partition forward by
+/// speculation alone (degraded mode). The moment a quarantined peer is
+/// heard from again it is readmitted: the driver ships it a full keyframe,
+/// resets the delta shadows on both ends, and resumes θ-checking against
+/// its actual values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// Consecutive speculate-through-loss promotions of a peer's input
+    /// before the peer is marked `Suspected` (at least 1).
+    pub suspect_after: u32,
+    /// Consecutive promotions before a suspected peer is `Quarantined`
+    /// (must be ≥ `suspect_after`).
+    pub quarantine_after: u32,
+}
+
+impl SupervisionConfig {
+    /// Suspect after `suspect_after` consecutive promotions, quarantine
+    /// after `quarantine_after`.
+    pub fn new(suspect_after: u32, quarantine_after: u32) -> Self {
+        assert!(suspect_after >= 1, "suspect_after must be at least 1");
+        assert!(
+            quarantine_after >= suspect_after,
+            "quarantine_after must be >= suspect_after"
+        );
+        SupervisionConfig {
+            suspect_after,
+            quarantine_after,
+        }
+    }
+}
+
+impl Default for SupervisionConfig {
+    /// Suspect after 3 consecutive promotions, quarantine after 8.
+    fn default() -> Self {
+        SupervisionConfig::new(3, 8)
+    }
+}
+
 /// Delta-exchange policy: broadcast sparse updates against per-peer
 /// shadows instead of full partition snapshots.
 ///
@@ -260,6 +305,11 @@ pub struct SpecConfig {
     /// expose scalar lanes (see
     /// [`SpeculativeApp::delta_extract`](crate::SpeculativeApp::delta_extract)).
     pub delta: Option<DeltaExchange>,
+    /// Peer-supervision policy; `None` (the default) keeps the flat
+    /// per-message loss handling of [`FaultTolerance`] with no health
+    /// lifecycle. Only meaningful when `fault` is also set — without a
+    /// loss timeout no promotions happen, so no peer is ever suspected.
+    pub supervision: Option<SupervisionConfig>,
 }
 
 impl SpecConfig {
@@ -272,6 +322,7 @@ impl SpecConfig {
             collect_log: false,
             fault: None,
             delta: None,
+            supervision: None,
         }
     }
 
@@ -284,6 +335,7 @@ impl SpecConfig {
             collect_log: false,
             fault: None,
             delta: None,
+            supervision: None,
         }
     }
 
@@ -316,6 +368,13 @@ impl SpecConfig {
     /// partition snapshots.
     pub fn with_delta_exchange(mut self, delta: DeltaExchange) -> Self {
         self.delta = Some(delta);
+        self
+    }
+
+    /// Track per-peer health and quarantine persistently silent peers
+    /// (requires [`SpecConfig::with_fault_tolerance`] to have any effect).
+    pub fn with_supervision(mut self, sup: SupervisionConfig) -> Self {
+        self.supervision = Some(sup);
         self
     }
 }

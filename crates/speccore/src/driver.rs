@@ -26,7 +26,7 @@ use mpk::{DeltaFrame, Envelope, Rank, Tag, Transport, WireCodec, WireSize, HEADE
 use obs::{Gauge, Mark, Phase};
 
 use crate::app::SpeculativeApp;
-use crate::config::{CorrectionMode, DeltaExchange, SpecConfig};
+use crate::config::{CorrectionMode, DeltaExchange, SpecConfig, SupervisionConfig};
 use crate::history::History;
 use crate::stats::{IterationLog, RunStats};
 
@@ -173,7 +173,8 @@ enum PeerWait {
 /// Flip peer `k`'s speculated input to the front record into a committed
 /// one. Counted in the stats only the first time this (peer, iteration)
 /// pair promotes — a rollback can make the same slot speculative again,
-/// and re-flipping it is not a second loss.
+/// and re-flipping it is not a second loss. Returns whether this promotion
+/// was freshly counted.
 fn promote_loss<S: Clone, C>(
     k: usize,
     rec: &mut ExecRecord<S, C>,
@@ -181,7 +182,7 @@ fn promote_loss<S: Clone, C>(
     stats: &mut RunStats,
     staleness: &mut u32,
     promoted: &mut HashSet<(usize, u64)>,
-) {
+) -> bool {
     let iter = rec.iter;
     let sv = match std::mem::replace(&mut rec.inputs[k], InputSlot::Validated) {
         InputSlot::Speculated(s) => s,
@@ -195,6 +196,77 @@ fn promote_loss<S: Clone, C>(
     if promoted.insert((k, iter)) {
         stats.speculate_through_loss_commits += 1;
         *staleness += 1;
+        true
+    } else {
+        false
+    }
+}
+
+/// Per-peer health in the supervision lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PeerHealth {
+    /// Contributing normally.
+    Healthy,
+    /// Too many consecutive promotions; may be dead.
+    Suspected,
+    /// Given up on: its partition is carried by speculation alone, with no
+    /// loss timeout spent on it, until it is heard from again.
+    Quarantined,
+}
+
+/// Driver-side supervision: per-peer health derived from the
+/// consecutive-promotion staleness counters, plus the degraded-mode
+/// population count. Inert (never constructed) unless the config sets both
+/// a fault-tolerance policy and a supervision policy.
+struct SupervisionState {
+    cfg: SupervisionConfig,
+    health: Vec<PeerHealth>,
+    quarantined: usize,
+}
+
+impl SupervisionState {
+    fn new(cfg: SupervisionConfig, p: usize) -> Self {
+        SupervisionState {
+            cfg,
+            health: vec![PeerHealth::Healthy; p],
+            quarantined: 0,
+        }
+    }
+
+    fn is_quarantined(&self, k: usize) -> bool {
+        self.health[k] == PeerHealth::Quarantined
+    }
+
+    /// Re-derive peer `k`'s health from its consecutive-promotion count.
+    /// One step per call (the sweep runs every loop pass, so a count past
+    /// both thresholds quarantines on the next pass). Returns
+    /// (newly suspected, newly quarantined, entered degraded mode).
+    fn observe(&mut self, k: usize, staleness: u32) -> (bool, bool, bool) {
+        match self.health[k] {
+            PeerHealth::Healthy if staleness >= self.cfg.suspect_after => {
+                self.health[k] = PeerHealth::Suspected;
+                (true, false, false)
+            }
+            PeerHealth::Suspected if staleness >= self.cfg.quarantine_after => {
+                self.health[k] = PeerHealth::Quarantined;
+                self.quarantined += 1;
+                (false, true, self.quarantined == 1)
+            }
+            _ => (false, false, false),
+        }
+    }
+
+    /// The peer spoke. Returns (readmitted from quarantine, left degraded
+    /// mode).
+    fn on_heard(&mut self, k: usize) -> (bool, bool) {
+        let was_quarantined = self.health[k] == PeerHealth::Quarantined;
+        self.health[k] = PeerHealth::Healthy;
+        if was_quarantined {
+            self.quarantined -= 1;
+            (true, self.quarantined == 0)
+        } else {
+            (false, false)
+        }
     }
 }
 
@@ -335,6 +407,12 @@ where
 
     // ---- fault-tolerance state (inert when `config.fault` is None) ----
     let ft = config.fault.clone();
+    // Peer supervision rides on the loss-promotion counters, so it is
+    // inert unless fault tolerance is on too.
+    let mut sup: Option<SupervisionState> = match (&ft, config.supervision) {
+        (Some(_), Some(s)) => Some(SupervisionState::new(s, p)),
+        _ => None,
+    };
     // Latest state this rank put on the wire, re-sent on retransmit
     // requests and after crash recovery.
     let mut last_broadcast: (u64, A::Shared) = (0, app.shared());
@@ -404,7 +482,40 @@ where
                 let src = env.src;
                 staleness[src.0] = 0;
                 last_heard[src.0] = transport.now();
-                if env.tag == RETRANS_REQ_TAG {
+                let (rejoined, degraded_exit) = match &mut sup {
+                    Some(sv) => sv.on_heard(src.0),
+                    None => (false, false),
+                };
+                if rejoined {
+                    // Readmission: forget the receive-side delta view of the
+                    // peer (its stream must restart from a keyframe) and
+                    // ship it our full state so its backward window re-seeds
+                    // at once. The keyframe doubles as the retransmit reply.
+                    stats.peer_rejoins += 1;
+                    dx.rx_shadow[src.0] = None;
+                    dx.seen_past[src.0] = None;
+                    let t_now = transport.now();
+                    if let Some(r) = transport.recorder() {
+                        r.mark(
+                            obs_rank,
+                            t_now.as_nanos(),
+                            Mark::PeerRejoined { peer: src.0 as u32 },
+                        );
+                        if degraded_exit {
+                            r.mark(obs_rank, t_now.as_nanos(), Mark::DegradedExit);
+                        }
+                    }
+                    send_full_state(
+                        transport,
+                        &mut stats,
+                        app,
+                        &mut dx,
+                        src,
+                        DATA_TAG,
+                        last_broadcast.0,
+                        &last_broadcast.1,
+                    );
+                } else if env.tag == RETRANS_REQ_TAG {
                     // Re-send our latest broadcast; re-delivery is the ack.
                     send_full_state(
                         transport,
@@ -439,6 +550,20 @@ where
                 let now = transport.now();
                 if now >= c.at {
                     next_crash += 1;
+                    if c.is_permanent() {
+                        // The machine never comes back. The confirmed
+                        // prefix stands (it was validated and broadcast);
+                        // peers quarantine this rank and finish in degraded
+                        // mode, carrying its partition by speculation.
+                        if let Some(r) = transport.recorder() {
+                            r.mark(
+                                obs_rank,
+                                c.at.as_nanos(),
+                                Mark::PeerCrashed { peer: obs_rank },
+                            );
+                        }
+                        break 'main;
+                    }
                     stats.peer_restarts += 1;
                     // Volatile state dies with the machine: roll back to the
                     // last confirmed checkpoint (the confirmed prefix
@@ -531,6 +656,24 @@ where
                         peer_wait[k] = None;
                         continue;
                     }
+                    // Degraded mode: a quarantined peer gets no loss timeout
+                    // at all — its speculated input is promoted the moment
+                    // it blocks the front, so the cluster's pace no longer
+                    // depends on the dead rank.
+                    if sup.as_ref().is_some_and(|sv| sv.is_quarantined(k)) {
+                        if promote_loss(
+                            k,
+                            &mut exec_q[0],
+                            &mut history[k],
+                            &mut stats,
+                            &mut staleness[k],
+                            &mut promoted,
+                        ) {
+                            stats.degraded_commits += 1;
+                        }
+                        peer_wait[k] = None;
+                        continue;
+                    }
                     // Evidence of a genuine loss: the peer already broadcast
                     // an iteration past the front, so (links delivering in
                     // order) the front's message is not merely late. A delta
@@ -612,6 +755,42 @@ where
                         &last_broadcast.1,
                     );
                     stats.retransmit_requests += 1;
+                }
+            }
+
+            // Supervision sweep: re-derive per-peer health from the
+            // consecutive-promotion counters and mark the transitions. One
+            // step per pass, so thresholds crossed together still resolve.
+            if let Some(sv) = &mut sup {
+                let t_now = transport.now();
+                for k in 0..p {
+                    if k == me.0 {
+                        continue;
+                    }
+                    let (suspected, quarantined, degraded_enter) = sv.observe(k, staleness[k]);
+                    if suspected {
+                        stats.peers_suspected += 1;
+                        if let Some(r) = transport.recorder() {
+                            r.mark(
+                                obs_rank,
+                                t_now.as_nanos(),
+                                Mark::PeerSuspected { peer: k as u32 },
+                            );
+                        }
+                    }
+                    if quarantined {
+                        stats.peers_quarantined += 1;
+                        if let Some(r) = transport.recorder() {
+                            r.mark(
+                                obs_rank,
+                                t_now.as_nanos(),
+                                Mark::PeerQuarantined { peer: k as u32 },
+                            );
+                            if degraded_enter {
+                                r.mark(obs_rank, t_now.as_nanos(), Mark::DegradedEnter);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -769,6 +948,9 @@ where
                 checkpoint_pool.push(rec.pre);
                 t_conf = rec.iter + 1;
                 stats.iterations += 1;
+                // Feed the resume handshake: a transport with supervision
+                // reports this high-water mark to peers that reconnect.
+                transport.note_progress(rec.iter);
                 let t_now = transport.now();
                 let queue_depth = exec_q.len() as u64;
                 if let Some(r) = transport.recorder() {
@@ -1082,7 +1264,36 @@ where
                 let src = env.src;
                 staleness[src.0] = 0;
                 last_heard[src.0] = transport.now();
-                if env.tag == RETRANS_REQ_TAG {
+                let (rejoined, degraded_exit) = match &mut sup {
+                    Some(sv) => sv.on_heard(src.0),
+                    None => (false, false),
+                };
+                if rejoined {
+                    stats.peer_rejoins += 1;
+                    dx.rx_shadow[src.0] = None;
+                    dx.seen_past[src.0] = None;
+                    let t_now = transport.now();
+                    if let Some(r) = transport.recorder() {
+                        r.mark(
+                            obs_rank,
+                            t_now.as_nanos(),
+                            Mark::PeerRejoined { peer: src.0 as u32 },
+                        );
+                        if degraded_exit {
+                            r.mark(obs_rank, t_now.as_nanos(), Mark::DegradedExit);
+                        }
+                    }
+                    send_full_state(
+                        transport,
+                        &mut stats,
+                        app,
+                        &mut dx,
+                        src,
+                        DATA_TAG,
+                        last_broadcast.0,
+                        &last_broadcast.1,
+                    );
+                } else if env.tag == RETRANS_REQ_TAG {
                     send_full_state(
                         transport,
                         &mut stats,
@@ -1594,6 +1805,7 @@ mod tests {
             collect_log: false,
             fault: None,
             delta: None,
+            supervision: None,
         };
         let iters = 40;
         let (out, _) = run_sim_cluster::<IterMsg<f64>, _, _>(
@@ -1707,8 +1919,19 @@ mod tests {
         latency_ms: u64,
         faults: FaultSpec<IterMsg<f64>>,
     ) -> Vec<(f64, RunStats)> {
+        run_toy_with_faults_timed(p, iters, theta, config, latency_ms, faults).0
+    }
+
+    fn run_toy_with_faults_timed(
+        p: usize,
+        iters: u64,
+        theta: f64,
+        config: SpecConfig,
+        latency_ms: u64,
+        faults: FaultSpec<IterMsg<f64>>,
+    ) -> (Vec<(f64, RunStats)>, SimDuration) {
         let cluster = ClusterSpec::homogeneous(p, 100.0);
-        let (out, _) = run_sim_cluster_with_faults::<IterMsg<f64>, _, _>(
+        let (out, report) = run_sim_cluster_with_faults::<IterMsg<f64>, _, _>(
             &cluster,
             ConstantLatency(SimDuration::from_millis(latency_ms)),
             Unloaded,
@@ -1721,7 +1944,7 @@ mod tests {
             },
         )
         .unwrap();
-        out
+        (out, report.end_time.duration_since(desim::SimTime::ZERO))
     }
 
     #[test]
@@ -1818,6 +2041,111 @@ mod tests {
             crashed.retransmit_requests >= (p as u64 - 1),
             "restart must ask every peer for its state"
         );
+    }
+
+    #[test]
+    fn quarantine_bypasses_the_loss_timeout() {
+        // A rank dead from t = 0 never rejoins. Without supervision every
+        // front pays the full Armed→Grace loss timeout on its slot; with
+        // supervision the peer is quarantined after its first promotion
+        // and subsequent fronts promote instantly — so the supervised run
+        // must finish in a fraction of the unsupervised virtual time.
+        let p = 3;
+        let iters = 12;
+        let crash = MachineCrash::permanent(1, desim::SimTime::ZERO);
+        let ft = || FaultTolerance::new(SimDuration::from_millis(10)).with_crashes(vec![crash]);
+        let slow_cfg = SpecConfig::speculative(1).with_fault_tolerance(ft());
+        let fast_cfg = slow_cfg
+            .clone()
+            .with_supervision(SupervisionConfig::new(1, 1));
+        let faults = || FaultSpec::none().with_crashes(netsim::CrashPlan::new(vec![crash]));
+        let slow = run_toy_with_faults_timed(p, iters, 1e9, slow_cfg, 2, faults());
+        let fast = run_toy_with_faults_timed(p, iters, 1e9, fast_cfg, 2, faults());
+        for j in [0, 2] {
+            let s = &fast.0[j].1;
+            assert_eq!(s.iterations, iters, "survivor {j} must finish");
+            assert!(
+                s.peers_suspected >= 1,
+                "survivor {j} never suspected rank 1"
+            );
+            assert!(
+                s.peers_quarantined >= 1,
+                "survivor {j} never quarantined rank 1"
+            );
+            assert!(s.degraded_commits >= 1, "survivor {j} never ran degraded");
+            assert!(
+                s.degraded_commits <= s.speculate_through_loss_commits,
+                "degraded commits must be a subset of loss promotions"
+            );
+            assert_eq!(s.peer_rejoins, 0, "a dead rank must never rejoin");
+        }
+        assert_eq!(
+            fast.0[1].1.iterations, 0,
+            "the dead rank exits at its crash"
+        );
+        assert!(
+            fast.1 * 2 < slow.1,
+            "degraded mode must outpace per-front timeouts: {:?} vs {:?}",
+            fast.1,
+            slow.1
+        );
+    }
+
+    #[test]
+    fn heard_again_after_quarantine_counts_a_rejoin() {
+        // Down long enough (50 ms ≫ 2 × 8 ms timeout at thresholds (1,1))
+        // that survivors quarantine the rank before its restart; its
+        // retransmit requests then readmit it on both survivors.
+        let p = 3;
+        let iters = 30;
+        let crash = MachineCrash {
+            rank: 1,
+            at: desim::SimTime::ZERO,
+            restart_after: SimDuration::from_millis(50),
+        };
+        let ft = FaultTolerance::new(SimDuration::from_millis(8)).with_crashes(vec![crash]);
+        let cfg = SpecConfig::speculative(1)
+            .with_fault_tolerance(ft)
+            .with_supervision(SupervisionConfig::new(1, 1));
+        let out = run_toy_with_faults(
+            p,
+            iters,
+            1e9,
+            cfg,
+            2,
+            FaultSpec::none().with_crashes(netsim::CrashPlan::new(vec![crash])),
+        );
+        for (j, (x, stats)) in out.iter().enumerate() {
+            assert!(x.is_finite());
+            assert_eq!(stats.iterations, iters, "rank {j} must finish");
+        }
+        assert_eq!(out[1].1.peer_restarts, 1);
+        for j in [0, 2] {
+            let s = &out[j].1;
+            assert!(
+                s.peers_quarantined >= 1,
+                "survivor {j} never quarantined rank 1"
+            );
+            assert!(s.peer_rejoins >= 1, "survivor {j} never readmitted rank 1");
+        }
+    }
+
+    #[test]
+    fn supervision_without_fault_tolerance_is_inert() {
+        // Supervision rides on the loss-promotion staleness counters; with
+        // no fault-tolerance policy there is nothing to drive it, and the
+        // run must be bit-identical to the plain config.
+        let p = 3;
+        let iters = 10;
+        let plain = run_toy(p, iters, 0.05, SpecConfig::speculative(1), 2).0;
+        let sup_cfg = SpecConfig::speculative(1).with_supervision(SupervisionConfig::default());
+        let sup = run_toy(p, iters, 0.05, sup_cfg, 2).0;
+        for (j, (x, stats)) in sup.iter().enumerate() {
+            assert_eq!(*x, plain[j].0, "rank {j} values must match exactly");
+            assert_eq!(stats.peers_suspected, 0);
+            assert_eq!(stats.peers_quarantined, 0);
+            assert_eq!(stats.degraded_commits, 0);
+        }
     }
 
     #[test]

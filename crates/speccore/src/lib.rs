@@ -46,7 +46,8 @@ mod stats;
 
 pub use app::{CheckOutcome, SpeculativeApp};
 pub use config::{
-    AdaptiveWindow, CorrectionMode, DeltaExchange, FaultTolerance, SpecConfig, WindowPolicy,
+    AdaptiveWindow, CorrectionMode, DeltaExchange, FaultTolerance, SpecConfig, SupervisionConfig,
+    WindowPolicy,
 };
 pub use driver::{run_baseline, run_speculative, IterMsg, MsgBody, DATA_TAG, RETRANS_REQ_TAG};
 pub use history::History;

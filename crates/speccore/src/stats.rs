@@ -117,6 +117,17 @@ pub struct RunStats {
     /// Times this rank crashed and re-seeded itself from its confirmed
     /// checkpoint.
     pub peer_restarts: u64,
+    /// Loss-promotions committed while the missing peer was *quarantined*
+    /// — degraded-mode commits that skipped the loss timeout entirely.
+    /// A subset of [`speculate_through_loss_commits`](Self::speculate_through_loss_commits).
+    pub degraded_commits: u64,
+    /// Peers this rank marked `Suspected` (transitions, not peers — a peer
+    /// that recovers and goes silent again counts twice).
+    pub peers_suspected: u64,
+    /// Peers this rank quarantined.
+    pub peers_quarantined: u64,
+    /// Quarantined peers readmitted after being heard from again.
+    pub peer_rejoins: u64,
     /// Virtual time this rank spent down (crashed), excluded from the
     /// phase breakdown: `phases.total() + downtime == total_time`.
     pub downtime: SimDuration,
@@ -154,6 +165,10 @@ impl RunStats {
             speculate_through_loss_commits: 0,
             retransmit_requests: 0,
             peer_restarts: 0,
+            degraded_commits: 0,
+            peers_suspected: 0,
+            peers_quarantined: 0,
+            peer_rejoins: 0,
             downtime: SimDuration::ZERO,
             iteration_log: Vec::new(),
         }
@@ -272,6 +287,22 @@ impl ClusterStats {
     /// Total crash/restart cycles, across ranks.
     pub fn total_restarts(&self) -> u64 {
         self.per_rank.iter().map(|r| r.peer_restarts).sum()
+    }
+
+    /// Total degraded-mode commits (promotions of quarantined peers'
+    /// inputs), across ranks.
+    pub fn total_degraded_commits(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.degraded_commits).sum()
+    }
+
+    /// Total quarantine events, across ranks.
+    pub fn total_quarantines(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.peers_quarantined).sum()
+    }
+
+    /// Total rejoin readmissions, across ranks.
+    pub fn total_rejoins(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.peer_rejoins).sum()
     }
 
     /// Total modelled bytes sent, across ranks.

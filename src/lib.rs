@@ -64,11 +64,12 @@ pub use workloads;
 pub mod prelude {
     pub use desim::{SimDuration, SimTime, Simulation, TieBreak};
     pub use mpk::{
-        connect_socket_cluster, connect_socket_cluster_with_faults, run_sim_cluster,
-        run_sim_cluster_with_faults, run_sim_cluster_with_options, run_socket_cluster,
-        run_socket_cluster_with_faults, run_thread_cluster, run_thread_cluster_with_faults,
-        Envelope, FaultCounters, FaultSpec, Rank, SimClusterOptions, SocketClusterOptions,
-        SocketTransport, Tag, ThreadClusterOptions, Transport, WireCodec, WireSize,
+        connect_socket_cluster, connect_socket_cluster_with_faults, rejoin_socket_cluster,
+        run_sim_cluster, run_sim_cluster_with_faults, run_sim_cluster_with_options,
+        run_socket_cluster, run_socket_cluster_with_faults, run_thread_cluster,
+        run_thread_cluster_with_faults, Envelope, FaultCounters, FaultSpec, Rank,
+        SimClusterOptions, SocketClusterOptions, SocketTransport, SupervisorOptions, Tag,
+        ThreadClusterOptions, Transport, WireCodec, WireSize,
     };
     pub use nbody::{
         binary_pair, centered_cloud, colliding_clouds, partition_proportional, rotating_disk,
@@ -89,7 +90,7 @@ pub mod prelude {
     pub use speccore::{
         run_baseline, run_speculative, CheckOutcome, ClusterStats, CorrectionMode, DeltaExchange,
         FaultTolerance, History, IterMsg, IterationLog, MsgBody, PhaseBreakdown, RunStats,
-        SpecConfig, SpeculativeApp, WindowPolicy,
+        SpecConfig, SpeculativeApp, SupervisionConfig, WindowPolicy,
     };
     pub use workloads::{
         Graph, Heat2dApp, Heat2dConfig, HeatApp, HeatConfig, JacobiApp, JacobiConfig, LinearSystem,

@@ -174,6 +174,165 @@ fn scripted_crash_recovers_and_marks_the_trace() {
 }
 
 // ---------------------------------------------------------------------------
+// Supervision: a permanently dead rank is suspected, quarantined, and
+// carried in degraded mode; a long-but-finite outage additionally rejoins.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn permanent_crash_finishes_degraded_and_marks_the_trace() {
+    let particles = uniform_cloud(48, 21);
+    let cluster = ClusterSpec::paper_testbed().fastest(6);
+    let iters = 40;
+    let crash = MachineCrash::permanent(2, SimTime::from_nanos(100_000_000));
+    let run = || {
+        let mut cfg = chaos_config(iters, 2, 10).with_trace();
+        cfg.spec = cfg
+            .spec
+            .with_fault_tolerance(
+                FaultTolerance::new(SimDuration::from_millis(10)).with_crashes(vec![crash]),
+            )
+            .with_supervision(SupervisionConfig::new(1, 2));
+        run_parallel_with_faults(
+            &particles,
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(3)),
+            Unloaded,
+            FaultSpec::none().with_crashes(CrashPlan::new(vec![crash])),
+            cfg,
+        )
+        .unwrap()
+    };
+    let result = run();
+
+    // Liveness: every survivor commits every iteration; the dead rank
+    // stops at whatever prefix it had confirmed when the machine died.
+    for s in &result.stats.per_rank {
+        if s.rank.0 == 2 {
+            assert!(s.iterations < iters, "a dead rank cannot finish");
+        } else {
+            assert_eq!(s.iterations, iters, "survivor {} deadlocked", s.rank.0);
+            assert!(
+                s.peers_quarantined >= 1,
+                "rank {} never quarantined 2",
+                s.rank.0
+            );
+            assert!(
+                s.degraded_commits >= 1,
+                "rank {} never ran degraded",
+                s.rank.0
+            );
+            assert!(
+                s.speculate_through_loss_commits <= s.messages_lost,
+                "rank {}: promoted commits must be backed by losses",
+                s.rank.0
+            );
+            assert_eq!(s.peer_rejoins, 0, "the dead rank must never rejoin");
+        }
+    }
+
+    // The supervision timeline: suspicion strictly before quarantine,
+    // both after the scripted crash instant; degraded mode is entered
+    // and — with no rejoin — never exited.
+    let traces = result.traces.as_ref().expect("trace collection enabled");
+    for t in traces.iter().filter(|t| t.rank != 2) {
+        let at = |want: fn(&Mark) -> bool| -> Vec<u64> {
+            t.events
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    EventKind::Mark(m) if want(m) => Some(e.t_ns),
+                    _ => None,
+                })
+                .collect()
+        };
+        let suspected = at(|m| matches!(m, Mark::PeerSuspected { peer: 2 }));
+        let quarantined = at(|m| matches!(m, Mark::PeerQuarantined { peer: 2 }));
+        assert_eq!(suspected.len(), 1, "rank {} suspicion marks", t.rank);
+        assert_eq!(quarantined.len(), 1, "rank {} quarantine marks", t.rank);
+        assert!(suspected[0] >= crash.at.as_nanos());
+        assert!(suspected[0] <= quarantined[0]);
+        let totals = t.counter_totals();
+        assert_eq!(totals.degraded_enters, 1);
+        assert_eq!(totals.degraded_exits, 0, "no rejoin, no exit");
+        assert_eq!(totals.peers_rejoined, 0);
+    }
+
+    // Determinism: the whole degraded schedule replays bit-for-bit.
+    assert_eq!(position_bits(&result), position_bits(&run()));
+}
+
+#[test]
+fn crash_rejoin_timeline_quarantines_then_readmits() {
+    let particles = uniform_cloud(48, 22);
+    let cluster = ClusterSpec::paper_testbed().fastest(6);
+    let iters = 80;
+    let crash = MachineCrash {
+        rank: 2,
+        at: SimTime::from_nanos(100_000_000),
+        // Far past the ~20 ms it takes survivors to promote once and
+        // quarantine at thresholds (1, 2), and well before the ~300 ms
+        // survivors need for 80 iterations on 3 ms links — so the rejoin
+        // lands while they are still running.
+        restart_after: SimDuration::from_millis(80),
+    };
+    let mut cfg = chaos_config(iters, 2, 10).with_trace();
+    cfg.spec = cfg
+        .spec
+        .with_fault_tolerance(
+            FaultTolerance::new(SimDuration::from_millis(10)).with_crashes(vec![crash]),
+        )
+        .with_supervision(SupervisionConfig::new(1, 2));
+    let result = run_parallel_with_faults(
+        &particles,
+        &cluster,
+        ConstantLatency(SimDuration::from_millis(3)),
+        Unloaded,
+        FaultSpec::none().with_crashes(CrashPlan::new(vec![crash])),
+        cfg,
+    )
+    .unwrap();
+
+    for s in &result.stats.per_rank {
+        assert_eq!(s.iterations, iters, "rank {} deadlocked", s.rank.0);
+    }
+    assert_eq!(result.stats.per_rank[2].peer_restarts, 1);
+
+    let traces = result.traces.as_ref().expect("trace collection enabled");
+    for t in traces.iter().filter(|t| t.rank != 2) {
+        let at = |want: fn(&Mark) -> bool| -> Vec<u64> {
+            t.events
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    EventKind::Mark(m) if want(m) => Some(e.t_ns),
+                    _ => None,
+                })
+                .collect()
+        };
+        let quarantined = at(|m| matches!(m, Mark::PeerQuarantined { peer: 2 }));
+        let rejoined = at(|m| matches!(m, Mark::PeerRejoined { peer: 2 }));
+        assert!(
+            !quarantined.is_empty(),
+            "rank {} never quarantined 2",
+            t.rank
+        );
+        assert!(!rejoined.is_empty(), "rank {} never readmitted 2", t.rank);
+        assert!(
+            quarantined[0] <= rejoined[0],
+            "rejoin must follow quarantine"
+        );
+        assert!(
+            rejoined[0] >= crash.back_at().as_nanos(),
+            "rejoin cannot precede the restart"
+        );
+        let totals = t.counter_totals();
+        assert!(totals.degraded_enters >= 1);
+        assert_eq!(
+            totals.degraded_enters, totals.degraded_exits,
+            "every degraded window must close once the peer is back"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Seed matrix over composed faults: loss + duplication + a partition
 // window, several seeds — liveness, bounded error, bit-exact per seed.
 // ---------------------------------------------------------------------------

@@ -141,6 +141,7 @@ fn adaptive_window_deepens_then_retreats() {
             collect_log: false,
             fault: None,
             delta: None,
+            supervision: None,
         };
         let (outs, _) = run_sim_cluster::<IterMsg<Vec<f64>>, _, _>(
             &cluster,
