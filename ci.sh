@@ -21,6 +21,23 @@ echo "== speccheck conformance & property suite (64 cases/property, fixed seeds)
 # every historical counterexample first.
 cargo test -q -p speccheck
 
+echo "== stackless kernel differential suite (threaded vs event-scheduled)"
+# The two desim execution models — one OS thread per rank
+# (legacy-threads) and resumable state machines inside the event kernel
+# (stackless) — must be bit-identical: per-rank fingerprints, RunStats,
+# virtual end time, and the kernel's own event/message/timer counters.
+# The suite replays the checked-in proptest-regressions witnesses on
+# both kernels and runs the failure-injection chaos matrix
+# differentially at the mpk level (full SimReport equality).
+cargo test -q --test stackless_equivalence
+
+echo "== desim without legacy-threads (stackless-only build)"
+# The stackless kernel must build and pass its suite with the threaded
+# runner compiled out entirely (the cfg the differential suite exists
+# to police).
+cargo build -q -p desim --no-default-features
+cargo test -q -p desim --no-default-features
+
 echo "== regression corpus replay + full-grid inertness (explicit)"
 # Re-run the two properties whose checked-in counterexamples pinned the
 # polling-quantum and timeout-cascade bugs, by name, so a corpus entry
@@ -88,11 +105,19 @@ echo "== transport bench smoke (release)"
 # exchange phase.
 SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench transport_regression
 
+echo "== stackless scale sweep (release)"
+# Emits BENCH_scale.json: wall-clock and peak-RSS rows for 1k/10k/100k
+# event-scheduled ranks (zero OS threads per rank) in a heterogeneous
+# token ring. The 10000-rank row is the PR's acceptance anchor.
+SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench scale_sweep
+
 echo "== transport regression gate (throughput floors + byte ceilings)"
 # Compare the fresh BENCH_transport.json against the checked-in
 # throughput floors (fail on >25% regression below budget), hold the
 # exchange byte rows under their ceilings, and require delta mode to
-# stay ≥3× cheaper per iteration than full broadcast. Refresh with
+# stay ≥3× cheaper per iteration than full broadcast. Also gates the
+# fresh BENCH_scale.json: events/sec floors and RSS-per-rank ceilings
+# per rank count, with the 10000-rank row mandatory. Refresh with
 # BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh after intentional changes or
 # a CI hardware move.
 ci/bench_gate.sh

@@ -32,6 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ARTIFACT="${BENCH_TRANSPORT_ARTIFACT:-BENCH_transport.json}"
+SCALE_ARTIFACT="${BENCH_SCALE_ARTIFACT:-BENCH_scale.json}"
 BUDGETS="ci/bench_budgets.json"
 # A row fails when fresh < budget * TOLERANCE (i.e. >25% regression).
 TOLERANCE="0.75"
@@ -58,7 +59,16 @@ if [[ "${BENCH_UPDATE_BUDGETS:-0}" == "1" ]]; then
     jq '{budgets: (.rows | map({key: "\(.backend)_\(.mode)", value: (.msgs_per_sec * 0.5 | floor)}) | from_entries),
          byte_ceilings: ((.exchange // []) | map({key: "nbody_\(.mode)", value: (.bytes_per_iter * 1.25 | ceil)}) | from_entries)}' \
         "$ARTIFACT" >"$BUDGETS"
-    echo "bench gate: rewrote $BUDGETS from $ARTIFACT:"
+    if [[ -f "$SCALE_ARTIFACT" ]]; then
+        # Scale floors are half the measured event throughput (host
+        # variance); RSS ceilings get 4x headroom plus a 4 KiB constant
+        # because VmHWM deltas are quantized to pages.
+        jq --slurpfile scale "$SCALE_ARTIFACT" \
+           '. + {scale_floors: ($scale[0].rows | map({key: "ranks_\(.ranks)", value: (.events_per_sec * 0.5 | floor)}) | from_entries),
+                 scale_rss_ceilings: ($scale[0].rows | map({key: "ranks_\(.ranks)", value: (.rss_bytes_per_rank * 4 + 4096 | ceil)}) | from_entries)}' \
+           "$BUDGETS" >"$BUDGETS.tmp" && mv "$BUDGETS.tmp" "$BUDGETS"
+    fi
+    echo "bench gate: rewrote $BUDGETS from $ARTIFACT (+ $SCALE_ARTIFACT if present):"
     cat "$BUDGETS"
     exit 0
 fi
@@ -142,9 +152,51 @@ else
     fi
 fi
 
+# ---------------------------------------------------------------------------
+# Stackless scale sweep (BENCH_scale.json): every row's kernel event
+# throughput must hold above its checked-in floor, and its peak-RSS
+# growth per rank must stay under its ceiling. The 10000-rank row is the
+# acceptance anchor (a 10k-rank sim with zero OS threads per rank) and
+# must always be present.
+if [[ -f "$SCALE_ARTIFACT" ]]; then
+    present=$(jq -r '.rows | map(.ranks) | index(10000) != null' "$SCALE_ARTIFACT")
+    if [[ "$present" != "true" ]]; then
+        echo "FAIL  scale: 10000-rank row missing from $SCALE_ARTIFACT"
+        fail=1
+    fi
+    while IFS=$'\t' read -r ranks eps rss; do
+        key="ranks_${ranks}"
+        floor=$(jq -r --arg k "$key" '.scale_floors[$k] // empty' "$BUDGETS")
+        ceiling=$(jq -r --arg k "$key" '.scale_rss_ceilings[$k] // empty' "$BUDGETS")
+        if [[ -z "$floor" || -z "$ceiling" ]]; then
+            echo "FAIL  $key: no scale budget in $BUDGETS (add it with BENCH_UPDATE_BUDGETS=1)"
+            fail=1
+            continue
+        fi
+        ok=$(jq -n --argjson f "$eps" --argjson fl "$floor" --argjson t "$TOLERANCE" '$f >= $fl * $t')
+        if [[ "$ok" == "true" ]]; then
+            printf 'ok    %-18s %12.0f events/s  (floor %s)\n' "$key" "$eps" "$floor"
+        else
+            printf 'FAIL  %-18s %12.0f events/s  < 75%% of floor %s\n' "$key" "$eps" "$floor"
+            fail=1
+        fi
+        ok=$(jq -n --argjson r "$rss" --argjson c "$ceiling" '$r <= $c')
+        if [[ "$ok" == "true" ]]; then
+            printf 'ok    %-18s %12.0f rss B/rank  (ceiling %s)\n' "$key" "$rss" "$ceiling"
+        else
+            printf 'FAIL  %-18s %12.0f rss B/rank  > ceiling %s\n' "$key" "$rss" "$ceiling"
+            fail=1
+        fi
+    done < <(jq -r '.rows[] | "\(.ranks)\t\(.events_per_sec)\t\(.rss_bytes_per_rank)"' "$SCALE_ARTIFACT")
+else
+    echo "bench gate: $SCALE_ARTIFACT missing — run the scale_sweep bench first:" >&2
+    echo "  SPEC_BENCH_OUT=\"\$PWD\" cargo bench -q -p spec-bench --bench scale_sweep" >&2
+    fail=1
+fi
+
 if [[ "$fail" != "0" ]]; then
     echo "bench gate: transport throughput regressed >25% (or rows drifted); see above." >&2
     echo "If the regression is intended, refresh budgets: BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh" >&2
     exit 1
 fi
-echo "bench gate: all transport rows within budget."
+echo "bench gate: all transport and scale rows within budget."

@@ -22,7 +22,7 @@ cd "$(dirname "$0")/.."
 STRICT=0
 [ "${1:-}" = "--strict" ] && STRICT=1
 
-AUDITED_CRATES="perfmodel workloads"
+AUDITED_CRATES="perfmodel workloads desim"
 
 # Build the test corpus: integration tests plus in-crate test modules.
 CORPUS="$(mktemp)"

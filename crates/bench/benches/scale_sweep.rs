@@ -1,0 +1,31 @@
+//! Regenerate `BENCH_scale.json`: the stackless kernel's rank-scaling
+//! sweep (1k / 10k / 100k event-scheduled ranks, zero OS threads per
+//! rank). See `spec_bench::scale` for the workload; `ci/bench_gate.sh`
+//! gates `events_per_sec` (floor) and `rss_bytes_per_rank` (ceiling)
+//! per row against `ci/bench_budgets.json`.
+
+use spec_bench::artifact;
+use spec_bench::scale::scale_sweep;
+
+fn main() {
+    let rows = scale_sweep(3, 42);
+    println!("stackless scale sweep (ring, heterogeneous delays):");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>14} {:>14} {:>12}",
+        "ranks", "rounds", "wall s", "events", "events/s", "rank-rounds/s", "rss B/rank"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>8} {:>10.3} {:>12} {:>14.0} {:>14.0} {:>12.0}",
+            r.ranks,
+            r.rounds,
+            r.wall_secs,
+            r.events,
+            r.events_per_sec(),
+            r.ranks_per_sec(),
+            r.rss_bytes_per_rank()
+        );
+    }
+    let path = artifact::write("scale", &artifact::scale_json(&rows)).expect("write artifact");
+    println!("wrote {}", path.display());
+}

@@ -317,6 +317,34 @@ pub fn table3_json(rows: &[Table3Row]) -> Json {
     ])
 }
 
+/// Stackless-kernel scale sweep rows as JSON (`BENCH_scale.json`).
+pub fn scale_json(rows: &[crate::scale::ScaleRow]) -> Json {
+    Json::obj([
+        ("name", Json::Str("scale".into())),
+        ("kind", Json::Str("stackless_rank_scaling".into())),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("ranks", Json::U64(r.ranks as u64)),
+                            ("rounds", Json::U64(r.rounds)),
+                            ("wall_secs", f(r.wall_secs)),
+                            ("events", Json::U64(r.events)),
+                            ("messages", Json::U64(r.messages)),
+                            ("events_per_sec", f(r.events_per_sec())),
+                            ("ranks_per_sec", f(r.ranks_per_sec())),
+                            ("peak_rss_bytes", Json::U64(r.peak_rss_bytes)),
+                            ("rss_bytes_per_rank", f(r.rss_bytes_per_rank())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

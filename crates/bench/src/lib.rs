@@ -23,6 +23,7 @@
 pub mod artifact;
 pub mod experiments;
 pub mod render;
+pub mod scale;
 
 /// Experiment sizing: the paper-scale configuration versus a quick one for
 /// CI and debug builds.

@@ -1,17 +1,33 @@
-//! The simulation kernel: owns the event queue, the mailboxes, and the
-//! process threads, and drives everything in deterministic virtual time.
+//! The simulation kernel: owns the event queue, the mailboxes, and every
+//! process state, and drives everything in deterministic virtual time.
+//!
+//! Processes come in two flavours sharing one event loop and one grant
+//! protocol, so their event streams are bit-identical:
+//!
+//! * **stackless** ([`Simulation::spawn_process`] /
+//!   [`Simulation::spawn_async`]) — resumable state machines dispatched on
+//!   the kernel thread; the default, and the only flavour that scales to
+//!   tens of thousands of ranks.
+//! * **threaded** ([`Simulation::spawn`], behind the `legacy-threads`
+//!   feature) — one parked OS thread per process, kept for the
+//!   differential conformance suite that proves both kernels equivalent.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(feature = "legacy-threads")]
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
+#[cfg(feature = "legacy-threads")]
 use std::thread::JoinHandle;
 
 use obs::{Gauge, Recorder};
 
 use crate::event::{EventKind, EventQueue, Payload};
 use crate::mailbox::{Mailbox, MailboxId};
-use crate::process::{ProcessHandle, ProcessId, ProcessResult, Request, Response, SimShutdown};
+#[cfg(feature = "legacy-threads")]
+use crate::process::{ProcessHandle, Request, Response, SimShutdown};
+use crate::process::{ProcessId, ProcessResult};
+use crate::stackless::{AsyncHandle, Bridge, FutureProcess, ProcCtx, Process, Resume, Yield};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceLog};
 
@@ -57,7 +73,10 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Aggregate statistics and outcome of a completed simulation.
-#[derive(Debug)]
+///
+/// `PartialEq` so differential suites can assert two kernels produced the
+/// same report wholesale.
+#[derive(Debug, PartialEq, Eq)]
 pub struct SimReport {
     /// Virtual time when the last process finished.
     pub end_time: SimTime,
@@ -76,19 +95,147 @@ pub struct SimReport {
     pub trace: Vec<TraceEvent>,
 }
 
+/// How a process executes when granted virtual time.
+enum Runner {
+    /// One parked OS thread, spoken to over `Request`/`Response` channels.
+    #[cfg(feature = "legacy-threads")]
+    Thread {
+        resp_tx: Sender<Response>,
+        join: Option<JoinHandle<()>>,
+    },
+    /// A resumable state machine dispatched on the kernel thread. `None`
+    /// only transiently while the body is being resumed, and permanently
+    /// once the process finished (freeing its state early — at 100k ranks
+    /// that is most of the memory).
+    Stackless { body: Option<Box<dyn Process>> },
+}
+
 struct ProcInfo {
     name: String,
-    resp_tx: Sender<Response>,
+    runner: Runner,
+    started: bool,
     finished: bool,
     blocked_on: Option<MailboxId>,
     finish_time: Option<SimTime>,
-    join: Option<JoinHandle<()>>,
     /// Monotone counter stamping armed deadline timers; bumping it is how
     /// a timer is cancelled without touching the event heap.
     timer_gen: u64,
     /// Generation of the currently armed deadline timer, if the process is
     /// blocked in a timed receive.
     armed_timer: Option<u64>,
+}
+
+/// The kernel's answer when it grants a process virtual time.
+enum Grant {
+    /// First grant ever, at time zero.
+    Start,
+    /// A timer elapsed ([`Yield::Timer`] / `Request::Advance`).
+    Resumed,
+    /// A blocking receive resolved: the payload, or `None` on deadline.
+    Message(Option<Payload>),
+}
+
+/// The blocking yield a process is suspended on, as tracked by the
+/// scheduling-invariant oracle (see
+/// [`Simulation::enable_scheduling_checks`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PendingYield {
+    Timer,
+    Recv,
+    RecvDeadline,
+}
+
+/// Optional runtime oracle over the kernel's scheduling invariants:
+/// no process is resumed while blocked, every blocking yield is answered
+/// exactly once and with the matching grant kind, and virtual time is
+/// monotone per process. Violations panic with a diagnostic.
+#[derive(Default)]
+struct SchedChecks {
+    enabled: bool,
+    last_resume: Vec<SimTime>,
+    pending: Vec<Option<PendingYield>>,
+    started: Vec<bool>,
+}
+
+impl SchedChecks {
+    fn ensure(&mut self, n: usize) {
+        if self.last_resume.len() < n {
+            self.last_resume.resize(n, SimTime::ZERO);
+            self.pending.resize(n, None);
+            self.started.resize(n, false);
+        }
+    }
+
+    /// Validate a grant against the process's recorded suspension state.
+    fn on_grant(&mut self, pid: ProcessId, grant: &Grant, now: SimTime, blocked: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.ensure(pid.0 + 1);
+        assert!(
+            now >= self.last_resume[pid.0],
+            "scheduling oracle: virtual time ran backwards for {pid:?} \
+             ({now} < {})",
+            self.last_resume[pid.0]
+        );
+        self.last_resume[pid.0] = now;
+        let pending = self.pending[pid.0].take();
+        match grant {
+            Grant::Start => {
+                assert!(
+                    !self.started[pid.0],
+                    "scheduling oracle: {pid:?} started twice"
+                );
+                assert_eq!(
+                    pending, None,
+                    "scheduling oracle: {pid:?} had a pending yield before its start grant"
+                );
+                self.started[pid.0] = true;
+            }
+            Grant::Resumed => {
+                assert!(
+                    !blocked,
+                    "scheduling oracle: {pid:?} woken while blocked on a mailbox"
+                );
+                assert_eq!(
+                    pending,
+                    Some(PendingYield::Timer),
+                    "scheduling oracle: {pid:?} granted Resumed without a pending timer yield"
+                );
+            }
+            Grant::Message(Some(_)) => {
+                assert!(
+                    matches!(
+                        pending,
+                        Some(PendingYield::Recv | PendingYield::RecvDeadline)
+                    ),
+                    "scheduling oracle: {pid:?} granted a message without a pending receive \
+                     (pending: {pending:?})"
+                );
+            }
+            Grant::Message(None) => {
+                assert_eq!(
+                    pending,
+                    Some(PendingYield::RecvDeadline),
+                    "scheduling oracle: {pid:?} granted a deadline timeout without a pending \
+                     timed receive"
+                );
+            }
+        }
+    }
+
+    /// Record the blocking yield a process just suspended on.
+    fn on_block(&mut self, pid: ProcessId, y: PendingYield) {
+        if !self.enabled {
+            return;
+        }
+        self.ensure(pid.0 + 1);
+        assert_eq!(
+            self.pending[pid.0], None,
+            "scheduling oracle: {pid:?} yielded {y:?} while a previous yield was unanswered"
+        );
+        self.pending[pid.0] = Some(y);
+    }
 }
 
 /// A discrete-event simulation under construction (and, during
@@ -101,11 +248,13 @@ struct ProcInfo {
 ///
 /// let mut sim = Simulation::new();
 /// let mbox = sim.create_mailbox();
-/// sim.spawn("producer", move |h| {
-///     h.advance(SimDuration::from_millis(5));
-///     h.send(mbox, SimDuration::from_millis(2), 42u32);
+/// sim.spawn_async("producer", move |h| async move {
+///     h.advance(SimDuration::from_millis(5)).await;
+///     h.send(mbox, SimDuration::from_millis(2), 42u32).await;
 /// });
-/// let got = sim.spawn("consumer", move |h| h.recv_as::<u32>(mbox));
+/// let got = sim.spawn_async("consumer", move |h| async move {
+///     h.recv_as::<u32>(mbox).await
+/// });
 /// let report = sim.run().unwrap();
 /// assert_eq!(got.take(), Some(42));
 /// assert_eq!(report.end_time.as_nanos(), 7_000_000);
@@ -114,12 +263,15 @@ pub struct Simulation {
     procs: Vec<ProcInfo>,
     mailboxes: Vec<Mailbox>,
     queue: EventQueue,
+    #[cfg(feature = "legacy-threads")]
     req_tx: Sender<(ProcessId, Request)>,
+    #[cfg(feature = "legacy-threads")]
     req_rx: Receiver<(ProcessId, Request)>,
     now: SimTime,
     trace: TraceLog,
     tracing_enabled: Arc<AtomicBool>,
     recorder: Option<Box<dyn Recorder>>,
+    checks: SchedChecks,
     error: Option<SimError>,
     messages_sent: u64,
     messages_delivered: u64,
@@ -141,17 +293,21 @@ impl Default for Simulation {
 impl Simulation {
     /// An empty simulation with tracing disabled.
     pub fn new() -> Self {
+        #[cfg(feature = "legacy-threads")]
         let (req_tx, req_rx) = channel();
         Simulation {
             procs: Vec::new(),
             mailboxes: Vec::new(),
             queue: EventQueue::new(),
+            #[cfg(feature = "legacy-threads")]
             req_tx,
+            #[cfg(feature = "legacy-threads")]
             req_rx,
             now: SimTime::ZERO,
             trace: TraceLog::disabled(),
             tracing_enabled: Arc::new(AtomicBool::new(false)),
             recorder: None,
+            checks: SchedChecks::default(),
             error: None,
             messages_sent: 0,
             messages_delivered: 0,
@@ -160,17 +316,27 @@ impl Simulation {
         }
     }
 
-    /// Enable recording of [`ProcessHandle::trace`] annotations into the
-    /// final [`SimReport`].
+    /// Enable recording of trace annotations into the final [`SimReport`].
     pub fn enable_tracing(&mut self) {
         self.trace = TraceLog::enabled();
         self.tracing_enabled.store(true, Ordering::Relaxed);
     }
 
+    /// Arm the scheduling-invariant oracle: every grant and blocking yield
+    /// is validated (no process resumed while blocked, every yield answered
+    /// exactly once by a grant of the matching kind, virtual time monotone
+    /// per process). A violation panics with a diagnostic naming the
+    /// process and the mismatched state. Used by the speccheck property
+    /// suite; cheap enough to leave on in tests, off by default.
+    pub fn enable_scheduling_checks(&mut self) {
+        self.checks.enabled = true;
+    }
+
     /// Set how events scheduled at the same virtual time are ordered
-    /// (default: [`TieBreak::Fifo`], insertion order). Must be called
-    /// before [`run`](Self::run); used by conformance tests to prove a
-    /// result does not depend on same-time delivery tie-breaks.
+    /// (default: [`TieBreak::Fifo`](crate::event::TieBreak), insertion
+    /// order). Must be called before [`run`](Self::run); used by
+    /// conformance tests to prove a result does not depend on same-time
+    /// delivery tie-breaks.
     pub fn set_tie_break(&mut self, tie_break: crate::event::TieBreak) {
         self.queue.set_tie_break(tie_break);
     }
@@ -192,10 +358,73 @@ impl Simulation {
         id
     }
 
-    /// Spawn a simulated process. The closure runs on its own OS thread but
-    /// executes only when the kernel grants it virtual time. Its return
-    /// value is retrievable from the returned [`ProcessResult`] after
-    /// [`run`](Self::run) completes.
+    /// Spawn a stackless simulated process from an explicit [`Process`]
+    /// state machine. No OS thread is created: the state machine lives in
+    /// the kernel and is resumed on the kernel's own thread whenever the
+    /// event it yielded on fires.
+    pub fn spawn_process(
+        &mut self,
+        name: impl Into<String>,
+        body: impl Process + 'static,
+    ) -> ProcessId {
+        let pid = ProcessId(self.procs.len());
+        self.procs.push(ProcInfo {
+            name: name.into(),
+            runner: Runner::Stackless {
+                body: Some(Box::new(body)),
+            },
+            started: false,
+            finished: false,
+            blocked_on: None,
+            finish_time: None,
+            timer_gen: 0,
+            armed_timer: None,
+        });
+        pid
+    }
+
+    /// Spawn a stackless simulated process written as an `async fn`. The
+    /// compiler generates the state machine; each `await` on the provided
+    /// [`AsyncHandle`] is a kernel suspension point. Semantically identical
+    /// to [`spawn`](Self::spawn) — same grant protocol, same event
+    /// sequence numbers, same counters — but with no OS thread per rank.
+    ///
+    /// The closure runs immediately (to build the future); the body itself
+    /// first executes when the kernel grants time zero.
+    pub fn spawn_async<R, F, Fut>(&mut self, name: impl Into<String>, f: F) -> ProcessResult<R>
+    where
+        R: 'static,
+        F: FnOnce(AsyncHandle) -> Fut,
+        Fut: std::future::Future<Output = R> + 'static,
+    {
+        let pid = ProcessId(self.procs.len());
+        let slot: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let bridge = std::rc::Rc::new(std::cell::RefCell::new(Bridge::new()));
+        let handle = AsyncHandle::new(
+            pid,
+            std::rc::Rc::clone(&bridge),
+            Arc::clone(&self.tracing_enabled),
+        );
+        let fut = f(handle);
+        let slot_for_proc = Arc::clone(&slot);
+        let wrapped = async move {
+            let r = fut.await;
+            *slot_for_proc.lock().expect("result mutex poisoned") = Some(r);
+        };
+        self.spawn_process(name, FutureProcess::new(Box::pin(wrapped), bridge));
+        ProcessResult { slot, pid }
+    }
+
+    /// Spawn a simulated process on its own OS thread (the legacy execution
+    /// model). The closure executes only when the kernel grants it virtual
+    /// time. Its return value is retrievable from the returned
+    /// [`ProcessResult`] after [`run`](Self::run) completes.
+    ///
+    /// Kept behind the `legacy-threads` feature for the differential suite
+    /// that proves the stackless kernel bit-identical; new code should use
+    /// [`spawn_async`](Self::spawn_async) or
+    /// [`spawn_process`](Self::spawn_process).
+    #[cfg(feature = "legacy-threads")]
     pub fn spawn<R, F>(&mut self, name: impl Into<String>, f: F) -> ProcessResult<R>
     where
         R: Send + 'static,
@@ -236,11 +465,14 @@ impl Simulation {
 
         self.procs.push(ProcInfo {
             name,
-            resp_tx,
+            runner: Runner::Thread {
+                resp_tx,
+                join: Some(join),
+            },
+            started: false,
             finished: false,
             blocked_on: None,
             finish_time: None,
-            join: Some(join),
             timer_gen: 0,
             armed_timer: None,
         });
@@ -282,7 +514,13 @@ impl Simulation {
             match ev.kind {
                 EventKind::Wake(pid) => {
                     if !self.procs[pid.0].finished {
-                        self.service(pid, Response::Resumed { now: self.now });
+                        let grant = if self.procs[pid.0].started {
+                            Grant::Resumed
+                        } else {
+                            self.procs[pid.0].started = true;
+                            Grant::Start
+                        };
+                        self.grant(pid, grant);
                     }
                 }
                 EventKind::Deliver { mbox, msg } => {
@@ -299,13 +537,7 @@ impl Simulation {
                         if self.procs[pid.0].armed_timer.take().is_some() {
                             self.procs[pid.0].timer_gen += 1;
                         }
-                        self.service(
-                            pid,
-                            Response::Message {
-                                now: self.now,
-                                msg: Some(msg),
-                            },
-                        );
+                        self.grant(pid, Grant::Message(Some(msg)));
                     }
                 }
                 EventKind::Timer { pid, generation } => {
@@ -320,13 +552,7 @@ impl Simulation {
                         .expect("timed waiter has no blocking mailbox");
                     self.mailboxes[mbox.0].remove_waiter(pid);
                     self.timers_fired += 1;
-                    self.service(
-                        pid,
-                        Response::Message {
-                            now: self.now,
-                            msg: None,
-                        },
-                    );
+                    self.grant(pid, Grant::Message(None));
                 }
             }
             if self.error.is_some() {
@@ -355,12 +581,17 @@ impl Simulation {
             }
         }
 
-        // Tear down: close every response channel so threads stuck inside a
-        // blocking call unwind via SimShutdown, then join everything.
+        // Tear down the threaded processes: close every response channel so
+        // threads stuck inside a blocking call unwind via SimShutdown, then
+        // join everything. Stackless processes are plain state in `procs`.
+        #[cfg(feature = "legacy-threads")]
         let mut joins = Vec::new();
+        #[cfg(feature = "legacy-threads")]
         for p in &mut self.procs {
-            if let Some(j) = p.join.take() {
-                joins.push(j);
+            if let Runner::Thread { join, .. } = &mut p.runner {
+                if let Some(j) = join.take() {
+                    joins.push(j);
+                }
             }
         }
         let finish_times: Vec<(String, SimTime)> = self
@@ -376,6 +607,7 @@ impl Simulation {
         let trace = self.trace.take();
         let error = self.error.take();
         drop(self); // drops resp_tx senders, releasing blocked threads
+        #[cfg(feature = "legacy-threads")]
         for j in joins {
             let _ = j.join();
         }
@@ -394,10 +626,139 @@ impl Simulation {
         }
     }
 
-    /// Grant execution to `pid` with `first` as the answer to whatever it
-    /// was blocked on, then service its requests until it blocks again.
+    /// Grant execution to `pid` with `grant` as the answer to whatever it
+    /// was suspended on, dispatching on the process's runner flavour.
+    fn grant(&mut self, pid: ProcessId, grant: Grant) {
+        self.checks.on_grant(
+            pid,
+            &grant,
+            self.now,
+            self.procs[pid.0].blocked_on.is_some(),
+        );
+        match &self.procs[pid.0].runner {
+            #[cfg(feature = "legacy-threads")]
+            Runner::Thread { .. } => {
+                let first = match grant {
+                    Grant::Start | Grant::Resumed => Response::Resumed { now: self.now },
+                    Grant::Message(msg) => Response::Message { now: self.now, msg },
+                };
+                self.service(pid, first);
+            }
+            Runner::Stackless { .. } => self.dispatch_stackless(pid, grant),
+        }
+    }
+
+    /// Resume a stackless process and handle its yields until it blocks
+    /// again. Mirrors [`service`](Self::service) exactly: non-blocking
+    /// yields (`Send`, a `Recv` with a message already delivered, an
+    /// expired `RecvDeadline`) are answered inline without returning to the
+    /// event loop, so event sequence numbers match the threaded kernel
+    /// bit-for-bit.
+    fn dispatch_stackless(&mut self, pid: ProcessId, grant: Grant) {
+        #[allow(irrefutable_let_patterns)] // refutable only with legacy-threads
+        let Runner::Stackless { body } = &mut self.procs[pid.0].runner
+        else {
+            unreachable!("dispatch_stackless on a threaded process");
+        };
+        let mut body = body.take().expect("process resumed while already running");
+        let mut resume = match grant {
+            Grant::Start => Resume::Start,
+            Grant::Resumed => Resume::Resumed,
+            Grant::Message(msg) => Resume::Message(msg),
+        };
+        // Whether the state machine survives to the next suspension point
+        // (false once finished or panicked: its state is dropped early).
+        let mut live = false;
+        loop {
+            let step = {
+                let mut ctx = ProcCtx {
+                    pid,
+                    now: self.now,
+                    resume: Some(resume),
+                    mailboxes: &mut self.mailboxes,
+                    queue: &mut self.queue,
+                    trace: &mut self.trace,
+                    tracing_enabled: self.tracing_enabled.load(Ordering::Relaxed),
+                    messages_sent: &mut self.messages_sent,
+                };
+                catch_unwind(AssertUnwindSafe(|| body.resume(&mut ctx)))
+            };
+            match step {
+                Err(payload) => {
+                    self.procs[pid.0].finished = true;
+                    self.error = Some(SimError::ProcessPanicked {
+                        name: self.procs[pid.0].name.clone(),
+                        message: panic_message(&*payload),
+                    });
+                    break;
+                }
+                Ok(Yield::Send { mbox, delay, msg }) => {
+                    self.messages_sent += 1;
+                    self.queue
+                        .push(self.now + delay, EventKind::Deliver { mbox, msg });
+                    resume = Resume::Resumed;
+                }
+                Ok(Yield::Timer(d)) => {
+                    self.checks.on_block(pid, PendingYield::Timer);
+                    self.queue.push(self.now + d, EventKind::Wake(pid));
+                    live = true;
+                    break;
+                }
+                Ok(Yield::Recv { mbox }) => {
+                    if let Some(msg) = self.mailboxes[mbox.0].pop() {
+                        resume = Resume::Message(Some(msg));
+                    } else {
+                        self.checks.on_block(pid, PendingYield::Recv);
+                        self.mailboxes[mbox.0].add_waiter(pid);
+                        self.procs[pid.0].blocked_on = Some(mbox);
+                        live = true;
+                        break;
+                    }
+                }
+                Ok(Yield::RecvDeadline { mbox, deadline }) => {
+                    if let Some(msg) = self.mailboxes[mbox.0].pop() {
+                        resume = Resume::Message(Some(msg));
+                    } else if deadline <= self.now {
+                        // Already expired: one immediate poll came up empty.
+                        resume = Resume::Message(None);
+                    } else {
+                        self.checks.on_block(pid, PendingYield::RecvDeadline);
+                        self.mailboxes[mbox.0].add_waiter(pid);
+                        self.procs[pid.0].blocked_on = Some(mbox);
+                        let generation = self.procs[pid.0].timer_gen;
+                        self.procs[pid.0].armed_timer = Some(generation);
+                        self.queue
+                            .push(deadline, EventKind::Timer { pid, generation });
+                        live = true;
+                        break;
+                    }
+                }
+                Ok(Yield::Done) => {
+                    self.procs[pid.0].finished = true;
+                    self.procs[pid.0].finish_time = Some(self.now);
+                    break;
+                }
+            }
+        }
+        if live {
+            #[allow(irrefutable_let_patterns)] // refutable only with legacy-threads
+            let Runner::Stackless { body: slot } = &mut self.procs[pid.0].runner
+            else {
+                unreachable!("runner flavour changed mid-dispatch");
+            };
+            *slot = Some(body);
+        }
+    }
+
+    /// Grant execution to a threaded `pid` with `first` as the answer to
+    /// whatever it was blocked on, then service its requests until it
+    /// blocks again.
+    #[cfg(feature = "legacy-threads")]
     fn service(&mut self, pid: ProcessId, first: Response) {
-        if self.procs[pid.0].resp_tx.send(first).is_err() {
+        let Runner::Thread { resp_tx, .. } = &self.procs[pid.0].runner else {
+            unreachable!("service on a stackless process");
+        };
+        if resp_tx.send(first).is_err() {
             // The thread died without telling us; treat as a panic.
             self.error = Some(SimError::ProcessPanicked {
                 name: self.procs[pid.0].name.clone(),
@@ -417,6 +778,7 @@ impl Simulation {
             );
             match req {
                 Request::Advance(d) => {
+                    self.checks.on_block(pid, PendingYield::Timer);
                     self.queue.push(self.now + d, EventKind::Wake(pid));
                     return;
                 }
@@ -440,6 +802,7 @@ impl Simulation {
                             },
                         );
                     } else {
+                        self.checks.on_block(pid, PendingYield::Recv);
                         self.mailboxes[mbox.0].add_waiter(pid);
                         self.procs[pid.0].blocked_on = Some(mbox);
                         return;
@@ -464,6 +827,7 @@ impl Simulation {
                             },
                         );
                     } else {
+                        self.checks.on_block(pid, PendingYield::RecvDeadline);
                         self.mailboxes[mbox.0].add_waiter(pid);
                         self.procs[pid.0].blocked_on = Some(mbox);
                         let generation = self.procs[pid.0].timer_gen;
@@ -499,8 +863,12 @@ impl Simulation {
         }
     }
 
+    #[cfg(feature = "legacy-threads")]
     fn reply(&mut self, pid: ProcessId, resp: Response) {
-        if self.procs[pid.0].resp_tx.send(resp).is_err() {
+        let Runner::Thread { resp_tx, .. } = &self.procs[pid.0].runner else {
+            unreachable!("reply to a stackless process");
+        };
+        if resp_tx.send(resp).is_err() {
             self.error = Some(SimError::ProcessPanicked {
                 name: self.procs[pid.0].name.clone(),
                 message: "process thread exited outside the protocol".into(),

@@ -10,14 +10,22 @@
 //!
 //! ## Execution model
 //!
-//! * Each simulated process is an OS thread, but the kernel grants execution
-//!   to **exactly one** process at a time, resuming whichever process has the
-//!   earliest pending event. The simulation is therefore sequential and
-//!   **bit-for-bit deterministic** regardless of host scheduling — ties at
-//!   equal virtual times break by event insertion order.
-//! * Virtual time only moves when a process calls
-//!   [`advance`](ProcessHandle::advance) (modelling computation) or blocks in
-//!   [`recv`](ProcessHandle::recv) (modelling waiting for a message).
+//! * Each simulated process is a **stackless state machine** owned by the
+//!   kernel ([`Simulation::spawn_process`] for an explicit [`Process`]
+//!   impl, [`Simulation::spawn_async`] for a compiler-generated one from an
+//!   `async fn`). The kernel grants execution to exactly one process at a
+//!   time, resuming whichever has the earliest pending event, so the
+//!   simulation is sequential and **bit-for-bit deterministic** — ties at
+//!   equal virtual times break by event insertion order (or the configured
+//!   [`TieBreak`]). No OS thread is spawned per rank, so simulations scale
+//!   to hundreds of thousands of processes.
+//! * The original one-OS-thread-per-process model
+//!   ([`Simulation::spawn`]) survives behind the on-by-default
+//!   `legacy-threads` feature; the two kernels share one event loop and
+//!   produce bit-identical event streams, which the differential
+//!   conformance suite enforces.
+//! * Virtual time only moves when a process advances it (modelling
+//!   computation) or blocks in a receive (modelling waiting for a message).
 //! * Messages are sent with an explicit delivery delay chosen by the caller —
 //!   latency *models* live above this crate (see the `netsim` crate).
 //!
@@ -29,14 +37,18 @@
 //! let mut sim = Simulation::new();
 //! let inbox = sim.create_mailbox();
 //!
-//! sim.spawn("sender", move |h| {
+//! sim.spawn_async("sender", move |h| async move {
 //!     for i in 0..3u64 {
-//!         h.advance(SimDuration::from_millis(10)); // compute
-//!         h.send(inbox, SimDuration::from_millis(4), i); // 4ms network
+//!         h.advance(SimDuration::from_millis(10)).await; // compute
+//!         h.send(inbox, SimDuration::from_millis(4), i).await; // 4ms network
 //!     }
 //! });
-//! let sum = sim.spawn("receiver", move |h| {
-//!     (0..3).map(|_| h.recv_as::<u64>(inbox)).sum::<u64>()
+//! let sum = sim.spawn_async("receiver", move |h| async move {
+//!     let mut sum = 0;
+//!     for _ in 0..3 {
+//!         sum += h.recv_as::<u64>(inbox).await;
+//!     }
+//!     sum
 //! });
 //!
 //! let report = sim.run().unwrap();
@@ -52,17 +64,21 @@ mod kernel;
 mod mailbox;
 mod process;
 pub mod rng;
+mod stackless;
 mod time;
 mod trace;
 
 pub use event::{EventKey, EventKind, EventQueue, Payload, TieBreak};
 pub use kernel::{preload_message, SimError, SimReport, Simulation};
 pub use mailbox::MailboxId;
-pub use process::{ProcessHandle, ProcessId, ProcessResult};
+#[cfg(feature = "legacy-threads")]
+pub use process::ProcessHandle;
+pub use process::{ProcessId, ProcessResult};
+pub use stackless::{AsyncHandle, ProcCtx, Process, Resume, Yield};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "legacy-threads"))]
 mod tests {
     use super::*;
 
@@ -468,5 +484,491 @@ mod tests {
         });
         let _ = sim.run();
         assert_eq!(r.take(), None);
+    }
+}
+
+#[cfg(test)]
+mod stackless_tests {
+    use super::*;
+
+    #[test]
+    fn empty_simulation_completes() {
+        let sim = Simulation::new();
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.events_processed, 0);
+    }
+
+    #[test]
+    fn async_process_advances_time() {
+        let mut sim = Simulation::new();
+        let t = sim.spawn_async("p", |h| async move {
+            h.advance(SimDuration::from_millis(3)).await;
+            h.advance(SimDuration::from_millis(4)).await;
+            h.now()
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(t.take(), Some(SimTime::from_nanos(7_000_000)));
+        assert_eq!(report.end_time, SimTime::from_nanos(7_000_000));
+    }
+
+    #[test]
+    fn async_message_latency_is_respected() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn_async("tx", move |h| async move {
+            h.send(mbox, SimDuration::from_millis(10), "hello").await;
+        });
+        let arrival = sim.spawn_async("rx", move |h| async move {
+            let _ = h.recv(mbox).await;
+            h.now()
+        });
+        sim.run().unwrap();
+        assert_eq!(arrival.take(), Some(SimTime::from_nanos(10_000_000)));
+    }
+
+    #[test]
+    fn async_try_recv_does_not_block_or_advance() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn_async("tx", move |h| async move {
+            h.send(mbox, SimDuration::from_millis(5), 1u8).await;
+        });
+        let seen = sim.spawn_async("rx", move |h| async move {
+            let early = h.try_recv_as::<u8>(mbox).await; // nothing delivered yet
+            h.advance(SimDuration::from_millis(6)).await;
+            let late = h.try_recv_as::<u8>(mbox).await; // delivered at 5ms
+            (early, late, h.now())
+        });
+        sim.run().unwrap();
+        let (early, late, now) = seen.take().unwrap();
+        assert_eq!(early, None);
+        assert_eq!(late, Some(1));
+        assert_eq!(now, SimTime::from_nanos(6_000_000));
+    }
+
+    #[test]
+    fn async_recv_deadline_times_out_at_the_exact_deadline() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        let out = sim.spawn_async("rx", move |h| async move {
+            let msg = h.recv_deadline(mbox, SimTime::from_nanos(7_000_000)).await;
+            (msg.is_none(), h.now())
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(out.take(), Some((true, SimTime::from_nanos(7_000_000))));
+        assert_eq!(report.timers_fired, 1);
+        assert_eq!(report.end_time, SimTime::from_nanos(7_000_000));
+    }
+
+    #[test]
+    fn async_recv_deadline_rearms_cleanly_across_waits() {
+        // Mirror of the threaded pin: alternate timeouts and arrivals on one
+        // process; each wait arms a fresh timer generation, and cancelled
+        // generations stay dead.
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn_async("tx", move |h| async move {
+            h.advance(SimDuration::from_millis(5)).await;
+            h.send(mbox, SimDuration::ZERO, 1u32).await;
+            h.advance(SimDuration::from_millis(10)).await;
+            h.send(mbox, SimDuration::ZERO, 2u32).await;
+        });
+        let out = sim.spawn_async("rx", move |h| async move {
+            let mut log = Vec::new();
+            for _ in 0..5 {
+                let deadline = h.now() + SimDuration::from_millis(4);
+                let got = h.recv_deadline_as::<u32>(mbox, deadline).await;
+                log.push((got, h.now().as_nanos()));
+            }
+            log
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(
+            out.take(),
+            Some(vec![
+                (None, 4_000_000),
+                (Some(1), 5_000_000),
+                (None, 9_000_000),
+                (None, 13_000_000),
+                (Some(2), 15_000_000),
+            ])
+        );
+        assert_eq!(report.timers_fired, 3);
+    }
+
+    #[test]
+    fn async_deadlock_is_detected() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        sim.spawn_async("starved", move |h| async move {
+            h.recv(mbox).await;
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].0, "starved");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn async_process_panic_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn_async("bad", |h| async move {
+            h.advance(SimDuration::from_millis(1)).await;
+            panic!("boom at {:?}", h.now());
+        });
+        let mbox = sim.create_mailbox();
+        sim.spawn_async("bystander", move |h| async move {
+            h.recv(mbox).await;
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn awaiting_a_foreign_future_is_reported_as_a_panic() {
+        let mut sim = Simulation::new();
+        sim.spawn_async("foreign", |_h| async move {
+            std::future::pending::<()>().await;
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "foreign");
+                assert!(message.contains("foreign future"), "got: {message}");
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn async_traces_are_recorded_when_enabled() {
+        let mut sim = Simulation::new();
+        sim.enable_tracing();
+        sim.spawn_async("p", |h| async move {
+            h.trace("start").await;
+            h.advance(SimDuration::from_millis(1)).await;
+            h.trace("end").await;
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.trace.len(), 2);
+        assert_eq!(report.trace[0].label, "start");
+        assert_eq!(report.trace[1].time, SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn async_mailbox_created_inside_process() {
+        let mut sim = Simulation::new();
+        let ctl = sim.create_mailbox();
+        sim.spawn_async("owner", move |h| async move {
+            let mine = h.create_mailbox().await;
+            h.send(ctl, SimDuration::ZERO, mine).await;
+            let v = h.recv_as::<u16>(mine).await;
+            assert_eq!(v, 77);
+        });
+        sim.spawn_async("peer", move |h| async move {
+            let dest = h.recv_as::<MailboxId>(ctl).await;
+            h.send(dest, SimDuration::from_millis(1), 77u16).await;
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn preloaded_messages_reach_async_processes() {
+        let mut sim = Simulation::new();
+        let mbox = sim.create_mailbox();
+        preload_message(&mut sim, mbox, SimTime::from_nanos(500), 9u8);
+        let got = sim.spawn_async("rx", move |h| async move {
+            (h.recv_as::<u8>(mbox).await, h.now())
+        });
+        sim.run().unwrap();
+        assert_eq!(got.take(), Some((9, SimTime::from_nanos(500))));
+    }
+
+    /// A hand-written [`Process`] state machine: ping-pong against an async
+    /// echo peer, exercising `Yield::Send`, `Yield::Recv` and
+    /// [`ProcCtx::take_resume`] directly.
+    struct Pinger {
+        tx: MailboxId,
+        rx: MailboxId,
+        sent: u64,
+        rounds: u64,
+        awaiting_echo: bool,
+    }
+
+    impl Process for Pinger {
+        fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Yield {
+            if self.awaiting_echo {
+                match ctx.take_resume() {
+                    Resume::Message(Some(p)) => {
+                        let echo = *p.downcast::<u64>().unwrap();
+                        assert_eq!(echo, (self.sent - 1) * 2);
+                        self.awaiting_echo = false;
+                    }
+                    Resume::Start | Resume::Resumed => {
+                        // First entry or post-send resume: re-issue recv.
+                        return Yield::Recv { mbox: self.rx };
+                    }
+                    Resume::Message(None) => unreachable!("no deadline armed"),
+                }
+            }
+            if self.sent == self.rounds {
+                return Yield::Done;
+            }
+            ctx.send(self.tx, SimDuration::from_millis(1), self.sent);
+            self.sent += 1;
+            self.awaiting_echo = true;
+            Yield::Recv { mbox: self.rx }
+        }
+    }
+
+    #[test]
+    fn hand_written_process_ping_pong() {
+        let mut sim = Simulation::new();
+        let a_box = sim.create_mailbox();
+        let b_box = sim.create_mailbox();
+        sim.spawn_process(
+            "pinger",
+            Pinger {
+                tx: b_box,
+                rx: a_box,
+                sent: 0,
+                rounds: 5,
+                awaiting_echo: false,
+            },
+        );
+        sim.spawn_async("echo", move |h| async move {
+            for _ in 0..5 {
+                let v = h.recv_as::<u64>(b_box).await;
+                h.send(a_box, SimDuration::from_millis(1), v * 2).await;
+            }
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_nanos(10_000_000));
+        assert_eq!(report.messages_delivered, 10);
+    }
+
+    /// One mixed workload, used below to prove the stackless and threaded
+    /// kernels produce bit-identical reports.
+    fn mesh_report_stackless(tie: TieBreak, checks: bool) -> (u64, u64, u64, u64, SimTime) {
+        let mut sim = Simulation::new();
+        sim.set_tie_break(tie);
+        if checks {
+            sim.enable_scheduling_checks();
+        }
+        let boxes: Vec<_> = (0..4).map(|_| sim.create_mailbox()).collect();
+        for me in 0..4usize {
+            let boxes = boxes.clone();
+            sim.spawn_async(format!("p{me}"), move |h| async move {
+                for round in 0..20u64 {
+                    for (k, b) in boxes.iter().enumerate() {
+                        if k != me {
+                            h.send(
+                                *b,
+                                SimDuration::from_micros(100 + (me as u64) * 7 + round),
+                                (me, round),
+                            )
+                            .await;
+                        }
+                    }
+                    h.advance(SimDuration::from_micros(50 + me as u64)).await;
+                    for _ in 0..3 {
+                        let deadline = h.now() + SimDuration::from_micros(40);
+                        if h.recv_deadline(boxes[me], deadline).await.is_none() {
+                            let _ = h.recv(boxes[me]).await;
+                        }
+                    }
+                }
+            });
+        }
+        let r = sim.run().unwrap();
+        (
+            r.events_processed,
+            r.messages_delivered,
+            r.messages_sent,
+            r.timers_fired,
+            r.end_time,
+        )
+    }
+
+    #[cfg(feature = "legacy-threads")]
+    fn mesh_report_threaded(tie: TieBreak) -> (u64, u64, u64, u64, SimTime) {
+        let mut sim = Simulation::new();
+        sim.set_tie_break(tie);
+        let boxes: Vec<_> = (0..4).map(|_| sim.create_mailbox()).collect();
+        for me in 0..4usize {
+            let boxes = boxes.clone();
+            sim.spawn(format!("p{me}"), move |h| {
+                for round in 0..20u64 {
+                    for (k, b) in boxes.iter().enumerate() {
+                        if k != me {
+                            h.send(
+                                *b,
+                                SimDuration::from_micros(100 + (me as u64) * 7 + round),
+                                (me, round),
+                            );
+                        }
+                    }
+                    h.advance(SimDuration::from_micros(50 + me as u64));
+                    for _ in 0..3 {
+                        let deadline = h.now() + SimDuration::from_micros(40);
+                        if h.recv_deadline(boxes[me], deadline).is_none() {
+                            let _ = h.recv(boxes[me]);
+                        }
+                    }
+                }
+            });
+        }
+        let r = sim.run().unwrap();
+        (
+            r.events_processed,
+            r.messages_delivered,
+            r.messages_sent,
+            r.timers_fired,
+            r.end_time,
+        )
+    }
+
+    #[test]
+    fn stackless_determinism_identical_reports() {
+        assert_eq!(
+            mesh_report_stackless(TieBreak::Fifo, false),
+            mesh_report_stackless(TieBreak::Fifo, false)
+        );
+    }
+
+    #[test]
+    fn scheduling_oracle_accepts_a_legal_run() {
+        // The oracle must be silent on a workload that exercises every
+        // grant kind (start, timer, message, deadline timeout).
+        assert_eq!(
+            mesh_report_stackless(TieBreak::Fifo, true),
+            mesh_report_stackless(TieBreak::Fifo, false)
+        );
+    }
+
+    #[cfg(feature = "legacy-threads")]
+    #[test]
+    fn threaded_and_stackless_reports_are_bit_identical() {
+        for tie in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(0xC0FFEE)] {
+            assert_eq!(
+                mesh_report_stackless(tie, false),
+                mesh_report_threaded(tie),
+                "kernels diverged under {tie:?}"
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Same-timestamp Timer-vs-Deliver tie-break pin (all TieBreak modes)
+    // -----------------------------------------------------------------
+
+    /// Local replica of the event-queue tie function, used to *predict*
+    /// which of two same-timestamp events pops first so the pin below is
+    /// principled rather than a recorded accident.
+    fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn tie_value(tie: TieBreak, seq: u64) -> u64 {
+        match tie {
+            TieBreak::Fifo => 0,
+            TieBreak::Lifo => u64::MAX - seq,
+            TieBreak::Seeded(salt) => splitmix64(seq ^ salt),
+        }
+    }
+
+    /// Predict whether the deadline timer beats the delivery when both are
+    /// scheduled for the same instant. Event seqs: 0/1 are the two start
+    /// wakes (rx first); whichever process runs first at t=0 enqueues its
+    /// 5 ms event (Timer for rx, Deliver for tx) with seq 2, the other
+    /// with seq 3.
+    fn predict_timer_wins(tie: TieBreak) -> bool {
+        let rx_first_at_zero = (tie_value(tie, 0), 0) <= (tie_value(tie, 1), 1);
+        let (timer_seq, deliver_seq) = if rx_first_at_zero { (2, 3) } else { (3, 2) };
+        (tie_value(tie, timer_seq), timer_seq) < (tie_value(tie, deliver_seq), deliver_seq)
+    }
+
+    fn timer_vs_deliver_stackless(tie: TieBreak) -> (Option<u8>, u64, u64) {
+        let mut sim = Simulation::new();
+        sim.set_tie_break(tie);
+        let mbox = sim.create_mailbox();
+        let got = sim.spawn_async("rx", move |h| async move {
+            h.recv_deadline_as::<u8>(mbox, SimTime::from_nanos(5_000_000))
+                .await
+        });
+        sim.spawn_async("tx", move |h| async move {
+            h.send(mbox, SimDuration::from_millis(5), 7u8).await;
+        });
+        let report = sim.run().unwrap();
+        (
+            got.take().unwrap(),
+            report.timers_fired,
+            report.messages_delivered,
+        )
+    }
+
+    #[cfg(feature = "legacy-threads")]
+    fn timer_vs_deliver_threaded(tie: TieBreak) -> (Option<u8>, u64, u64) {
+        let mut sim = Simulation::new();
+        sim.set_tie_break(tie);
+        let mbox = sim.create_mailbox();
+        let got = sim.spawn("rx", move |h| {
+            h.recv_deadline_as::<u8>(mbox, SimTime::from_nanos(5_000_000))
+        });
+        sim.spawn("tx", move |h| {
+            h.send(mbox, SimDuration::from_millis(5), 7u8);
+        });
+        let report = sim.run().unwrap();
+        (
+            got.take().unwrap(),
+            report.timers_fired,
+            report.messages_delivered,
+        )
+    }
+
+    #[test]
+    fn timer_vs_deliver_tiebreak_is_pinned_under_all_modes() {
+        for tie in [
+            TieBreak::Fifo,
+            TieBreak::Lifo,
+            TieBreak::Seeded(0),
+            TieBreak::Seeded(1),
+            TieBreak::Seeded(0xDEAD_BEEF),
+        ] {
+            let (got, timers, delivered) = timer_vs_deliver_stackless(tie);
+            assert_eq!(delivered, 1, "message always reaches the mailbox");
+            if predict_timer_wins(tie) {
+                assert_eq!(got, None, "{tie:?}: timer pops first => timeout");
+                assert_eq!(timers, 1, "{tie:?}");
+            } else {
+                assert_eq!(got, Some(7), "{tie:?}: delivery pops first => message");
+                assert_eq!(timers, 0, "{tie:?}: beaten timer is stale");
+            }
+            #[cfg(feature = "legacy-threads")]
+            assert_eq!(
+                (got, timers, delivered),
+                timer_vs_deliver_threaded(tie),
+                "kernels diverged on the {tie:?} timer-vs-deliver tie"
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_timer_vs_deliver_times_out() {
+        // The concrete Fifo pin, spelled out: rx arms its 5 ms deadline
+        // before tx sends, so the timer event holds the lower seq and the
+        // receive times out even though the message lands the same instant.
+        assert_eq!(timer_vs_deliver_stackless(TieBreak::Fifo), (None, 1, 1));
     }
 }

@@ -1,27 +1,39 @@
-//! Simulated processes and their kernel handshake.
+//! Process identity, results, and the legacy threaded kernel handshake.
 //!
-//! Each simulated process runs on its own OS thread but the kernel grants
-//! execution to exactly one process at a time, so the simulation is
-//! sequential and deterministic regardless of OS scheduling. A process
-//! interacts with virtual time exclusively through its [`ProcessHandle`]:
-//! every handle call sends a [`Request`] to the kernel and blocks until the
-//! kernel answers with a [`Response`]. Blocking calls (`advance`, `recv`)
-//! suspend the process until the corresponding event fires.
+//! Under the `legacy-threads` feature, a simulated process may run on its
+//! own OS thread while the kernel grants execution to exactly one process
+//! at a time, so the simulation is sequential and deterministic regardless
+//! of OS scheduling. Such a process interacts with virtual time exclusively
+//! through its [`ProcessHandle`]: every handle call sends a [`Request`] to
+//! the kernel and blocks until the kernel answers with a [`Response`].
+//! Blocking calls (`advance`, `recv`) suspend the process until the
+//! corresponding event fires.
+//!
+//! The stackless execution model (the default — see
+//! [`crate::stackless`]) shares [`ProcessId`] and [`ProcessResult`] but
+//! replaces the channel handshake with direct kernel dispatch.
 
+#[cfg(feature = "legacy-threads")]
 use std::any::Any;
+#[cfg(feature = "legacy-threads")]
 use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(feature = "legacy-threads")]
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
+#[cfg(feature = "legacy-threads")]
 use crate::event::Payload;
+#[cfg(feature = "legacy-threads")]
 use crate::mailbox::MailboxId;
+#[cfg(feature = "legacy-threads")]
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a process within one simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ProcessId(pub usize);
 
-/// A request from a process to the kernel.
+/// A request from a threaded process to the kernel.
+#[cfg(feature = "legacy-threads")]
 pub(crate) enum Request {
     /// Let virtual time pass; models computation taking this long.
     Advance(SimDuration),
@@ -49,6 +61,7 @@ pub(crate) enum Request {
 }
 
 /// A kernel answer to a [`Request`].
+#[cfg(feature = "legacy-threads")]
 pub(crate) enum Response {
     /// Execution resumes; `now` is the current virtual time.
     Resumed { now: SimTime },
@@ -60,12 +73,14 @@ pub(crate) enum Response {
 
 /// Sentinel panic payload used to unwind process threads quietly when the
 /// simulation is torn down early (deadlock or another process panicking).
+#[cfg(feature = "legacy-threads")]
 pub(crate) struct SimShutdown;
 
 /// The view a simulated process has of the simulation kernel.
 ///
 /// Obtained as the argument of the closure passed to
 /// [`Simulation::spawn`](crate::Simulation::spawn).
+#[cfg(feature = "legacy-threads")]
 pub struct ProcessHandle {
     pid: ProcessId,
     req_tx: Sender<(ProcessId, Request)>,
@@ -74,6 +89,7 @@ pub struct ProcessHandle {
     tracing: Arc<AtomicBool>,
 }
 
+#[cfg(feature = "legacy-threads")]
 impl ProcessHandle {
     pub(crate) fn new(
         pid: ProcessId,

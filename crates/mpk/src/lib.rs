@@ -35,8 +35,9 @@ pub use backoff::Backoff;
 pub use codec::{decode_exact, encode_to_vec, encoded_len_matches_wire_size, WireCodec};
 pub use delta::DeltaFrame;
 pub use sim::{
-    run_sim_cluster, run_sim_cluster_with_faults, run_sim_cluster_with_options, Corruptor,
-    FaultSpec, SimClusterOptions, SimTransport,
+    run_sim_cluster, run_sim_cluster_with_faults, run_sim_cluster_with_options,
+    run_sim_proc_cluster, run_sim_proc_cluster_with_faults, run_sim_proc_cluster_with_options,
+    Corruptor, FaultSpec, SimClusterOptions, SimIo, SimTransport,
 };
 pub use socket::{
     connect_socket_cluster, connect_socket_cluster_with_faults, rejoin_socket_cluster,
@@ -48,7 +49,7 @@ pub use threads::{
     run_thread_cluster, run_thread_cluster_with_fault_spec, run_thread_cluster_with_faults,
     ThreadClusterOptions, ThreadTransport,
 };
-pub use transport::Transport;
+pub use transport::{AsyncTransport, Transport};
 pub use types::{Envelope, FaultCounters, Rank, Tag, WireSize, HEADER_BYTES};
 
 #[cfg(test)]

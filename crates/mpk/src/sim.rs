@@ -6,7 +6,8 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use desim::{
-    MailboxId, ProcessHandle, SimDuration, SimError, SimReport, SimTime, Simulation, TieBreak,
+    AsyncHandle, MailboxId, ProcessHandle, SimDuration, SimError, SimReport, SimTime, Simulation,
+    TieBreak,
 };
 use netsim::{
     ClusterSpec, CrashPlan, FaultModel, LoadModel, MachineSpec, MsgCtx, NetworkModel, NoFaults,
@@ -14,6 +15,10 @@ use netsim::{
 use obs::{Mark, Recorder};
 use parking_lot::Mutex;
 
+// `AsyncTransport` is deliberately referenced by path, not imported: with
+// both traits in scope, every method call on a concrete `Transport` type
+// (which the blanket impl also makes an `AsyncTransport`) would be
+// ambiguous.
 use crate::transport::Transport;
 use crate::types::{Envelope, FaultCounters, Rank, Tag, WireSize, HEADER_BYTES};
 
@@ -279,7 +284,7 @@ impl<M: WireSize + Clone + Send + 'static> Transport for SimTransport<'_, '_, M>
     }
 
     fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<M>> {
-        if let Some(env) = self.try_recv() {
+        if let Some(env) = Transport::try_recv(self) {
             return Some(env);
         }
         if timeout == SimDuration::ZERO {
@@ -329,6 +334,286 @@ impl<M: WireSize + Clone + Send + 'static> Transport for SimTransport<'_, '_, M>
     fn sleep(&mut self, d: SimDuration) {
         if d > SimDuration::ZERO {
             self.h.advance(d);
+        }
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.shared.lock().counters[self.rank.0]
+    }
+
+    fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
+        self.rec.as_deref_mut()
+    }
+}
+
+/// A rank's endpoint on a simulated cluster, for *stackless* ranks.
+///
+/// The async twin of [`SimTransport`]: created by [`run_sim_proc_cluster`]
+/// and moved into the per-rank `async` body. Where `SimTransport` drives a
+/// `ProcessHandle` (one parked OS thread per rank), `SimIo` drives an
+/// [`AsyncHandle`] — each `.await` suspends the rank's state machine into
+/// the `desim` event kernel, so thousands of ranks share one OS thread.
+///
+/// Every modelled effect (fate-before-network ordering, crash-window drops,
+/// duplicate copies re-consulting the medium, load-scaled compute, telemetry
+/// marks) is line-for-line the same as [`SimTransport`]'s, which is what
+/// makes runs on the two kernels bit-identical.
+pub struct SimIo<M> {
+    h: AsyncHandle,
+    rank: Rank,
+    size: usize,
+    machine: MachineSpec,
+    mailboxes: Arc<Vec<MailboxId>>,
+    shared: Arc<Mutex<SharedNet<M>>>,
+    rec: Option<Box<dyn Recorder>>,
+}
+
+impl<M: Send + 'static> SimIo<M> {
+    /// Record a trace annotation (visible in the [`SimReport`] if tracing
+    /// was enabled).
+    pub async fn trace(&mut self, label: impl Into<String>) {
+        self.h.trace(label).await;
+    }
+
+    /// Lazily-built trace annotation; free when tracing is disabled.
+    pub async fn trace_with(&mut self, label: impl FnOnce() -> String) {
+        self.h.trace_with(label).await;
+    }
+
+    /// The capacity of the machine this rank runs on.
+    pub fn machine(&self) -> MachineSpec {
+        self.machine
+    }
+
+    /// Attach a structured telemetry sink for this rank (see
+    /// [`SimTransport::set_recorder`]).
+    pub fn set_recorder(&mut self, rec: Box<dyn Recorder>) {
+        self.rec = Some(rec);
+    }
+}
+
+impl<M: WireSize + Clone + Send + 'static> crate::transport::AsyncTransport for SimIo<M> {
+    type Msg = M;
+
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    async fn send(&mut self, to: Rank, tag: Tag, msg: M) {
+        assert!(to.0 < self.size, "send to out-of-range rank {to}");
+        assert_ne!(to, self.rank, "self-sends are not modelled");
+        let bytes = msg.wire_size() + HEADER_BYTES;
+        let ctx = MsgCtx {
+            src: self.rank.0,
+            dst: to.0,
+            bytes,
+            now: self.h.now(),
+        };
+        // Fate first, then the network: a dropped message never touches
+        // the medium, so fault-free runs see the identical delay stream.
+        let (fate, delay) = {
+            let mut sh = self.shared.lock();
+            let fate = sh.faults.model.fate(&ctx);
+            let down = !sh.faults.crashes.is_empty() && sh.faults.crashes.is_down(to.0, ctx.now);
+            if !fate.deliver || down {
+                sh.counters[self.rank.0].dropped += 1;
+                drop(sh);
+                if let Some(r) = self.rec.as_deref_mut() {
+                    let t_ns = self.h.now().as_nanos();
+                    let rank = self.rank.0 as u32;
+                    r.mark(
+                        rank,
+                        t_ns,
+                        Mark::MsgSent {
+                            to: to.0 as u32,
+                            bytes: bytes as u64,
+                        },
+                    );
+                    r.mark(
+                        rank,
+                        t_ns,
+                        Mark::MessageDropped {
+                            to: to.0 as u32,
+                            bytes: bytes as u64,
+                        },
+                    );
+                }
+                return;
+            }
+            sh.counters[self.rank.0].delivered += 1;
+            if fate.extra_copies > 0 {
+                sh.counters[self.rank.0].duplicated += u64::from(fate.extra_copies);
+            }
+            (fate, sh.net.delay(&ctx))
+        };
+        let mut msg = msg;
+        if fate.corrupt_amp > 0.0 {
+            let mut sh = self.shared.lock();
+            sh.corrupt_salt = sh.corrupt_salt.wrapping_add(1);
+            let salt = sh.corrupt_salt;
+            if let Some(c) = sh.faults.corruptor.as_mut() {
+                c(&mut msg, fate.corrupt_amp, salt);
+            }
+        }
+        if let Some(r) = self.rec.as_deref_mut() {
+            let t_ns = self.h.now().as_nanos();
+            let rank = self.rank.0 as u32;
+            r.mark(
+                rank,
+                t_ns,
+                Mark::MsgSent {
+                    to: to.0 as u32,
+                    bytes: bytes as u64,
+                },
+            );
+            if fate.extra_copies > 0 {
+                r.mark(
+                    rank,
+                    t_ns,
+                    Mark::MessageDuplicated {
+                        to: to.0 as u32,
+                        copies: fate.extra_copies,
+                    },
+                );
+            }
+        }
+        // Each extra copy re-consults the network: duplicates occupy the
+        // medium like any other message.
+        for _ in 0..fate.extra_copies {
+            let d = self.shared.lock().net.delay(&ctx);
+            self.h
+                .send(
+                    self.mailboxes[to.0],
+                    d,
+                    Envelope {
+                        src: self.rank,
+                        tag,
+                        msg: msg.clone(),
+                    },
+                )
+                .await;
+        }
+        self.h
+            .send(
+                self.mailboxes[to.0],
+                delay,
+                Envelope {
+                    src: self.rank,
+                    tag,
+                    msg,
+                },
+            )
+            .await;
+    }
+
+    async fn try_recv(&mut self) -> Option<Envelope<M>> {
+        let env = self
+            .h
+            .try_recv_as::<Envelope<M>>(self.mailboxes[self.rank.0])
+            .await?;
+        if let Some(r) = self.rec.as_deref_mut() {
+            let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+            r.mark(
+                self.rank.0 as u32,
+                self.h.now().as_nanos(),
+                Mark::MsgRecv {
+                    from: env.src.0 as u32,
+                    bytes,
+                },
+            );
+        }
+        Some(env)
+    }
+
+    async fn recv(&mut self) -> Envelope<M> {
+        let env = self
+            .h
+            .recv_as::<Envelope<M>>(self.mailboxes[self.rank.0])
+            .await;
+        if let Some(r) = self.rec.as_deref_mut() {
+            let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+            r.mark(
+                self.rank.0 as u32,
+                self.h.now().as_nanos(),
+                Mark::MsgRecv {
+                    from: env.src.0 as u32,
+                    bytes,
+                },
+            );
+        }
+        env
+    }
+
+    async fn compute(&mut self, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        let factor = self.shared.lock().load.factor(self.rank.0, self.h.now());
+        self.h
+            .advance(self.machine.ops_duration(ops).mul_f64(factor))
+            .await;
+    }
+
+    fn now(&self) -> SimTime {
+        self.h.now()
+    }
+
+    async fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<M>> {
+        if let Some(env) = crate::transport::AsyncTransport::try_recv(self).await {
+            return Some(env);
+        }
+        if timeout == SimDuration::ZERO {
+            return None;
+        }
+        // Event-driven timed receive: the kernel arms one deadline timer
+        // and wakes this process either at the exact arrival time of the
+        // next message or exactly at the deadline — never in between.
+        let armed_at = self.h.now();
+        let deadline = armed_at + timeout;
+        let env = self
+            .h
+            .recv_deadline_as::<Envelope<M>>(self.mailboxes[self.rank.0], deadline)
+            .await;
+        if let Some(r) = self.rec.as_deref_mut() {
+            let now = self.h.now();
+            let waited_ns = (now - armed_at).as_nanos();
+            match &env {
+                Some(env) => {
+                    let bytes = (env.msg.wire_size() + HEADER_BYTES) as u64;
+                    r.mark(
+                        self.rank.0 as u32,
+                        now.as_nanos(),
+                        Mark::RecvWakeup {
+                            from: env.src.0 as u32,
+                            waited_ns,
+                        },
+                    );
+                    r.mark(
+                        self.rank.0 as u32,
+                        now.as_nanos(),
+                        Mark::MsgRecv {
+                            from: env.src.0 as u32,
+                            bytes,
+                        },
+                    );
+                }
+                None => r.mark(
+                    self.rank.0 as u32,
+                    now.as_nanos(),
+                    Mark::TimerFired { waited_ns },
+                ),
+            }
+        }
+        env
+    }
+
+    async fn sleep(&mut self, d: SimDuration) {
+        if d > SimDuration::ZERO {
+            self.h.advance(d).await;
         }
     }
 
@@ -426,6 +711,11 @@ pub struct SimClusterOptions {
     /// under [`TieBreak::Lifo`]/[`TieBreak::Seeded`] to prove its result
     /// does not hinge on same-virtual-time delivery tie-breaks.
     pub tie_break: TieBreak,
+    /// Arm the kernel's scheduling-invariant oracle
+    /// ([`Simulation::enable_scheduling_checks`]): every grant and blocking
+    /// yield is validated, and a violation panics with a diagnostic. Used
+    /// by the property suites; off by default.
+    pub check_scheduling: bool,
 }
 
 /// [`run_sim_cluster_with_faults`] with explicit [`SimClusterOptions`]
@@ -446,6 +736,9 @@ where
     let mut sim = Simulation::new();
     if options.trace {
         sim.enable_tracing();
+    }
+    if options.check_scheduling {
+        sim.enable_scheduling_checks();
     }
     sim.set_tie_break(options.tie_break);
     let p = cluster.len();
@@ -477,6 +770,149 @@ where
                     _lifetime: PhantomData,
                 };
                 f(&mut t)
+            })
+        })
+        .collect();
+
+    let report = sim.run()?;
+    let outs = results
+        .iter()
+        .map(|pr| pr.take().expect("rank finished without a result"))
+        .collect();
+    Ok((outs, report))
+}
+
+/// [`run_sim_cluster`] on the stackless kernel: every rank is an `async`
+/// body suspended into the event heap instead of a parked OS thread, so the
+/// cluster scales to tens of thousands of ranks on one thread.
+///
+/// `f` is called once per rank (at spawn time, on the calling thread) to
+/// build that rank's future; the body itself first executes when the kernel
+/// grants time zero. With the same models and workload this produces the
+/// same schedule — bit for bit — as [`run_sim_cluster`].
+///
+/// # Example
+///
+/// ```
+/// use mpk::{run_sim_proc_cluster, AsyncTransport, Tag, Rank};
+/// use netsim::{ClusterSpec, ConstantLatency, Unloaded};
+/// use desim::SimDuration;
+///
+/// let cluster = ClusterSpec::homogeneous(3, 50.0);
+/// let (sums, report) = run_sim_proc_cluster::<u64, _, _, _>(
+///     &cluster,
+///     ConstantLatency(SimDuration::from_millis(1)),
+///     Unloaded,
+///     false,
+///     |mut t| async move {
+///         t.broadcast(Tag(0), t.rank().0 as u64).await;
+///         let mut sum = 0;
+///         for _ in 0..t.size() - 1 {
+///             sum += t.recv().await.msg;
+///         }
+///         sum
+///     },
+/// )
+/// .unwrap();
+/// assert_eq!(sums, vec![3, 2, 1]); // each rank sums the others' ids
+/// assert!(report.end_time.as_nanos() > 0);
+/// ```
+pub fn run_sim_proc_cluster<M, R, F, Fut>(
+    cluster: &ClusterSpec,
+    net: impl NetworkModel + 'static,
+    load: impl LoadModel + 'static,
+    trace: bool,
+    f: F,
+) -> Result<(Vec<R>, SimReport), SimError>
+where
+    M: WireSize + Clone + Send + 'static,
+    R: 'static,
+    F: Fn(SimIo<M>) -> Fut,
+    Fut: std::future::Future<Output = R> + 'static,
+{
+    run_sim_proc_cluster_with_faults(cluster, net, load, FaultSpec::none(), trace, f)
+}
+
+/// [`run_sim_proc_cluster`] with a fault layer (see
+/// [`run_sim_cluster_with_faults`] — identical semantics, stackless ranks).
+pub fn run_sim_proc_cluster_with_faults<M, R, F, Fut>(
+    cluster: &ClusterSpec,
+    net: impl NetworkModel + 'static,
+    load: impl LoadModel + 'static,
+    faults: FaultSpec<M>,
+    trace: bool,
+    f: F,
+) -> Result<(Vec<R>, SimReport), SimError>
+where
+    M: WireSize + Clone + Send + 'static,
+    R: 'static,
+    F: Fn(SimIo<M>) -> Fut,
+    Fut: std::future::Future<Output = R> + 'static,
+{
+    run_sim_proc_cluster_with_options(
+        cluster,
+        net,
+        load,
+        faults,
+        SimClusterOptions {
+            trace,
+            ..SimClusterOptions::default()
+        },
+        f,
+    )
+}
+
+/// [`run_sim_proc_cluster_with_faults`] with explicit [`SimClusterOptions`].
+pub fn run_sim_proc_cluster_with_options<M, R, F, Fut>(
+    cluster: &ClusterSpec,
+    net: impl NetworkModel + 'static,
+    load: impl LoadModel + 'static,
+    faults: FaultSpec<M>,
+    options: SimClusterOptions,
+    f: F,
+) -> Result<(Vec<R>, SimReport), SimError>
+where
+    M: WireSize + Clone + Send + 'static,
+    R: 'static,
+    F: Fn(SimIo<M>) -> Fut,
+    Fut: std::future::Future<Output = R> + 'static,
+{
+    let mut sim = Simulation::new();
+    if options.trace {
+        sim.enable_tracing();
+    }
+    if options.check_scheduling {
+        sim.enable_scheduling_checks();
+    }
+    sim.set_tie_break(options.tie_break);
+    let p = cluster.len();
+    // Mailboxes created in rank order, so MailboxId(r) == r — the same ids
+    // the threaded entry points allocate. Shared by Arc: at 100k ranks a
+    // per-rank Vec clone would be O(p²) memory traffic.
+    let mailboxes: Arc<Vec<MailboxId>> = Arc::new((0..p).map(|_| sim.create_mailbox()).collect());
+    let shared = Arc::new(Mutex::new(SharedNet {
+        net: Box::new(net),
+        load: Box::new(load),
+        faults,
+        counters: vec![FaultCounters::default(); p],
+        corrupt_salt: 0,
+    }));
+
+    let results: Vec<_> = (0..p)
+        .map(|r| {
+            let machine = cluster.machines()[r];
+            let io_mailboxes = Arc::clone(&mailboxes);
+            let io_shared = Arc::clone(&shared);
+            sim.spawn_async(format!("rank{r}"), |h| {
+                f(SimIo {
+                    h,
+                    rank: Rank(r),
+                    size: p,
+                    machine,
+                    mailboxes: io_mailboxes,
+                    shared: io_shared,
+                    rec: None,
+                })
             })
         })
         .collect();
@@ -890,8 +1326,8 @@ mod tests {
                 Unloaded,
                 FaultSpec::none(),
                 SimClusterOptions {
-                    trace: false,
                     tie_break: TieBreak::Seeded(salt),
+                    ..SimClusterOptions::default()
                 },
                 |t| {
                     // Every rank broadcasts at t=0: all deliveries are
@@ -906,6 +1342,90 @@ mod tests {
         assert_eq!(run(3), run(3), "same salt must reproduce exactly");
         // Sums are order-independent, so even reordered deliveries agree.
         assert_eq!(run(3).0, run(4).0);
+    }
+
+    #[test]
+    fn stackless_cluster_matches_threaded_bit_for_bit() {
+        // The same workload — broadcasts, contended medium, compute, timed
+        // receives — on the threaded and the stackless kernel must produce
+        // identical results, end times, and kernel counters.
+        let cluster = ClusterSpec::paper_model_example();
+        let net = || SharedMedium::new(SimDuration::from_micros(200), 1.25e6);
+        let threaded = run_sim_cluster::<(u64, f64), _, _>(
+            &cluster,
+            net(),
+            Unloaded,
+            false,
+            |t: &mut SimTransport<'_, '_, (u64, f64)>| {
+                let mut acc = 0.0f64;
+                for round in 0..5u64 {
+                    t.broadcast(Tag(0), (round, t.rank().0 as f64));
+                    for _ in 0..t.size() - 1 {
+                        acc += t.recv().msg.1;
+                    }
+                    t.compute(10_000);
+                }
+                // All messages are consumed: this exercises the timer path
+                // and must expire at exactly +50 us on both kernels.
+                assert!(t.recv_timeout(SimDuration::from_micros(50)).is_none());
+                (t.now().as_nanos(), acc)
+            },
+        )
+        .unwrap();
+        let stackless = run_sim_proc_cluster::<(u64, f64), _, _, _>(
+            &cluster,
+            net(),
+            Unloaded,
+            false,
+            |mut t| async move {
+                use crate::transport::AsyncTransport;
+                let mut acc = 0.0f64;
+                for round in 0..5u64 {
+                    t.broadcast(Tag(0), (round, t.rank().0 as f64)).await;
+                    for _ in 0..t.size() - 1 {
+                        acc += t.recv().await.msg.1;
+                    }
+                    t.compute(10_000).await;
+                }
+                assert!(t.recv_timeout(SimDuration::from_micros(50)).await.is_none());
+                (t.now().as_nanos(), acc)
+            },
+        )
+        .unwrap();
+        assert_eq!(threaded.0, stackless.0);
+        assert_eq!(threaded.1, stackless.1);
+    }
+
+    #[test]
+    fn stackless_cluster_supports_faults_and_scheduling_checks() {
+        use netsim::Loss;
+        let cluster = ClusterSpec::homogeneous(2, 10.0);
+        let (got, _) = run_sim_proc_cluster_with_options::<u64, _, _, _>(
+            &cluster,
+            ConstantLatency(SimDuration::from_millis(1)),
+            Unloaded,
+            FaultSpec::new(Loss::new(1.0, 1)),
+            SimClusterOptions {
+                check_scheduling: true,
+                ..SimClusterOptions::default()
+            },
+            |mut t| async move {
+                use crate::transport::AsyncTransport;
+                if t.rank().0 == 0 {
+                    for i in 0..10 {
+                        t.send(Rank(1), Tag(0), i).await;
+                    }
+                    t.fault_counters().dropped
+                } else {
+                    match t.recv_timeout(SimDuration::from_millis(50)).await {
+                        Some(_) => 99,
+                        None => 0,
+                    }
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(got, vec![10, 0]);
     }
 
     #[test]

@@ -101,3 +101,160 @@ pub trait Transport {
         }
     }
 }
+
+/// The `async` twin of [`Transport`]: same operations, same contracts, but
+/// potentially-blocking calls are `async fn`s.
+///
+/// This is the single interface the algorithm layer is written against
+/// (`speccore::run_speculative_aio`). It has two kinds of implementors:
+///
+/// * every blocking [`Transport`] — via the blanket impl below, whose
+///   futures resolve on first poll because the underlying calls block
+///   inline. Polling such a future once can therefore never return
+///   `Pending`, which is what lets the sync entry points drive an async
+///   driver to completion without an executor.
+/// * [`SimIo`](crate::SimIo) — the stackless virtual-time endpoint, whose
+///   futures suspend into the `desim` event kernel. Thousands of ranks
+///   share one OS thread.
+///
+/// Non-`async` methods (`rank`, `size`, `now`, `fault_counters`,
+/// `note_progress`, `recorder`) are identical to [`Transport`]'s and keep
+/// the same semantics.
+#[allow(async_fn_in_trait)] // single-threaded drivers; no Send bound wanted
+pub trait AsyncTransport {
+    /// Message payload type.
+    type Msg: Send + 'static;
+
+    /// This process's rank, in `0..size`.
+    fn rank(&self) -> Rank;
+
+    /// Number of cooperating processes.
+    fn size(&self) -> usize;
+
+    /// Asynchronously send `msg` to `to`. Resolves without virtual time
+    /// passing for the sender; delivery order between a fixed (src, dst)
+    /// pair with equal modelled delays is FIFO.
+    async fn send(&mut self, to: Rank, tag: Tag, msg: Self::Msg);
+
+    /// Take a message if one has already arrived. Never waits.
+    async fn try_recv(&mut self) -> Option<Envelope<Self::Msg>>;
+
+    /// Wait until a message arrives and take it.
+    async fn recv(&mut self) -> Envelope<Self::Msg>;
+
+    /// Wait until a message arrives or `timeout` elapses, whichever is
+    /// first; `None` on timeout. Same contract as
+    /// [`Transport::recv_timeout`], including the default fallback to the
+    /// unbounded receive on fault-free transports.
+    async fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<Self::Msg>> {
+        let _ = timeout;
+        Some(self.recv().await)
+    }
+
+    /// Let `d` pass without computing or receiving. Default: no-op.
+    async fn sleep(&mut self, d: SimDuration) {
+        let _ = d;
+    }
+
+    /// What the fault layer did to this rank's sends so far. All zeros on
+    /// transports without a fault layer (the default).
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
+
+    /// Perform `ops` operations' worth of computation.
+    async fn compute(&mut self, ops: u64);
+
+    /// Current time.
+    fn now(&self) -> SimTime;
+
+    /// Report this rank's progress (highest confirmed iteration) to
+    /// backends with a resume handshake. Default: no-op.
+    fn note_progress(&mut self, iter: u64) {
+        let _ = iter;
+    }
+
+    /// The structured telemetry sink attached to this endpoint, if any.
+    fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
+        None
+    }
+
+    /// Send `msg` to every other rank in ascending rank order (requires
+    /// `Msg: Clone`).
+    async fn broadcast(&mut self, tag: Tag, msg: Self::Msg)
+    where
+        Self::Msg: Clone,
+    {
+        let me = self.rank();
+        let n = self.size();
+        for k in 0..n {
+            if k != me.0 {
+                self.send(Rank(k), tag, msg.clone()).await;
+            }
+        }
+    }
+}
+
+/// Every blocking [`Transport`] is an [`AsyncTransport`] whose futures
+/// resolve on first poll. Every method — including the ones `Transport`
+/// defaults — delegates explicitly (via UFCS, so there is no accidental
+/// recursion into this impl), which guarantees a backend's overrides of
+/// `recv_timeout`/`sleep`/`fault_counters`/`broadcast`/… are honoured.
+impl<T: Transport> AsyncTransport for T {
+    type Msg = T::Msg;
+
+    fn rank(&self) -> Rank {
+        Transport::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        Transport::size(self)
+    }
+
+    async fn send(&mut self, to: Rank, tag: Tag, msg: Self::Msg) {
+        Transport::send(self, to, tag, msg);
+    }
+
+    async fn try_recv(&mut self) -> Option<Envelope<Self::Msg>> {
+        Transport::try_recv(self)
+    }
+
+    async fn recv(&mut self) -> Envelope<Self::Msg> {
+        Transport::recv(self)
+    }
+
+    async fn recv_timeout(&mut self, timeout: SimDuration) -> Option<Envelope<Self::Msg>> {
+        Transport::recv_timeout(self, timeout)
+    }
+
+    async fn sleep(&mut self, d: SimDuration) {
+        Transport::sleep(self, d);
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        Transport::fault_counters(self)
+    }
+
+    async fn compute(&mut self, ops: u64) {
+        Transport::compute(self, ops);
+    }
+
+    fn now(&self) -> SimTime {
+        Transport::now(self)
+    }
+
+    fn note_progress(&mut self, iter: u64) {
+        Transport::note_progress(self, iter);
+    }
+
+    fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
+        Transport::recorder(self)
+    }
+
+    async fn broadcast(&mut self, tag: Tag, msg: Self::Msg)
+    where
+        Self::Msg: Clone,
+    {
+        Transport::broadcast(self, tag, msg);
+    }
+}

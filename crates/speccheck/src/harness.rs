@@ -6,11 +6,15 @@
 use crate::scenario::{SpecParams, SyntheticScenario};
 use desim::{SimDuration, SimTime, TieBreak};
 use mpk::{
-    run_sim_cluster_with_options, run_socket_cluster, run_socket_cluster_with_faults,
-    run_thread_cluster, run_thread_cluster_with_fault_spec, Envelope, FaultCounters, FaultSpec,
-    Rank, SimClusterOptions, SocketClusterOptions, Tag, ThreadClusterOptions, Transport,
+    run_sim_cluster_with_options, run_sim_proc_cluster_with_options, run_socket_cluster,
+    run_socket_cluster_with_faults, run_thread_cluster, run_thread_cluster_with_fault_spec,
+    Envelope, FaultCounters, FaultSpec, Rank, SimClusterOptions, SocketClusterOptions, Tag,
+    ThreadClusterOptions, Transport,
 };
-use speccore::{run_baseline, run_speculative, IterMsg, RunStats, SpecConfig};
+use speccore::{
+    run_baseline, run_baseline_aio, run_speculative, run_speculative_aio, IterMsg, RunStats,
+    SpecConfig,
+};
 
 /// What a conformance run reduces to: one state fingerprint and one
 /// [`RunStats`] per rank, plus the run's virtual end time (0 for thread
@@ -23,6 +27,39 @@ pub struct RunOutput {
     pub stats: Vec<RunStats>,
     /// Virtual end time in seconds (simulation runs only).
     pub elapsed: f64,
+    /// The simulation kernel's own counters (simulation runs only) —
+    /// compared bit-for-bit between the threaded and stackless kernels by
+    /// the differential suite.
+    pub kernel: Option<KernelReport>,
+}
+
+/// The comparable subset of [`desim::SimReport`]: every kernel counter
+/// that must agree between the threaded and the stackless execution model
+/// for a run to count as bit-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelReport {
+    /// Virtual end time in nanoseconds.
+    pub end_time_ns: u64,
+    /// Events the kernel dispatched.
+    pub events_processed: u64,
+    /// Messages scheduled for delivery.
+    pub messages_sent: u64,
+    /// Messages that reached a mailbox.
+    pub messages_delivered: u64,
+    /// Deadline timers that expired and woke a timed receive.
+    pub timers_fired: u64,
+}
+
+impl KernelReport {
+    fn from_report(report: &desim::SimReport) -> Self {
+        KernelReport {
+            end_time_ns: report.end_time.as_nanos(),
+            events_processed: report.events_processed,
+            messages_sent: report.messages_sent,
+            messages_delivered: report.messages_delivered,
+            timers_fired: report.timers_fired,
+        }
+    }
 }
 
 /// How to drive the app: the plain non-speculative loop or the
@@ -132,6 +169,25 @@ pub fn drive_synthetic<T: Transport<Msg = IterMsg<Vec<f64>>>>(
     (app.fingerprint(), stats)
 }
 
+/// The `async` twin of [`drive_synthetic`]: the same one definition of the
+/// workload run, for stackless (suspending) transports.
+pub async fn drive_synthetic_aio<T: mpk::AsyncTransport<Msg = IterMsg<Vec<f64>>>>(
+    t: &mut T,
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+) -> (u64, RunStats) {
+    let ranges = sc.ranges();
+    let mut app = workloads::SyntheticApp::new(sc.n, &ranges, t.rank().0, sc.app_cfg(theta));
+    let stats = match mode {
+        DriverMode::Baseline => run_baseline_aio(t, &mut app, sc.iters).await,
+        DriverMode::Speculative(cfg) => {
+            run_speculative_aio(t, &mut app, sc.iters, cfg.clone()).await
+        }
+    };
+    (app.fingerprint(), stats)
+}
+
 /// Run the scenario on the virtual-time simulator, fault-free, under the
 /// given event tie-break.
 pub fn run_sim(sc: &SyntheticScenario, theta: f64, mode: &DriverMode, tie: TieBreak) -> RunOutput {
@@ -166,6 +222,59 @@ pub fn run_sim_with_faults(
         fingerprints,
         stats,
         elapsed: report.end_time.as_secs_f64(),
+        kernel: Some(KernelReport::from_report(&report)),
+    }
+}
+
+/// [`run_sim`] on the *stackless* kernel: every rank is a resumable state
+/// machine inside the event kernel (no OS thread per rank), with the
+/// kernel's scheduling-invariant oracle armed. Produces bit-identical
+/// output to [`run_sim`] — that is the tentpole claim the differential
+/// suite checks.
+pub fn run_sim_stackless(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    tie: TieBreak,
+) -> RunOutput {
+    run_sim_stackless_with_faults(sc, theta, mode, FaultSpec::none(), tie)
+}
+
+/// [`run_sim_stackless`] with an explicit fault spec and event tie-break.
+///
+/// Scheduling checks are always on in the stackless arms: they are cheap
+/// per-grant assertions, and running every differential case under the
+/// oracle is free coverage.
+pub fn run_sim_stackless_with_faults(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    faults: FaultSpec<IterMsg<Vec<f64>>>,
+    tie: TieBreak,
+) -> RunOutput {
+    let (outs, report) = run_sim_proc_cluster_with_options::<IterMsg<Vec<f64>>, _, _, _>(
+        &sc.cluster(),
+        sc.net(),
+        netsim::Unloaded,
+        faults,
+        SimClusterOptions {
+            tie_break: tie,
+            check_scheduling: true,
+            ..Default::default()
+        },
+        move |mut t| {
+            let scenario = sc.clone();
+            let mode = mode.clone();
+            async move { drive_synthetic_aio(&mut t, &scenario, theta, &mode).await }
+        },
+    )
+    .expect("generated scenario must complete");
+    let (fingerprints, stats) = outs.into_iter().unzip();
+    RunOutput {
+        fingerprints,
+        stats,
+        elapsed: report.end_time.as_secs_f64(),
+        kernel: Some(KernelReport::from_report(&report)),
     }
 }
 
@@ -244,6 +353,7 @@ pub fn run_sim_polled(
         fingerprints,
         stats,
         elapsed: report.end_time.as_secs_f64(),
+        kernel: Some(KernelReport::from_report(&report)),
     }
 }
 
@@ -262,6 +372,7 @@ pub fn run_thread(sc: &SyntheticScenario, theta: f64, mode: &DriverMode) -> RunO
         fingerprints,
         stats,
         elapsed: 0.0,
+        kernel: None,
     }
 }
 
@@ -288,6 +399,7 @@ pub fn run_thread_with_faults(
         fingerprints,
         stats,
         elapsed: 0.0,
+        kernel: None,
     }
 }
 
@@ -313,6 +425,7 @@ pub fn run_socket_with_faults(
         fingerprints,
         stats,
         elapsed: 0.0,
+        kernel: None,
     }
 }
 
@@ -334,6 +447,7 @@ pub fn run_socket(sc: &SyntheticScenario, theta: f64, mode: &DriverMode) -> RunO
         fingerprints,
         stats,
         elapsed: 0.0,
+        kernel: None,
     }
 }
 

@@ -115,21 +115,53 @@ impl SyntheticScenario {
 }
 
 /// Strategy for [`SyntheticScenario`] with domain-aware shrinking.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SyntheticScenarioStrategy;
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticScenarioStrategy {
+    /// Largest rank count the strategy will draw (inclusive).
+    max_p: usize,
+}
+
+impl Default for SyntheticScenarioStrategy {
+    fn default() -> Self {
+        SyntheticScenarioStrategy { max_p: 5 }
+    }
+}
 
 /// Draw a complete workload scenario: 2–5 ranks, 8–48 variables, 2–8
 /// iterations, a 1:1–5:1 machine ramp, 0–5 ms latency with optional
 /// jitter, and an occasional value jump.
 pub fn synthetic_scenario() -> SyntheticScenarioStrategy {
-    SyntheticScenarioStrategy
+    SyntheticScenarioStrategy::default()
+}
+
+/// [`synthetic_scenario`] with the rank-count axis widened to `max_p`
+/// (clamped to at least 2). Above the default ceiling of 5 the rank count
+/// is drawn log-uniformly — half the mass stays on small clusters where
+/// shrinking is cheap, but every doubling up to `max_p` (e.g. 4096) is hit
+/// with equal probability, which is what a scheduling-oracle sweep wants.
+/// Shrinking halves `p` toward 2, so a failing 4096-rank case walks down
+/// through 2048, 1024, … rather than replaying giant clusters.
+pub fn synthetic_scenario_up_to(max_p: usize) -> SyntheticScenarioStrategy {
+    SyntheticScenarioStrategy {
+        max_p: max_p.max(2),
+    }
 }
 
 impl Strategy for SyntheticScenarioStrategy {
     type Value = SyntheticScenario;
 
     fn sample(&self, rng: &mut TestRng) -> SyntheticScenario {
-        let p = 2 + rng.below(4) as usize;
+        // Keep the draw sequence for the default ceiling bit-identical to
+        // the historical strategy (one `below(4)` call) so checked-in
+        // proptest-regressions seeds replay the same scenarios.
+        let p = if self.max_p <= 5 {
+            2 + rng.below((self.max_p - 1) as u64) as usize
+        } else {
+            let span = (self.max_p - 1) as u64;
+            let bits = 64 - span.leading_zeros() as u64;
+            let k = rng.below(bits);
+            2 + rng.below((1u64 << (k + 1)).min(span)) as usize
+        };
         SyntheticScenario {
             p,
             n: p.max(8) + rng.below(40) as usize,
@@ -164,6 +196,10 @@ impl Strategy for SyntheticScenarioStrategy {
         // halve. Every candidate changes exactly one axis so the greedy
         // shrinker can attribute the failure.
         push(SyntheticScenario { p: 2, ..v.clone() });
+        push(SyntheticScenario {
+            p: (v.p / 2).max(2),
+            ..v.clone()
+        });
         push(SyntheticScenario {
             n: v.p.max(8),
             ..v.clone()

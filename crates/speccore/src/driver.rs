@@ -318,21 +318,26 @@ impl<S> DeltaState<S> {
 }
 
 /// Send one message, keeping the modelled byte/message tallies.
-fn send_msg<T, S>(transport: &mut T, stats: &mut RunStats, to: Rank, tag: Tag, msg: IterMsg<S>)
-where
+async fn send_msg<T, S>(
+    transport: &mut T,
+    stats: &mut RunStats,
+    to: Rank,
+    tag: Tag,
+    msg: IterMsg<S>,
+) where
     S: WireSize,
-    T: Transport<Msg = IterMsg<S>>,
+    T: mpk::AsyncTransport<Msg = IterMsg<S>>,
 {
     stats.bytes_sent += (HEADER_BYTES + msg.wire_size()) as u64;
     stats.messages_sent += 1;
-    transport.send(to, tag, msg);
+    transport.send(to, tag, msg).await;
 }
 
 /// Send a full snapshot to one peer (retransmit request/reply, crash
 /// recovery), resetting the sender-side shadow so the peer's stream
 /// restarts from a known baseline.
 #[allow(clippy::too_many_arguments)]
-fn send_full_state<T, A>(
+async fn send_full_state<T, A>(
     transport: &mut T,
     stats: &mut RunStats,
     app: &A,
@@ -344,7 +349,7 @@ fn send_full_state<T, A>(
 ) where
     A: SpeculativeApp,
     A::Shared: WireSize,
-    T: Transport<Msg = IterMsg<A::Shared>>,
+    T: mpk::AsyncTransport<Msg = IterMsg<A::Shared>>,
 {
     if dx.policy.is_some() {
         let capable = app.delta_extract(data, &mut dx.cur);
@@ -353,7 +358,7 @@ fn send_full_state<T, A>(
         shadow.clear();
         shadow.extend_from_slice(&dx.cur);
     }
-    send_msg(transport, stats, to, tag, IterMsg::full(iter, data.clone()));
+    send_msg(transport, stats, to, tag, IterMsg::full(iter, data.clone())).await;
 }
 
 /// Run the non-speculative baseline (the paper's Figure 1) for
@@ -367,10 +372,65 @@ where
     run_speculative(transport, app, total_iters, SpecConfig::baseline())
 }
 
+/// The `async` twin of [`run_baseline`]: the non-speculative Figure 1
+/// protocol on any [`mpk::AsyncTransport`].
+pub async fn run_baseline_aio<T, A>(transport: &mut T, app: &mut A, total_iters: u64) -> RunStats
+where
+    A: SpeculativeApp,
+    A::Shared: WireSize,
+    T: mpk::AsyncTransport<Msg = IterMsg<A::Shared>>,
+{
+    run_speculative_aio(transport, app, total_iters, SpecConfig::baseline()).await
+}
+
+/// Drive to completion a future that never suspends.
+///
+/// The blanket `AsyncTransport` impl for blocking transports performs every
+/// operation inline, so `run_speculative_aio`'s future over such a
+/// transport resolves on its first poll — this is the entire "executor"
+/// the sync entry points need. `Pending` here would mean the future
+/// awaited something other than a blocking transport operation, which is a
+/// driver bug, not a caller error.
+fn poll_ready<F: std::future::Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = std::task::Context::from_waker(std::task::Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        std::task::Poll::Ready(v) => v,
+        std::task::Poll::Pending => unreachable!("blocking transport returned Pending"),
+    }
+}
+
 /// Run the speculative driver (the paper's Figure 3, generalized over
 /// forward windows) for `total_iters` iterations.
-#[allow(clippy::needless_range_loop)] // rank indices couple several per-rank arrays
+///
+/// The body is [`run_speculative_aio`]; on a blocking [`Transport`] the
+/// async form completes in one poll, so this wrapper is zero-cost and
+/// bit-identical to the historical synchronous driver.
 pub fn run_speculative<T, A>(
+    transport: &mut T,
+    app: &mut A,
+    total_iters: u64,
+    config: SpecConfig,
+) -> RunStats
+where
+    A: SpeculativeApp,
+    A::Shared: WireSize,
+    T: Transport<Msg = IterMsg<A::Shared>>,
+{
+    poll_ready(run_speculative_aio(transport, app, total_iters, config))
+}
+
+/// The `async` speculative driver: [`run_speculative`]'s actual body,
+/// written once against [`mpk::AsyncTransport`].
+///
+/// On a blocking transport (every [`Transport`], via the blanket impl)
+/// the returned future completes on its first poll — which is exactly how
+/// the sync entry points drive it, no executor involved. On
+/// [`mpk::SimIo`] each `.await` suspends the rank's state machine into
+/// the `desim` event kernel, so thousands of ranks run the identical
+/// driver code on one OS thread.
+#[allow(clippy::needless_range_loop)] // rank indices couple several per-rank arrays
+pub async fn run_speculative_aio<T, A>(
     transport: &mut T,
     app: &mut A,
     total_iters: u64,
@@ -379,7 +439,7 @@ pub fn run_speculative<T, A>(
 where
     A: SpeculativeApp,
     A::Shared: WireSize,
-    T: Transport<Msg = IterMsg<A::Shared>>,
+    T: mpk::AsyncTransport<Msg = IterMsg<A::Shared>>,
 {
     let me = transport.rank();
     let p = transport.size();
@@ -473,11 +533,11 @@ where
         return stats;
     }
 
-    broadcast(transport, &mut stats, app, &mut dx, p, me, 0, app.shared());
+    broadcast(transport, &mut stats, app, &mut dx, p, me, 0, app.shared()).await;
 
     'main: while t_conf < total_iters {
         // Fold in everything that has arrived.
-        while let Some(env) = transport.try_recv() {
+        while let Some(env) = transport.try_recv().await {
             if ft.is_some() {
                 let src = env.src;
                 staleness[src.0] = 0;
@@ -514,7 +574,8 @@ where
                         DATA_TAG,
                         last_broadcast.0,
                         &last_broadcast.1,
-                    );
+                    )
+                    .await;
                 } else if env.tag == RETRANS_REQ_TAG {
                     // Re-send our latest broadcast; re-delivery is the ack.
                     send_full_state(
@@ -526,7 +587,8 @@ where
                         DATA_TAG,
                         last_broadcast.0,
                         &last_broadcast.1,
-                    );
+                    )
+                    .await;
                 }
             }
             stash(
@@ -596,11 +658,11 @@ where
                     let wake = c.at + c.restart_after;
                     if wake > now {
                         let outage = wake.duration_since(now);
-                        transport.sleep(outage);
+                        transport.sleep(outage).await;
                         stats.downtime += outage;
                     }
                     // Mail delivered while the machine was down is lost.
-                    while transport.try_recv().is_some() {}
+                    while transport.try_recv().await.is_some() {}
                     let t_up = transport.now();
                     if let Some(r) = transport.recorder() {
                         r.mark(
@@ -622,7 +684,8 @@ where
                                 RETRANS_REQ_TAG,
                                 last_broadcast.0,
                                 &last_broadcast.1,
-                            );
+                            )
+                            .await;
                             stats.retransmit_requests += 1;
                         }
                     }
@@ -753,7 +816,8 @@ where
                         RETRANS_REQ_TAG,
                         last_broadcast.0,
                         &last_broadcast.1,
-                    );
+                    )
+                    .await;
                     stats.retransmit_requests += 1;
                 }
             }
@@ -820,7 +884,7 @@ where
                 };
                 let t0 = transport.now();
                 let outcome = app.check(Rank(k), &actual, &spec);
-                transport.compute(outcome.ops);
+                transport.compute(outcome.ops).await;
                 let t1 = transport.now();
                 stats.phases.check += t1 - t0;
                 if let Some(r) = transport.recorder() {
@@ -870,7 +934,7 @@ where
                         };
                         match ops {
                             Some(ops) => {
-                                transport.compute(ops);
+                                transport.compute(ops).await;
                                 let t1 = transport.now();
                                 stats.phases.correct += t1 - t0;
                                 stats.corrections += 1;
@@ -989,7 +1053,8 @@ where
                         me,
                         t_conf,
                         rec.produced,
-                    );
+                    )
+                    .await;
                 }
                 // Everything below t_conf is fully consumed.
                 inbox = inbox.split_off(&t_conf);
@@ -1128,13 +1193,14 @@ where
                         RETRANS_REQ_TAG,
                         last_broadcast.0,
                         &last_broadcast.1,
-                    );
+                    )
+                    .await;
                     stats.retransmit_requests += 1;
                 }
 
                 if spec_ops > 0 {
                     let t0 = transport.now();
-                    transport.compute(spec_ops);
+                    transport.compute(spec_ops).await;
                     let t1 = transport.now();
                     stats.phases.speculate += t1 - t0;
                     if let Some(r) = transport.recorder() {
@@ -1149,7 +1215,7 @@ where
                     }
                 }
                 let t0 = transport.now();
-                transport.compute(comp_ops);
+                transport.compute(comp_ops).await;
                 let t1 = transport.now();
                 stats.phases.compute += t1 - t0;
                 if let Some(r) = transport.recorder() {
@@ -1239,15 +1305,15 @@ where
                 consider(c.at);
             }
             match deadline {
-                Some(d) if d > t0 => transport.recv_timeout(d.duration_since(t0)),
+                Some(d) if d > t0 => transport.recv_timeout(d.duration_since(t0)).await,
                 // A deadline is already due: act on it at the loop top.
                 Some(_) => None,
                 // Unreachable with fault tolerance on (one of the waits
                 // above is always armed), kept for safety.
-                None => Some(transport.recv()),
+                None => Some(transport.recv().await),
             }
         } else {
-            Some(transport.recv())
+            Some(transport.recv().await)
         };
         let t1 = transport.now();
         let waited = t1 - t0;
@@ -1292,7 +1358,8 @@ where
                         DATA_TAG,
                         last_broadcast.0,
                         &last_broadcast.1,
-                    );
+                    )
+                    .await;
                 } else if env.tag == RETRANS_REQ_TAG {
                     send_full_state(
                         transport,
@@ -1303,7 +1370,8 @@ where
                         DATA_TAG,
                         last_broadcast.0,
                         &last_broadcast.1,
-                    );
+                    )
+                    .await;
                 }
             }
             stash(
@@ -1330,7 +1398,7 @@ where
 /// shadow is then advanced by *what was sent* — not by the true state —
 /// so quantization error never compounds across iterations.
 #[allow(clippy::too_many_arguments)] // the driver's send path in one place
-fn broadcast<T, A>(
+async fn broadcast<T, A>(
     transport: &mut T,
     stats: &mut RunStats,
     app: &A,
@@ -1342,7 +1410,7 @@ fn broadcast<T, A>(
 ) where
     A: SpeculativeApp,
     A::Shared: WireSize,
-    T: Transport<Msg = IterMsg<A::Shared>>,
+    T: mpk::AsyncTransport<Msg = IterMsg<A::Shared>>,
 {
     let Some(pol) = dx.policy else {
         for k in 0..p {
@@ -1353,7 +1421,8 @@ fn broadcast<T, A>(
                     Rank(k),
                     DATA_TAG,
                     IterMsg::full(iter, data.clone()),
-                );
+                )
+                .await;
             }
         }
         return;
@@ -1385,7 +1454,7 @@ fn broadcast<T, A>(
                         },
                     );
                 }
-                send_msg(transport, stats, Rank(k), DATA_TAG, msg);
+                send_msg(transport, stats, Rank(k), DATA_TAG, msg).await;
             }
             shadow => {
                 let shadow = shadow.get_or_insert_with(Vec::new);
@@ -1397,7 +1466,8 @@ fn broadcast<T, A>(
                     Rank(k),
                     DATA_TAG,
                     IterMsg::full(iter, data.clone()),
-                );
+                )
+                .await;
             }
         }
     }

@@ -49,6 +49,9 @@ pub use config::{
     AdaptiveWindow, CorrectionMode, DeltaExchange, FaultTolerance, SpecConfig, SupervisionConfig,
     WindowPolicy,
 };
-pub use driver::{run_baseline, run_speculative, IterMsg, MsgBody, DATA_TAG, RETRANS_REQ_TAG};
+pub use driver::{
+    run_baseline, run_baseline_aio, run_speculative, run_speculative_aio, IterMsg, MsgBody,
+    DATA_TAG, RETRANS_REQ_TAG,
+};
 pub use history::History;
 pub use stats::{ClusterStats, IterationLog, PhaseBreakdown, RunStats};

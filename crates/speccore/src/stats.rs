@@ -53,7 +53,10 @@ impl PhaseBreakdown {
 }
 
 /// Everything one rank measured during a run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` so differential suites can assert two kernels produced
+/// identical statistics wholesale.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunStats {
     /// The rank these statistics belong to.
     pub rank: Rank,

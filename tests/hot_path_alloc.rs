@@ -190,3 +190,62 @@ fn jacobi_compute_path_is_allocation_free() {
         );
     }
 }
+
+/// The stackless kernel itself is part of the zero-allocation contract:
+/// once 1024 event-scheduled ranks reach steady state (event heap, ready
+/// queue, mailbox wait lists and async-op slots all at capacity), a
+/// send-free iteration — charged compute plus an expiring timed receive
+/// per rank — must not touch the heap at all, in any rank *or* in the
+/// kernel scheduling them. All ranks run on this one thread, so the
+/// thread-local counter sees every allocation either would make.
+#[test]
+fn stackless_kernel_steady_state_is_allocation_free() {
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    const P: usize = 1024;
+    const WARMUP: u64 = 3;
+    const MEASURED: u64 = 5;
+
+    let before = Rc::new(Cell::new(0u64));
+    let after = Rc::new(Cell::new(0u64));
+    let (b0, a0) = (before.clone(), after.clone());
+
+    let cluster = netsim::ClusterSpec::homogeneous(P, 50.0);
+    let (outs, _report) = mpk::run_sim_proc_cluster_with_options::<(), _, _, _>(
+        &cluster,
+        netsim::ConstantLatency(desim::SimDuration::from_micros(1)),
+        netsim::Unloaded,
+        mpk::FaultSpec::none(),
+        mpk::SimClusterOptions::default(),
+        move |mut t| {
+            let (before, after) = (b0.clone(), a0.clone());
+            async move {
+                use mpk::AsyncTransport;
+                let me = t.rank().0;
+                for iter in 0..WARMUP + MEASURED {
+                    // All ranks run in lockstep virtual time, so rank 0's
+                    // window brackets steady-state work from every rank.
+                    if me == 0 && iter == WARMUP {
+                        before.set(allocations_here());
+                    }
+                    t.compute(50).await;
+                    let quiet = t.recv_timeout(desim::SimDuration::from_micros(10)).await;
+                    assert!(quiet.is_none(), "send-free ring must stay quiet");
+                }
+                if me == 0 {
+                    after.set(allocations_here());
+                }
+                me
+            }
+        },
+    )
+    .expect("steady-state cluster must complete");
+    assert_eq!(outs.len(), P);
+    assert!(after.get() >= before.get() && before.get() > 0);
+    assert_eq!(
+        after.get() - before.get(),
+        0,
+        "1024-rank stackless steady state must not allocate (kernel or ranks)"
+    );
+}

@@ -1,0 +1,302 @@
+//! Differential conformance: the threaded and the stackless desim kernels
+//! must be **bit-identical** — per-rank fingerprints, per-rank
+//! [`speccore::RunStats`], virtual end time, and the kernel's own event
+//! counters — on every scenario the workspace has ever found interesting.
+//!
+//! Three layers of evidence:
+//!
+//! 1. **Corpus replay** — the checked-in proptest-regressions witnesses
+//!    (the RNG states that once shrank to real bugs) are re-drawn with the
+//!    exact strategies that produced them and replayed on both kernels.
+//! 2. **Chaos matrix** — the failure-injection settings from
+//!    `tests/failure_injection.rs` (heavy jitter, transient delay storms,
+//!    load spikes, random loss, duplication, loss+dup stacks) run on both
+//!    kernels at the `mpk` level, comparing full [`desim::SimReport`]s.
+//! 3. **Grid sweep** — the θ/FW fault-tolerance grid from the conformance
+//!    witness, with supervision-era tie-breaks.
+
+use desim::{SimDuration, TieBreak};
+use mpk::{FaultSpec, SimClusterOptions};
+use netsim::{
+    ConstantLatency, Duplicate, FaultStack, Jitter, LoadModel, Loss, NetworkModel, RandomSpikes,
+    TransientDelays, Unloaded,
+};
+use proptest::corpus;
+use proptest::strategy::Strategy;
+use proptest::TestRng;
+use speccheck::{
+    drive_synthetic, drive_synthetic_aio, loss_scenario, run_sim_stackless_with_faults,
+    run_sim_with_faults, spec_params, synthetic_scenario, DriverMode, RunOutput, SyntheticScenario,
+};
+use speccore::{FaultTolerance, IterMsg, SpecConfig};
+
+/// The speccheck crate's corpus directory, resolved from this test's own
+/// manifest so the suite works from any working directory.
+fn speccheck_corpus(test_ident: &str) -> Vec<u64> {
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/speccheck");
+    let states = corpus::states(&corpus::path_for(manifest, test_ident));
+    assert!(
+        !states.is_empty(),
+        "checked-in witness corpus for {test_ident} must exist and parse"
+    );
+    states
+}
+
+/// Assert two harness runs are bit-identical in every comparable respect.
+fn assert_identical(threaded: &RunOutput, stackless: &RunOutput, ctx: &str) {
+    assert_eq!(
+        threaded.fingerprints, stackless.fingerprints,
+        "fingerprints diverge: {ctx}"
+    );
+    assert_eq!(threaded.stats, stackless.stats, "stats diverge: {ctx}");
+    assert!(
+        threaded.elapsed == stackless.elapsed,
+        "virtual end time diverges: {ctx} ({} vs {})",
+        threaded.elapsed,
+        stackless.elapsed
+    );
+    assert_eq!(
+        threaded.kernel, stackless.kernel,
+        "kernel counters diverge: {ctx}"
+    );
+    assert!(
+        threaded.kernel.is_some() && stackless.kernel.is_some(),
+        "sim arms must report kernel counters: {ctx}"
+    );
+}
+
+/// Run one scenario/config on both kernels through the speccheck harness
+/// and require bitwise agreement.
+fn both_kernels(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    faults: impl Fn() -> FaultSpec<IterMsg<Vec<f64>>>,
+    tie: TieBreak,
+    ctx: &str,
+) {
+    let threaded = run_sim_with_faults(sc, theta, mode, faults(), tie);
+    let stackless = run_sim_stackless_with_faults(sc, theta, mode, faults(), tie);
+    assert_identical(&threaded, &stackless, ctx);
+}
+
+/// Replay the conformance witness (`fault_tolerance_is_inert_without_faults`):
+/// the exact strategy tuple that test uses, re-drawn from each stored RNG
+/// state, run plain and with fault tolerance armed on both kernels.
+#[test]
+fn conformance_witness_replays_bit_identical() {
+    let strategy = (synthetic_scenario(), spec_params(), 200u64..500);
+    for state in speccheck_corpus("conformance::fault_tolerance_is_inert_without_faults") {
+        let mut rng = TestRng::from_state(state);
+        let (sc, params, timeout_ms) = Strategy::sample(&strategy, &mut rng);
+        let mode = DriverMode::from_params(&params);
+        both_kernels(
+            &sc,
+            params.theta,
+            &mode,
+            FaultSpec::none,
+            TieBreak::Fifo,
+            &format!("conformance witness {state:#x} plain"),
+        );
+        let ft_cfg = params
+            .build()
+            .with_fault_tolerance(FaultTolerance::new(SimDuration::from_millis(timeout_ms)));
+        both_kernels(
+            &sc,
+            params.theta,
+            &DriverMode::Speculative(ft_cfg),
+            FaultSpec::none,
+            TieBreak::Fifo,
+            &format!("conformance witness {state:#x} fault-tolerant"),
+        );
+    }
+}
+
+/// Replay the loss-accounting witness (`loss_commits_bounded_by_losses`):
+/// same strategy tuple and the same calm-network clamp, with the loss
+/// stack actually injected, on both kernels.
+#[test]
+fn loss_witness_replays_bit_identical() {
+    let strategy = (synthetic_scenario(), loss_scenario(), 1u32..4, 0.0f64..0.4);
+    for state in speccheck_corpus("oracles::loss_commits_bounded_by_losses") {
+        let mut rng = TestRng::from_state(state);
+        let (sc, fault, fw, theta) = Strategy::sample(&strategy, &mut rng);
+        let mut sc = sc;
+        sc.jitter_frac = 0.0;
+        sc.latency_us = sc.latency_us.min(2_000);
+        let cfg = SpecConfig::speculative(fw).with_fault_tolerance(fault.tolerance());
+        both_kernels(
+            &sc,
+            theta,
+            &DriverMode::Speculative(cfg),
+            || fault.build(),
+            TieBreak::Fifo,
+            &format!("loss witness {state:#x}"),
+        );
+    }
+}
+
+/// Run one chaos configuration — arbitrary network model, load model and
+/// fault spec — on both kernels at the `mpk` level and require the *whole*
+/// [`desim::SimReport`] (event, message, timer and trace accounting) to
+/// match, not just the workload outputs.
+fn chaos_pair<N: NetworkModel + 'static, L: LoadModel + 'static>(
+    sc: &SyntheticScenario,
+    theta: f64,
+    mode: &DriverMode,
+    net: impl Fn() -> N,
+    load: impl Fn() -> L,
+    faults: impl Fn() -> FaultSpec<IterMsg<Vec<f64>>>,
+    ctx: &str,
+) {
+    let cluster = sc.cluster();
+    let (sc_t, mode_t) = (sc.clone(), mode.clone());
+    let (threaded, t_report) = mpk::run_sim_cluster_with_options::<IterMsg<Vec<f64>>, _, _>(
+        &cluster,
+        net(),
+        load(),
+        faults(),
+        SimClusterOptions::default(),
+        move |t| drive_synthetic(t, &sc_t, theta, &mode_t),
+    )
+    .unwrap_or_else(|e| panic!("threaded chaos run failed ({ctx}): {e:?}"));
+    let (sc_s, mode_s) = (sc.clone(), mode.clone());
+    let (stackless, s_report) =
+        mpk::run_sim_proc_cluster_with_options::<IterMsg<Vec<f64>>, _, _, _>(
+            &cluster,
+            net(),
+            load(),
+            faults(),
+            SimClusterOptions {
+                check_scheduling: true,
+                ..Default::default()
+            },
+            move |mut t| {
+                let sc = sc_s.clone();
+                let mode = mode_s.clone();
+                async move { drive_synthetic_aio(&mut t, &sc, theta, &mode).await }
+            },
+        )
+        .unwrap_or_else(|e| panic!("stackless chaos run failed ({ctx}): {e:?}"));
+    assert_eq!(threaded, stackless, "workload outputs diverge: {ctx}");
+    assert_eq!(t_report, s_report, "SimReport diverges: {ctx}");
+}
+
+/// A fixed mid-size scenario for the chaos matrix (the matrix varies the
+/// environment, not the workload).
+fn chaos_scenario() -> SyntheticScenario {
+    SyntheticScenario {
+        p: 4,
+        n: 12,
+        iters: 5,
+        mips: 25.0,
+        ramp: 0.4,
+        latency_us: 2_000,
+        jitter_frac: 0.0,
+        jump_prob: 0.1,
+        delta_floor: 0.0,
+        delta_keyframe: 1,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// The failure-injection matrix from `tests/failure_injection.rs`, run
+/// differentially: heavy jitter, transient delay storms, CPU load spikes,
+/// random loss, duplication, and a loss+dup stack — each must schedule
+/// identically on both kernels.
+#[test]
+fn chaos_matrix_bit_identical() {
+    let sc = chaos_scenario();
+    let spec = DriverMode::Speculative(
+        SpecConfig::speculative(2)
+            .with_fault_tolerance(FaultTolerance::new(SimDuration::from_millis(60))),
+    );
+    let base = || ConstantLatency(SimDuration::from_millis(5));
+
+    chaos_pair(
+        &sc,
+        0.2,
+        &spec,
+        || Jitter::new(base(), 0.9, 123),
+        || Unloaded,
+        FaultSpec::none,
+        "jitter 0.9 seed 123",
+    );
+    chaos_pair(
+        &sc,
+        0.2,
+        &spec,
+        || TransientDelays::new(base(), 0.1, SimDuration::from_millis(2_000), 9),
+        || Unloaded,
+        FaultSpec::none,
+        "transient delays 0.1/2s seed 9",
+    );
+    chaos_pair(
+        &sc,
+        0.2,
+        &spec,
+        base,
+        || RandomSpikes::new(0.3, 5.0, 77),
+        FaultSpec::none,
+        "load spikes 0.3/5.0 seed 77",
+    );
+    chaos_pair(
+        &sc,
+        0.2,
+        &spec,
+        base,
+        || Unloaded,
+        || FaultSpec::new(Loss::new(0.1, 21)),
+        "loss 0.1 seed 21",
+    );
+    chaos_pair(
+        &sc,
+        0.2,
+        &spec,
+        base,
+        || Unloaded,
+        || FaultSpec::new(Duplicate::new(0.2, 33)),
+        "dup 0.2 seed 33",
+    );
+    chaos_pair(
+        &sc,
+        0.2,
+        &spec,
+        || Jitter::new(base(), 0.5, 11),
+        || RandomSpikes::new(0.2, 3.0, 13),
+        || {
+            FaultSpec::new(
+                FaultStack::new()
+                    .with(Loss::new(0.05, 41))
+                    .with(Duplicate::new(0.1, 42)),
+            )
+        },
+        "jitter+spikes+loss+dup stack",
+    );
+}
+
+/// Baseline driver and every tie-break mode agree across kernels (the
+/// tie-break changes the schedule, but both kernels must change it the
+/// same way).
+#[test]
+fn tie_breaks_and_baseline_bit_identical() {
+    let sc = chaos_scenario();
+    for tie in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
+        both_kernels(
+            &sc,
+            0.0,
+            &DriverMode::Baseline,
+            FaultSpec::none,
+            tie,
+            &format!("baseline {tie:?}"),
+        );
+        both_kernels(
+            &sc,
+            0.15,
+            &DriverMode::Speculative(SpecConfig::speculative(3)),
+            FaultSpec::none,
+            tie,
+            &format!("speculative fw=3 {tie:?}"),
+        );
+    }
+}
