@@ -71,6 +71,20 @@ cargo test -q -p speccheck --test conformance crash_fingerprints_agree_across_al
 cargo test -q -p speccheck --test conformance crash_rejoin_completes_on_all_three_backends
 cargo test -q -p speccheck --test conformance quarantined_peer_rejoins_and_is_readmitted
 
+echo "== adaptive controller conformance (explicit)"
+# The PR 10 controller contract by name: an attached-but-dormant
+# controller is bit-inert; an active controller whose θ grid holds only
+# the exact anchor stays bit-identical to the blocking baseline (and
+# agrees across sim/thread backends); controller-driven lossy runs
+# replay bit-for-bit; the window decision converges near the offline
+# optimum under stationary delay; and gap-quantile deadlines beat a
+# pessimistic static loss timeout under real loss.
+cargo test -q -p speccheck --test controller dormant_controller_is_bit_inert
+cargo test -q -p speccheck --test controller active_exact_anchor_controller_equals_baseline
+cargo test -q -p speccheck --test controller sim_and_thread_agree_under_exact_anchor_controller
+cargo test -q -p speccheck --test controller controller_converges_near_offline_optimal_window
+cargo test -q -p speccheck --test controller adaptive_deadlines_beat_pessimistic_static_timeout_under_loss
+
 echo "== coverage audit (informational)"
 # Name-based audit of perfmodel/workloads public APIs against the test
 # corpus. Informational here; pass --strict to fail on gaps.
@@ -111,15 +125,23 @@ echo "== stackless scale sweep (release)"
 # token ring. The 10000-rank row is the PR's acceptance anchor.
 SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench scale_sweep
 
+echo "== controller sweep (release, deterministic virtual time)"
+# Emits BENCH_controller.json: the fixed (θ, FW) grid vs the adaptive
+# controller on the heterogeneous-delay + transient-spike scenario. All
+# numbers are exact virtual-time nanoseconds.
+SPEC_BENCH_OUT="$PWD" cargo bench -q -p spec-bench --bench controller_sweep
+
 echo "== transport regression gate (throughput floors + byte ceilings)"
 # Compare the fresh BENCH_transport.json against the checked-in
 # throughput floors (fail on >25% regression below budget), hold the
 # exchange byte rows under their ceilings, and require delta mode to
 # stay ≥3× cheaper per iteration than full broadcast. Also gates the
 # fresh BENCH_scale.json: events/sec floors and RSS-per-rank ceilings
-# per rank count, with the 10000-rank row mandatory. Refresh with
-# BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh after intentional changes or
-# a CI hardware move.
+# per rank count, with the 10000-rank row mandatory, and the fresh
+# BENCH_controller.json: the adaptive controller's makespan must stay
+# within ratio_ceiling of the best fixed (θ, FW) grid point. Refresh
+# with BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh after intentional changes
+# or a CI hardware move.
 ci/bench_gate.sh
 
 echo "CI green."

@@ -33,6 +33,7 @@ cd "$(dirname "$0")/.."
 
 ARTIFACT="${BENCH_TRANSPORT_ARTIFACT:-BENCH_transport.json}"
 SCALE_ARTIFACT="${BENCH_SCALE_ARTIFACT:-BENCH_scale.json}"
+CONTROLLER_ARTIFACT="${BENCH_CONTROLLER_ARTIFACT:-BENCH_controller.json}"
 BUDGETS="ci/bench_budgets.json"
 # A row fails when fresh < budget * TOLERANCE (i.e. >25% regression).
 TOLERANCE="0.75"
@@ -68,7 +69,16 @@ if [[ "${BENCH_UPDATE_BUDGETS:-0}" == "1" ]]; then
                  scale_rss_ceilings: ($scale[0].rows | map({key: "ranks_\(.ranks)", value: (.rss_bytes_per_rank * 4 + 4096 | ceil)}) | from_entries)}' \
            "$BUDGETS" >"$BUDGETS.tmp" && mv "$BUDGETS.tmp" "$BUDGETS"
     fi
-    echo "bench gate: rewrote $BUDGETS from $ARTIFACT (+ $SCALE_ARTIFACT if present):"
+    if [[ -f "$CONTROLLER_ARTIFACT" ]]; then
+        # The controller ratio is a deterministic virtual-time number, so
+        # its ceiling needs only a thin 5% allowance over the measurement
+        # (and never below 1.05: matching the best fixed point is the
+        # acceptance bar, not beating it).
+        jq --slurpfile ctl "$CONTROLLER_ARTIFACT" \
+           '. + {controller: {ratio_ceiling: (([$ctl[0].ratio * 1.05, 1.05] | max * 1000 | ceil) / 1000)}}' \
+           "$BUDGETS" >"$BUDGETS.tmp" && mv "$BUDGETS.tmp" "$BUDGETS"
+    fi
+    echo "bench gate: rewrote $BUDGETS from $ARTIFACT (+ $SCALE_ARTIFACT / $CONTROLLER_ARTIFACT if present):"
     cat "$BUDGETS"
     exit 0
 fi
@@ -194,9 +204,47 @@ else
     fail=1
 fi
 
+# ---------------------------------------------------------------------------
+# Adaptive controller sweep (BENCH_controller.json): the controller's
+# makespan over the heterogeneous-delay scenario must stay within
+# ratio_ceiling of the best fixed (θ, FW) grid point. These are exact
+# virtual-time nanoseconds, so any drift is a real behaviour change in
+# the controller, the driver, or the workload — never host noise.
+if [[ -f "$CONTROLLER_ARTIFACT" ]]; then
+    ceiling=$(jq -r '.controller.ratio_ceiling // empty' "$BUDGETS")
+    if [[ -z "$ceiling" ]]; then
+        echo "FAIL  controller: no ratio_ceiling in $BUDGETS (add it with BENCH_UPDATE_BUDGETS=1)"
+        fail=1
+    else
+        n_rows=$(jq -r '.rows | length' "$CONTROLLER_ARTIFACT")
+        retunes=$(jq -r '.adaptive_retunes' "$CONTROLLER_ARTIFACT")
+        ratio=$(jq -r '.ratio' "$CONTROLLER_ARTIFACT")
+        if [[ "$n_rows" -lt 2 ]]; then
+            echo "FAIL  controller: fixed (θ, FW) grid missing from $CONTROLLER_ARTIFACT"
+            fail=1
+        fi
+        if [[ "$retunes" -lt 1 ]]; then
+            echo "FAIL  controller: adaptive run never retuned (adaptive_retunes=$retunes)"
+            fail=1
+        fi
+        ok=$(jq -n --argjson r "$ratio" --argjson c "$ceiling" '$r <= $c')
+        if [[ "$ok" == "true" ]]; then
+            printf 'ok    %-18s %12.3f vs best fixed  (ceiling %s, %s retunes)\n' \
+                "controller" "$ratio" "$ceiling" "$retunes"
+        else
+            printf 'FAIL  %-18s %12.3f vs best fixed  > ceiling %s\n' "controller" "$ratio" "$ceiling"
+            fail=1
+        fi
+    fi
+else
+    echo "bench gate: $CONTROLLER_ARTIFACT missing — run the controller_sweep bench first:" >&2
+    echo "  SPEC_BENCH_OUT=\"\$PWD\" cargo bench -q -p spec-bench --bench controller_sweep" >&2
+    fail=1
+fi
+
 if [[ "$fail" != "0" ]]; then
     echo "bench gate: transport throughput regressed >25% (or rows drifted); see above." >&2
     echo "If the regression is intended, refresh budgets: BENCH_UPDATE_BUDGETS=1 ci/bench_gate.sh" >&2
     exit 1
 fi
-echo "bench gate: all transport and scale rows within budget."
+echo "bench gate: all transport, scale, and controller rows within budget."

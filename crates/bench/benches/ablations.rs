@@ -122,6 +122,7 @@ fn main() {
             fault: None,
             delta: None,
             supervision: None,
+            controller: None,
         };
         let r = run(&scale, cfg, 40);
         println!(

@@ -345,6 +345,60 @@ pub fn scale_json(rows: &[crate::scale::ScaleRow]) -> Json {
     ])
 }
 
+/// One fixed `(θ, FW)` grid point of the heterogeneous-delay controller
+/// sweep: a deterministic virtual-time makespan on the simulator, so the
+/// gate compares exact nanoseconds, not a noisy wall clock.
+#[derive(Clone, Debug)]
+pub struct ControllerRow {
+    /// Fixed acceptance threshold θ of this grid point.
+    pub theta: f64,
+    /// Fixed forward window of this grid point.
+    pub fw: u32,
+    /// Virtual makespan of the cluster run, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Heterogeneous-delay controller sweep as JSON
+/// (`BENCH_controller.json`): the fixed `(θ, FW)` grid, the best fixed
+/// makespan, the adaptive controller's makespan, and their ratio — the
+/// budget-gated metric (`ratio_ceiling`). `adaptive_fw` / `adaptive_theta`
+/// record the controller's final decision for the sweep table in
+/// EXPERIMENTS.md.
+#[allow(clippy::too_many_arguments)]
+pub fn controller_json(
+    rows: &[ControllerRow],
+    best_fixed_ns: u64,
+    adaptive_ns: u64,
+    adaptive_fw: u64,
+    adaptive_theta: f64,
+    adaptive_retunes: u64,
+) -> Json {
+    Json::obj([
+        ("name", Json::Str("controller".into())),
+        ("kind", Json::Str("hetero_delay_controller_sweep".into())),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("theta", f(r.theta)),
+                            ("fw", Json::U64(u64::from(r.fw))),
+                            ("elapsed_ns", Json::U64(r.elapsed_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("best_fixed_ns", Json::U64(best_fixed_ns)),
+        ("adaptive_ns", Json::U64(adaptive_ns)),
+        ("ratio", f(adaptive_ns as f64 / best_fixed_ns as f64)),
+        ("adaptive_fw", Json::U64(adaptive_fw)),
+        ("adaptive_theta", f(adaptive_theta)),
+        ("adaptive_retunes", Json::U64(adaptive_retunes)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

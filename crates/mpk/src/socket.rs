@@ -117,6 +117,12 @@ pub const FRAME_OVERHEAD: usize = 4 + FRAME_HEADER;
 /// treated as a corrupt stream, not an allocation request.
 pub const DEFAULT_MAX_FRAME: usize = 256 << 20;
 
+/// How long a freshly-accepted or freshly-dialed connection may stall
+/// mid-handshake before it is dropped. Bounds every blocking handshake
+/// read so a silent dialer cannot wedge establish, the acceptor, or a
+/// supervisor redial.
+const HANDSHAKE_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// Supervision knobs: heartbeat cadence, silence deadline, and the
 /// jittered-backoff reconnect schedule.
 #[derive(Clone, Debug)]
@@ -256,6 +262,10 @@ struct Shared<M> {
     departed: Vec<AtomicBool>,
     bytes_received: AtomicU64,
     decode_failures: AtomicU64,
+    /// Inbound connections dropped because their handshake was invalid,
+    /// truncated, or stalled (cold-start HELLO phase and acceptor RESUME
+    /// path). Peer-controlled input: counted, never fatal.
+    handshake_rejects: AtomicU64,
     heartbeats_sent: AtomicU64,
     heartbeats_received: AtomicU64,
     reconnect_attempts: AtomicU64,
@@ -281,6 +291,7 @@ impl<M> Shared<M> {
             departed: (0..size).map(|_| AtomicBool::new(false)).collect(),
             bytes_received: AtomicU64::new(0),
             decode_failures: AtomicU64::new(0),
+            handshake_rejects: AtomicU64::new(0),
             heartbeats_sent: AtomicU64::new(0),
             heartbeats_received: AtomicU64::new(0),
             reconnect_attempts: AtomicU64::new(0),
@@ -580,7 +591,7 @@ fn resume_dial<M>(
 ) -> std::io::Result<TcpStream> {
     let mut s = TcpStream::connect(addr)?;
     s.set_nodelay(nodelay)?;
-    s.set_read_timeout(Some(Duration::from_secs(2)))?;
+    s.set_read_timeout(Some(HANDSHAKE_READ_TIMEOUT))?;
     write_resume(
         &mut s,
         shared.rank,
@@ -715,7 +726,7 @@ fn spawn_acceptor<M: WireCodec + Send + 'static>(
                     let admitted = (|| -> std::io::Result<()> {
                         s.set_nonblocking(false)?;
                         s.set_nodelay(nodelay)?;
-                        s.set_read_timeout(Some(Duration::from_secs(2)))?;
+                        s.set_read_timeout(Some(HANDSHAKE_READ_TIMEOUT))?;
                         let (peer, their_iter) =
                             read_resume(&mut s, shared.size, shared.max_frame)?;
                         if peer == shared.rank {
@@ -734,9 +745,13 @@ fn spawn_acceptor<M: WireCodec + Send + 'static>(
                         shared.push_event(peer, SocketEvent::PeerBack);
                         Ok(())
                     })();
-                    // A bogus dialer is simply dropped; the mesh state
-                    // is untouched.
-                    let _ = admitted;
+                    // A bogus dialer is dropped and counted; the mesh
+                    // state is untouched.
+                    if admitted.is_err() {
+                        shared
+                            .handshake_rejects
+                            .fetch_add(1, AtomicOrdering::Relaxed);
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(poll),
                 Err(_) => std::thread::sleep(poll),
@@ -782,7 +797,13 @@ impl<M: WireCodec + Send + 'static> SocketTransport<M> {
         assert!(rank < size, "rank {rank} out of range for {size} addrs");
         let mut conns: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
 
-        // Phase 1: dial every lower rank, in rank order.
+        let shared = Arc::new(Shared::new(rank, size, opts.max_frame_bytes, epoch));
+
+        // Phase 1: dial every lower rank, in rank order. Failures here
+        // are fatal: these are *our* configured peers, so a broken dial
+        // means the cluster spec is wrong or the peer is down, and the
+        // handshake read timeout bounds how long a stalled accept side
+        // can hold us.
         for peer in 0..rank {
             let mut s = connect_with_retry(
                 addrs[peer],
@@ -790,6 +811,7 @@ impl<M: WireCodec + Send + 'static> SocketTransport<M> {
                 (rank as u64) << 16 | peer as u64,
             )?;
             s.set_nodelay(opts.nodelay)?;
+            s.set_read_timeout(Some(HANDSHAKE_READ_TIMEOUT))?;
             write_hello(&mut s, rank, size)?;
             let replied = read_hello(&mut s, size, opts.max_frame_bytes)?;
             if replied != peer {
@@ -797,23 +819,44 @@ impl<M: WireCodec + Send + 'static> SocketTransport<M> {
                     "dialed rank {peer} but rank {replied} answered"
                 )));
             }
+            s.set_read_timeout(None)?;
             conns[peer] = Some(s);
         }
 
-        // Phase 2: accept one connection from every higher rank,
-        // identified by its HELLO.
-        for _ in rank + 1..size {
+        // Phase 2: accept connections until every higher rank has
+        // identified itself with a valid HELLO. Unlike phase 1, each
+        // inbound connection is peer-controlled input: one that stalls,
+        // closes mid-handshake, claims a bogus rank, or duplicates an
+        // already-admitted peer is dropped and counted — it must not
+        // tear down this rank's whole establish (which would cascade
+        // into the cluster harness as a panic).
+        let mut missing = size - rank - 1;
+        while missing > 0 {
             let (mut s, _) = listener.accept()?;
-            s.set_nodelay(opts.nodelay)?;
-            let peer = read_hello(&mut s, size, opts.max_frame_bytes)?;
-            if peer <= rank || conns[peer].is_some() {
-                return Err(bad_data(format!("unexpected HELLO from rank {peer}")));
+            let admitted = (|| -> std::io::Result<usize> {
+                s.set_nodelay(opts.nodelay)?;
+                s.set_read_timeout(Some(HANDSHAKE_READ_TIMEOUT))?;
+                let peer = read_hello(&mut s, size, opts.max_frame_bytes)?;
+                if peer <= rank || conns[peer].is_some() {
+                    return Err(bad_data(format!("unexpected HELLO from rank {peer}")));
+                }
+                write_hello(&mut s, rank, size)?;
+                s.set_read_timeout(None)?;
+                Ok(peer)
+            })();
+            match admitted {
+                Ok(peer) => {
+                    conns[peer] = Some(s);
+                    missing -= 1;
+                }
+                Err(_) => {
+                    shared
+                        .handshake_rejects
+                        .fetch_add(1, AtomicOrdering::Relaxed);
+                }
             }
-            write_hello(&mut s, rank, size)?;
-            conns[peer] = Some(s);
         }
 
-        let shared = Arc::new(Shared::new(rank, size, opts.max_frame_bytes, epoch));
         for (peer, conn) in conns.into_iter().enumerate() {
             if let Some(conn) = conn {
                 install_connection(&shared, peer, conn)?;
@@ -876,6 +919,13 @@ impl<M> SocketTransport<M> {
     /// Frames discarded because their payload failed to decode.
     pub fn decode_failures(&self) -> u64 {
         self.shared.decode_failures.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Inbound connections dropped because their handshake was invalid,
+    /// truncated, or stalled — across both the cold-start HELLO phase
+    /// and the supervised acceptor's RESUME path.
+    pub fn handshake_rejects(&self) -> u64 {
+        self.shared.handshake_rejects.load(AtomicOrdering::Relaxed)
     }
 
     /// Peers whose TCP connection has been observed down so far (both
@@ -1906,6 +1956,86 @@ mod tests {
         });
         assert_eq!(h0.join().unwrap(), vec![Rank(1)]);
         assert_eq!(h1.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn garbage_dialers_during_cold_start_are_rejected_not_fatal() {
+        // Peer-controlled input at the worst moment: establish's accept
+        // phase. Each junk connection must be dropped and counted, and
+        // the mesh must still come up once the real peer dials.
+        let l0 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let l1 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addrs = [l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        drop((l0, l1));
+        let h0 = std::thread::spawn(move || {
+            let mut t =
+                connect_socket_cluster::<u64>(0, &addrs, SocketClusterOptions::default()).unwrap();
+            let env = t.recv();
+            (env.msg, t.handshake_rejects())
+        });
+        // Junk flavour 1: connect and EOF before sending any HELLO.
+        let s = TcpStream::connect(addrs[0]).unwrap();
+        s.shutdown(Shutdown::Both).unwrap();
+        drop(s);
+        // Junk flavour 2: a well-formed HELLO claiming an impossible
+        // rank (rank 0 itself), then linger so the reject is observed
+        // before the real peer's HELLO enters the queue.
+        let mut s = TcpStream::connect(addrs[0]).unwrap();
+        write_hello(&mut s, 0, 2).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        drop(s);
+        // The real rank 1 arrives last and must still be admitted.
+        let h1 = std::thread::spawn(move || {
+            let mut t =
+                connect_socket_cluster::<u64>(1, &addrs, SocketClusterOptions::default()).unwrap();
+            t.send(Rank(0), Tag(0), 77);
+            // Linger so the frame flushes before drop.
+            let _ = t.recv_timeout(SimDuration::from_millis(100));
+        });
+        let (msg, rejects) = h0.join().unwrap();
+        h1.join().unwrap();
+        assert_eq!(msg, 77, "real peer was not admitted after junk dialers");
+        assert!(
+            rejects >= 1,
+            "junk handshakes were not counted (got {rejects})"
+        );
+    }
+
+    #[test]
+    fn peer_dying_mid_frame_does_not_panic_the_survivor() {
+        // A peer that completes the handshake, starts a data frame, and
+        // dies mid-frame: the survivor's reader must surface a crash
+        // (PeerGone → disconnected_peers), never a panic, and the
+        // truncated frame must never reach the decoder.
+        let l0 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let l1 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addrs = [l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        drop((l0, l1));
+        let h0 = std::thread::spawn(move || {
+            let mut t = connect_socket_cluster::<u64>(0, &addrs, supervised(5, 40)).unwrap();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while Instant::now() < deadline && !t.disconnected_peers().contains(&Rank(1)) {
+                let got = t.recv_timeout(SimDuration::from_millis(10));
+                assert!(got.is_none(), "a truncated frame must not deliver");
+            }
+            (t.disconnected_peers(), t.decode_failures())
+        });
+        // Fake rank 1: real HELLO handshake, then a frame whose length
+        // prefix promises 64 bytes but whose body stops after the
+        // version byte, then an abrupt close.
+        let mut s = TcpStream::connect(addrs[0]).unwrap();
+        write_hello(&mut s, 1, 2).unwrap();
+        assert_eq!(read_hello(&mut s, 2, DEFAULT_MAX_FRAME).unwrap(), 0);
+        s.write_all(&64u32.to_le_bytes()).unwrap();
+        s.write_all(&[WIRE_VERSION]).unwrap();
+        s.shutdown(Shutdown::Both).unwrap();
+        drop(s);
+        let (down, decode_failures) = h0.join().unwrap();
+        assert_eq!(down, vec![Rank(1)], "mid-frame death was not surfaced");
+        assert_eq!(
+            decode_failures, 0,
+            "truncated frame must die in read_frame, not the decoder"
+        );
     }
 
     #[test]

@@ -143,6 +143,15 @@ fn mark_args(mark: Mark) -> Json {
             ("from", Json::U64(from.into())),
             ("waited_ns", Json::U64(waited_ns)),
         ]),
+        Mark::ControllerRetune {
+            fw,
+            theta_ppb,
+            deadline_ns,
+        } => Json::obj([
+            ("fw", Json::U64(fw.into())),
+            ("theta_ppb", Json::U64(theta_ppb)),
+            ("deadline_ns", Json::U64(deadline_ns)),
+        ]),
     }
 }
 

@@ -174,6 +174,18 @@ pub enum Mark {
         /// How long the receive blocked before the arrival.
         waited_ns: u64,
     },
+    /// The adaptive speculation controller evaluated a retune at a
+    /// confirmation boundary and (re)published its decision.
+    ControllerRetune {
+        /// The forward window now in force.
+        fw: u32,
+        /// The acceptance threshold now in force, in parts per billion
+        /// (θ × 10⁹, saturating; `u64::MAX` when θ is not managed).
+        theta_ppb: u64,
+        /// The tightest adaptive per-peer loss deadline in force, in
+        /// nanoseconds (0 while every peer still uses the static timeout).
+        deadline_ns: u64,
+    },
 }
 
 impl Mark {
@@ -200,6 +212,7 @@ impl Mark {
             Mark::DeltaSuppressed { .. } => "delta_suppressed",
             Mark::TimerFired { .. } => "timer_fired",
             Mark::RecvWakeup { .. } => "recv_wakeup",
+            Mark::ControllerRetune { .. } => "controller_retune",
         }
     }
 }
@@ -302,6 +315,15 @@ mod tests {
             }
             .name(),
             "recv_wakeup"
+        );
+        assert_eq!(
+            Mark::ControllerRetune {
+                fw: 2,
+                theta_ppb: 10_000_000,
+                deadline_ns: 5_000_000
+            }
+            .name(),
+            "controller_retune"
         );
     }
 }

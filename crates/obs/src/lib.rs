@@ -39,5 +39,5 @@ pub use event::{Event, EventKind, Gauge, Mark, Phase};
 pub use fingerprint::{fingerprint_f64s, Fingerprint};
 pub use json::Json;
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder, SharedRecorder};
-pub use report::{Histogram, RankReport, RunReport};
+pub use report::{ControllerDigest, Histogram, RankReport, RunReport};
 pub use trace::{CounterTotals, PhaseTotals, RunTrace, Span};

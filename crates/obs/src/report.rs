@@ -76,6 +76,22 @@ impl Histogram {
     }
 }
 
+/// The adaptive speculation controller's final published decision on one
+/// rank, digested from its `ControllerRetune` marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControllerDigest {
+    /// Retune evaluations over the run.
+    pub retunes: u64,
+    /// Forward window in force at the end of the run.
+    pub fw: u32,
+    /// Acceptance threshold in force at the end, in parts per billion
+    /// (`u64::MAX` when θ was not managed).
+    pub theta_ppb: u64,
+    /// Tightest adaptive per-peer deadline at the end, in nanoseconds
+    /// (0 while every peer still used the static timeout).
+    pub deadline_ns: u64,
+}
+
 /// One rank's digest of a run.
 #[derive(Clone, Debug)]
 pub struct RankReport {
@@ -91,6 +107,8 @@ pub struct RankReport {
     pub span_histograms: Vec<(Phase, Histogram)>,
     /// Final sample of each gauge that appeared, `(gauge, last value)`.
     pub final_gauges: Vec<(Gauge, u64)>,
+    /// Adaptive-controller summary; `None` when no retune ever fired.
+    pub controller: Option<ControllerDigest>,
 }
 
 /// A whole run's digest: what the benches persist as `BENCH_*.json`.
@@ -136,13 +154,24 @@ impl RunReport {
                     .iter()
                     .filter_map(|g| trace.gauge_series(*g).last().map(|(_, v)| (*g, *v)))
                     .collect();
+                let counters = trace.counter_totals();
+                let controller =
+                    trace
+                        .last_controller_decision()
+                        .map(|(fw, theta_ppb, deadline_ns)| ControllerDigest {
+                            retunes: counters.controller_retunes,
+                            fw,
+                            theta_ppb,
+                            deadline_ns,
+                        });
                 RankReport {
                     rank: trace.rank,
                     phases: trace.phase_totals(),
-                    counters: trace.counter_totals(),
+                    counters,
                     span_count: spans.len(),
                     span_histograms: histograms,
                     final_gauges,
+                    controller,
                 }
             })
             .collect();
@@ -244,6 +273,7 @@ fn counters_json(c: &CounterTotals) -> Json {
         ("timer_fires", Json::U64(c.timer_fires)),
         ("recv_wakeups", Json::U64(c.recv_wakeups)),
         ("wakeup_wait_ns", Json::U64(c.wakeup_wait_ns)),
+        ("controller_retunes", Json::U64(c.controller_retunes)),
     ])
 }
 
@@ -271,6 +301,18 @@ fn rank_json(r: &RankReport) -> Json {
                     .map(|(g, v)| (g.name().to_string(), Json::U64(*v)))
                     .collect(),
             ),
+        ),
+        (
+            "controller",
+            match &r.controller {
+                None => Json::Null,
+                Some(c) => Json::obj([
+                    ("retunes", Json::U64(c.retunes)),
+                    ("fw", Json::U64(u64::from(c.fw))),
+                    ("theta_ppb", Json::U64(c.theta_ppb)),
+                    ("deadline_ns", Json::U64(c.deadline_ns)),
+                ]),
+            },
         ),
     ])
 }
@@ -332,6 +374,59 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn controller_section_digests_last_retune() {
+        let mut r = MemoryRecorder::new();
+        r.span_begin(0, 0, Phase::Compute, Some(0), None);
+        r.span_end(0, 100, Phase::Compute);
+        r.mark(
+            0,
+            50,
+            Mark::ControllerRetune {
+                fw: 1,
+                theta_ppb: 0,
+                deadline_ns: 0,
+            },
+        );
+        r.mark(
+            0,
+            90,
+            Mark::ControllerRetune {
+                fw: 3,
+                theta_ppb: 10_000_000,
+                deadline_ns: 2_000_000,
+            },
+        );
+        let traces = RunTrace::split_by_rank(r.take());
+        let report = RunReport::from_traces("ctl", &traces);
+        assert_eq!(
+            report.per_rank[0].controller,
+            Some(ControllerDigest {
+                retunes: 2,
+                fw: 3,
+                theta_ppb: 10_000_000,
+                deadline_ns: 2_000_000
+            })
+        );
+        let doc = Json::parse(&report.to_json_string()).unwrap();
+        let ctl = doc.get("per_rank").and_then(Json::as_arr).unwrap()[0]
+            .get("controller")
+            .unwrap();
+        assert_eq!(ctl.get("fw").and_then(Json::as_u64), Some(3));
+        assert_eq!(ctl.get("retunes").and_then(Json::as_u64), Some(2));
+        // And the counters list carries the retune count too.
+        assert_eq!(
+            doc.get("per_rank").and_then(Json::as_arr).unwrap()[0]
+                .get("counters")
+                .and_then(|c| c.get("controller_retunes"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        // A controller-off run serializes the section as null.
+        let plain = RunReport::from_traces("off", &sample_traces());
+        assert_eq!(plain.per_rank[0].controller, None);
     }
 
     #[test]

@@ -121,6 +121,9 @@ pub struct CounterTotals {
     /// Total nanoseconds timed receives spent blocked before waking
     /// (summed over both timer expiries and arrival wakeups).
     pub wakeup_wait_ns: u64,
+    /// Retune evaluations published by the adaptive speculation
+    /// controller. Zero when the controller is off.
+    pub controller_retunes: u64,
 }
 
 /// The telemetry of one rank over one run, in event order.
@@ -253,10 +256,25 @@ impl RunTrace {
                         c.recv_wakeups += 1;
                         c.wakeup_wait_ns += waited_ns;
                     }
+                    Mark::ControllerRetune { .. } => c.controller_retunes += 1,
                 }
             }
         }
         c
+    }
+
+    /// The adaptive controller's final published decision, if any retune
+    /// fired: `(fw, theta_ppb, deadline_ns)` from the last
+    /// [`Mark::ControllerRetune`] in the trace.
+    pub fn last_controller_decision(&self) -> Option<(u32, u64, u64)> {
+        self.events.iter().rev().find_map(|ev| match ev.kind {
+            EventKind::Mark(Mark::ControllerRetune {
+                fw,
+                theta_ppb,
+                deadline_ns,
+            }) => Some((fw, theta_ppb, deadline_ns)),
+            _ => None,
+        })
     }
 
     /// The time series of one gauge: `(t_ns, value)` samples in order.

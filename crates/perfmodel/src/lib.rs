@@ -14,9 +14,13 @@
 
 mod model;
 mod series;
+mod tune;
 
-pub use model::{CommModel, ModelParams};
+pub use model::{CommModel, ModelError, ModelParams};
 pub use series::{fig5_series, fig6_series, Fig5Row, Fig6Row};
+pub use tune::{
+    best_forward_window, best_p, k_break_even, masked_iteration_time, predicted_iteration_time,
+};
 
 #[cfg(test)]
 mod tests {

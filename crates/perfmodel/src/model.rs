@@ -26,13 +26,18 @@ pub enum CommModel {
         coef: f64,
     },
     /// Measured values: `table[p-1]` is `t_comm(p)`. Used when
-    /// parameterizing the model from experiment data (Figure 9).
+    /// parameterizing the model from experiment data (Figure 9). Lookups
+    /// beyond the table's end clamp to the last entry (an empty table
+    /// reads as zero communication time) so that sweeps driven by the
+    /// argmin helpers stay finite instead of panicking mid-search.
     Table(Vec<f64>),
 }
 
 impl CommModel {
     /// Per-iteration communication time on `p` processors. Zero for a
-    /// single processor (nothing to exchange).
+    /// single processor (nothing to exchange). Always finite for finite
+    /// coefficients: `Table` lookups past the end clamp to the last
+    /// entry rather than indexing out of bounds.
     pub fn t_comm(&self, p: usize) -> f64 {
         if p <= 1 {
             return 0.0;
@@ -41,7 +46,62 @@ impl CommModel {
             CommModel::LinearInP { coef } => coef * p as f64,
             CommModel::Affine { base, per_proc } => base + per_proc * p as f64,
             CommModel::QuadraticInP { coef } => coef * (p * p) as f64,
-            CommModel::Table(t) => t[p - 1],
+            CommModel::Table(t) => match t.get(p - 1) {
+                Some(v) => *v,
+                None => t.last().copied().unwrap_or(0.0),
+            },
+        }
+    }
+
+    /// All coefficients (or table entries) are finite and non-negative.
+    /// Degenerate models fail fast here instead of feeding NaN/∞ into the
+    /// eq. 8/9 argmin helpers.
+    pub fn is_well_formed(&self) -> bool {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        match self {
+            CommModel::LinearInP { coef } | CommModel::QuadraticInP { coef } => ok(*coef),
+            CommModel::Affine { base, per_proc } => ok(*base) && ok(*per_proc),
+            CommModel::Table(t) => t.iter().all(|v| ok(*v)),
+        }
+    }
+}
+
+/// Why a [`ModelParams`] value cannot be evaluated by eqs. 3–9.
+///
+/// Returned by [`ModelParams::validate`], which the argmin/inverse helpers
+/// in [`crate::tune`] call before searching so a degenerate parameter set
+/// is a checked error instead of NaN/∞ silently winning the argmin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// `capacities` is empty: there is no processor to run on.
+    NoProcessors,
+    /// A capacity `M_i` is zero, negative, or non-finite — eqs. 3–9 all
+    /// divide by capacities, so this would produce ∞ or NaN.
+    BadCapacity {
+        /// Index of the offending entry in `capacities`.
+        index: usize,
+    },
+    /// A scalar field (`n`, `f_comp`, `f_spec`, `f_check`, or `k`) is
+    /// negative or non-finite.
+    BadField {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The communication model has a non-finite or negative coefficient.
+    BadComm,
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelError::NoProcessors => write!(f, "capacities is empty"),
+            ModelError::BadCapacity { index } => {
+                write!(f, "capacity M_{index} is not finite and positive")
+            }
+            ModelError::BadField { field } => {
+                write!(f, "field {field} is not finite and non-negative")
+            }
+            ModelError::BadComm => write!(f, "communication model has a degenerate coefficient"),
         }
     }
 }
@@ -118,6 +178,40 @@ impl ModelParams {
         let mut p = self.clone();
         p.k = k;
         p
+    }
+
+    /// Check the parameter set is evaluable: at least one processor, all
+    /// capacities finite and strictly positive, all scalar fields finite
+    /// and non-negative, and a well-formed communication model.
+    ///
+    /// The boundary cases `p = 1` (no speculation: `t_hat(1) = t_total(1)`
+    /// and every speedup is 1) and `k = 0` (no recomputation cost) are
+    /// *valid* and return finite values; validation only rejects inputs
+    /// that would make eqs. 3–9 produce NaN or ∞.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.capacities.is_empty() {
+            return Err(ModelError::NoProcessors);
+        }
+        for (index, m) in self.capacities.iter().enumerate() {
+            if !(m.is_finite() && *m > 0.0) {
+                return Err(ModelError::BadCapacity { index });
+            }
+        }
+        for (field, v) in [
+            ("n", self.n),
+            ("f_comp", self.f_comp),
+            ("f_spec", self.f_spec),
+            ("f_check", self.f_check),
+            ("k", self.k),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(ModelError::BadField { field });
+            }
+        }
+        if !self.comm.is_well_formed() {
+            return Err(ModelError::BadComm);
+        }
+        Ok(())
     }
 
     /// Σ of the fastest `p` capacities.
@@ -282,6 +376,76 @@ mod tests {
         assert_eq!(c.t_comm(1), 0.0);
         assert_eq!(c.t_comm(2), 0.5);
         assert_eq!(c.t_comm(3), 0.7);
+    }
+
+    #[test]
+    fn comm_table_clamps_past_the_end() {
+        // A table parameterized from a 3-processor experiment must stay
+        // finite when an argmin sweep probes larger p.
+        let c = CommModel::Table(vec![0.0, 0.5, 0.7]);
+        assert_eq!(c.t_comm(4), 0.7);
+        assert_eq!(c.t_comm(100), 0.7);
+        let empty = CommModel::Table(vec![]);
+        assert_eq!(empty.t_comm(5), 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_p1_and_k0_boundaries() {
+        let mut m = simple(1);
+        m.k = 0.0;
+        assert_eq!(m.validate(), Ok(()));
+        // And the boundary values themselves are finite and documented:
+        // single processor means no speculation effect, zero k means no
+        // recomputation term.
+        assert!(m.t_hat(1).is_finite());
+        assert_eq!(m.t_hat(1), m.t_total(1));
+        assert_eq!(m.speedup_spec(1), 1.0);
+        assert_eq!(m.speedup_nospec(1), 1.0);
+        assert_eq!(m.speedup_max(1), 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_parameters() {
+        let base = simple(2);
+
+        let mut m = base.clone();
+        m.capacities.clear();
+        assert_eq!(m.validate(), Err(ModelError::NoProcessors));
+
+        let mut m = base.clone();
+        m.capacities[1] = 0.0;
+        assert_eq!(m.validate(), Err(ModelError::BadCapacity { index: 1 }));
+
+        let mut m = base.clone();
+        m.capacities[0] = f64::INFINITY;
+        assert_eq!(m.validate(), Err(ModelError::BadCapacity { index: 0 }));
+
+        let mut m = base.clone();
+        m.f_comp = f64::NAN;
+        assert_eq!(m.validate(), Err(ModelError::BadField { field: "f_comp" }));
+
+        let mut m = base.clone();
+        m.k = -0.1;
+        assert_eq!(m.validate(), Err(ModelError::BadField { field: "k" }));
+
+        let mut m = base.clone();
+        m.comm = CommModel::Affine {
+            base: f64::NAN,
+            per_proc: 0.0,
+        };
+        assert_eq!(m.validate(), Err(ModelError::BadComm));
+        assert!(!m.comm.is_well_formed());
+    }
+
+    #[test]
+    fn model_error_display_is_descriptive() {
+        assert_eq!(ModelError::NoProcessors.to_string(), "capacities is empty");
+        assert!(ModelError::BadCapacity { index: 3 }
+            .to_string()
+            .contains("M_3"));
+        assert!(ModelError::BadField { field: "k" }
+            .to_string()
+            .contains("k"));
     }
 
     #[test]

@@ -64,6 +64,9 @@ impl KernelReport {
 
 /// How to drive the app: the plain non-speculative loop or the
 /// speculative driver under a given configuration.
+// Short-lived test-harness selector, cloned a handful of times per run;
+// boxing the config would only move the bytes, not save any.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum DriverMode {
     /// [`run_baseline`]: block on every message (the paper's Figure 1).

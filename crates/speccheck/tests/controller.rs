@@ -1,0 +1,279 @@
+//! Conformance properties for the adaptive speculation controller.
+//!
+//! The controller's contract has three layers, each pinned here:
+//!
+//! * **Inertness** — `controller: None` is the constructor default, and an
+//!   attached-but-dormant controller (warmup beyond the run length) never
+//!   evaluates a decision, so it must be bit-inert: identical
+//!   fingerprints, identical virtual timing, zero controller counters.
+//! * **Exactness under the exact anchor** — a θ grid pinned to `{0.0}`
+//!   with recompute correction keeps *every* decision sequence exact, so
+//!   the controller may retune the window freely and the run must still be
+//!   bit-identical to the blocking baseline — on the simulator and across
+//!   the sim/thread backend pair (whose wall-clock waits drive genuinely
+//!   different decision sequences).
+//! * **Convergence** — under a stationary delay the chosen window
+//!   stabilizes and lands within one grid step of the best fixed window
+//!   found by an offline sweep, and adaptive deadlines tighten a
+//!   pessimistic static loss timeout enough to beat it under real loss.
+
+use desim::TieBreak;
+use proptest::prelude::*;
+use speccheck::{
+    exact_spec_params, run_sim, run_sim_with_faults, run_thread, spec_params, synthetic_scenario,
+    DriverMode, SpecParams, SyntheticScenario,
+};
+use speccore::{ControllerConfig, CorrectionMode, FaultTolerance, SpecConfig};
+
+/// The grid point's config with an adaptive controller attached.
+fn adaptive_mode(params: &SpecParams, ctl: ControllerConfig) -> DriverMode {
+    DriverMode::Speculative(params.build().with_adaptive(ctl))
+}
+
+/// A controller that retunes early and often, with the exact θ anchor as
+/// its only grid point: every decision it can make preserves exact
+/// semantics when paired with recompute correction.
+fn exact_anchor_controller() -> ControllerConfig {
+    ControllerConfig::new()
+        .with_theta_grid(vec![0.0])
+        .with_cadence(2, 1)
+        .with_fw_max(4)
+}
+
+proptest! {
+    /// An attached-but-dormant controller (warmup beyond the run length)
+    /// is bit-inert across the whole configuration grid: fingerprints,
+    /// virtual end time, and every stat match the controller-less run,
+    /// and the controller counters stay zero.
+    #[test]
+    fn dormant_controller_is_bit_inert(
+        sc in synthetic_scenario(),
+        params in spec_params(),
+    ) {
+        let plain = run_sim(&sc, params.theta, &DriverMode::from_params(&params), TieBreak::Fifo);
+        let dormant = ControllerConfig::new().with_cadence(1_000_000, 1);
+        let ctl = run_sim(&sc, params.theta, &adaptive_mode(&params, dormant), TieBreak::Fifo);
+        prop_assert_eq!(&plain.fingerprints, &ctl.fingerprints);
+        prop_assert_eq!(plain.elapsed, ctl.elapsed);
+        for (a, b) in plain.stats.iter().zip(&ctl.stats) {
+            prop_assert_eq!(a.iterations, b.iterations);
+            prop_assert_eq!(a.speculated_partitions, b.speculated_partitions);
+            prop_assert_eq!(a.misspeculated_partitions, b.misspeculated_partitions);
+            prop_assert_eq!(a.rollbacks, b.rollbacks);
+            prop_assert_eq!(b.controller_retunes, 0);
+            prop_assert_eq!(b.controller_fw, 0);
+            prop_assert_eq!(b.controller_theta, 0.0);
+        }
+    }
+
+    /// An *active* controller whose θ grid holds only the exact anchor
+    /// (θ = 0) under recompute correction is bit-identical to the
+    /// blocking baseline for every scenario: window retunes change when
+    /// values are computed, never what is computed.
+    #[test]
+    fn active_exact_anchor_controller_equals_baseline(
+        sc in synthetic_scenario(),
+        params in exact_spec_params(),
+    ) {
+        let mode = adaptive_mode(&params, exact_anchor_controller());
+        let ctl = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
+        let base = run_sim(&sc, params.theta, &DriverMode::Baseline, TieBreak::Fifo);
+        prop_assert_eq!(&ctl.fingerprints, &base.fingerprints);
+        for s in &ctl.stats {
+            prop_assert_eq!(s.iterations, sc.iters);
+            // warmup = 2 ≤ iters, so the controller must have decided.
+            prop_assert!(s.controller_retunes >= 1, "controller never evaluated");
+            prop_assert_eq!(s.controller_theta, 0.0);
+            prop_assert!(s.controller_fw >= 1 && s.controller_fw <= 4);
+        }
+    }
+
+    /// Controller decisions are a pure function of committed virtual-time
+    /// telemetry: the same scenario replays bit-for-bit — fingerprints,
+    /// virtual end time, and the decision counters themselves.
+    #[test]
+    fn controller_runs_replay_bit_for_bit(
+        sc in synthetic_scenario(),
+        params in spec_params(),
+    ) {
+        let params = SpecParams { fw: params.fw.max(1), ..params };
+        let ctl = ControllerConfig::new()
+            .with_theta_grid(vec![0.0, 0.01, 0.05])
+            .with_cadence(2, 1)
+            .with_fw_max(4);
+        let mode = adaptive_mode(&params, ctl);
+        let a = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
+        let b = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
+        prop_assert_eq!(&a.fingerprints, &b.fingerprints);
+        prop_assert_eq!(a.elapsed, b.elapsed);
+        let decisions = |o: &speccheck::RunOutput| -> Vec<(u64, u64, f64)> {
+            o.stats
+                .iter()
+                .map(|s| (s.controller_retunes, s.controller_fw, s.controller_theta))
+                .collect()
+        };
+        prop_assert_eq!(decisions(&a), decisions(&b));
+    }
+
+    /// Sim and thread backends agree bit-for-bit under the controller
+    /// with the exact anchor grid. The thread backend's wall-clock waits
+    /// drive genuinely different decision sequences than the simulator's
+    /// virtual-time waits — and the final state must not care, because
+    /// every decision the exact-anchor controller can make is semantics-
+    /// preserving.
+    #[test]
+    fn sim_and_thread_agree_under_exact_anchor_controller(
+        sc in synthetic_scenario(),
+        params in exact_spec_params(),
+    ) {
+        let mode = adaptive_mode(&params, exact_anchor_controller());
+        let sim = run_sim(&sc, params.theta, &mode, TieBreak::Fifo);
+        let thread = run_thread(&sc, params.theta, &mode);
+        prop_assert_eq!(&sim.fingerprints, &thread.fingerprints);
+    }
+
+    /// Convergence: under a stationary delay and stationary compute (no
+    /// jitter, no value jumps, no compute ramp) the controller's final
+    /// window lands within one grid step of a near-optimal fixed window
+    /// from an offline sweep — or the adaptive run itself matches the
+    /// best fixed end time — and stays there: a run half again as long
+    /// finishes on the same decision.
+    #[test]
+    fn controller_converges_near_offline_optimal_window(
+        sc in synthetic_scenario(),
+        bw in 1usize..4,
+    ) {
+        const FW_MAX: u32 = 4;
+        let sc = SyntheticScenario {
+            // Balanced partitions: the controller models *communication*
+            // delay, so the property holds when waits come from the
+            // network, not from compute skew between unequal partitions
+            // (a throughput imbalance no window depth can mask).
+            n: sc.n.div_ceil(sc.p) * sc.p,
+            iters: sc.iters.max(12),
+            ramp: 0.0,
+            jitter_frac: 0.0,
+            jump_prob: 0.0,
+            ..sc
+        };
+        // θ generous so misses do not perturb the timing comparison.
+        let theta = 0.5;
+        let fixed = |fw: u32| SpecParams { fw, bw, theta, recompute: false };
+        let sweep: Vec<f64> = (1..=FW_MAX)
+            .map(|fw| run_sim(&sc, theta, &DriverMode::from_params(&fixed(fw)), TieBreak::Fifo).elapsed)
+            .collect();
+        let best = sweep.iter().cloned().fold(f64::INFINITY, f64::min);
+        // The plateau: fixed windows within 5% of the best.
+        let plateau: Vec<u32> = (1..=FW_MAX)
+            .filter(|fw| sweep[(*fw - 1) as usize] <= best * 1.05)
+            .collect();
+
+        let ctl = ControllerConfig::new().with_cadence(4, 2).with_fw_max(FW_MAX);
+        let mode = adaptive_mode(&fixed(1), ctl);
+        let run = run_sim(&sc, theta, &mode, TieBreak::Fifo);
+        let longer_sc = SyntheticScenario { iters: sc.iters + 6, ..sc.clone() };
+        let longer = run_sim(&longer_sc, theta, &mode, TieBreak::Fifo);
+        // The issue's acceptance criterion is "match or beat the best
+        // fixed window": either the final decision sits within one grid
+        // step of the plateau, or the adaptive run's own end time is
+        // within 15% of the best fixed — the §4 model is a coarse
+        // predictor, so on a nearly-flat sweep it may settle one or two
+        // steps away, and the run also pays its warmup; what must never
+        // happen is picking a window whose real cost is far off the best.
+        let on_plateau = run.elapsed <= best * 1.15;
+        for (k, s) in run.stats.iter().enumerate() {
+            prop_assert!(s.controller_retunes >= 1);
+            let fw = s.controller_fw as u32;
+            prop_assert!(
+                on_plateau || plateau.iter().any(|p| p.abs_diff(fw) <= 1),
+                "rank {}: final fw {} more than one step from plateau {:?} \
+                 and adaptive elapsed {} off the best fixed {} (sweep {:?})",
+                k, fw, plateau, run.elapsed, best, sweep
+            );
+            prop_assert_eq!(
+                longer.stats[k].controller_fw, s.controller_fw,
+                "rank {} did not stabilize: fw moved between run lengths", k
+            );
+        }
+    }
+}
+
+/// Adaptive deadlines must tighten a pessimistic static loss timeout: on
+/// a lossy network whose configured timeout is ~50× the real gap scale,
+/// the controller's gap-quantile deadlines promote genuinely lost
+/// messages in milliseconds instead of a quarter second, finishing the
+/// run strictly earlier while still completing every iteration — and the
+/// whole lossy, controller-driven schedule replays bit-for-bit.
+///
+/// The deadline quantile is the *median* (with a generous ×4 headroom):
+/// loss stalls themselves inflate the observed inter-arrival gaps — a
+/// blocked front cascades cluster-wide, so under heavy loss timeout-sized
+/// gaps can occupy more of the ring's tail than a high quantile's margin,
+/// and the estimator would keep reproducing the very timeout it is meant
+/// to replace. The median stays on the clean gap scale as long as stalls
+/// are a minority of samples.
+#[test]
+fn adaptive_deadlines_beat_pessimistic_static_timeout_under_loss() {
+    let sc = SyntheticScenario {
+        p: 3,
+        n: 12,
+        iters: 40,
+        mips: 50.0,
+        ramp: 0.0,
+        latency_us: 2_000,
+        jitter_frac: 0.0,
+        jump_prob: 0.0,
+        delta_floor: 0.0,
+        delta_keyframe: 1,
+        seed: 11,
+    };
+    let theta = 0.3;
+    let loss = speccheck::FaultScenario {
+        loss_prob: 0.08,
+        dup_prob: 0.0,
+        seed: 5,
+        timeout_ms: 250,
+    };
+    let base_cfg = SpecConfig::speculative(2)
+        .with_correction(CorrectionMode::Incremental)
+        .with_fault_tolerance(FaultTolerance::new(desim::SimDuration::from_millis(
+            loss.timeout_ms,
+        )));
+    let adaptive_cfg = base_cfg.clone().with_adaptive(
+        ControllerConfig::new()
+            .with_cadence(4, 1)
+            .with_fw_max(2)
+            .with_deadline(0.5, 4.0),
+    );
+    let run = |cfg: &SpecConfig| {
+        run_sim_with_faults(
+            &sc,
+            theta,
+            &DriverMode::Speculative(cfg.clone()),
+            loss.build(),
+            TieBreak::Fifo,
+        )
+    };
+    let static_run = run(&base_cfg);
+    let adaptive = run(&adaptive_cfg);
+    let again = run(&adaptive_cfg);
+    assert_eq!(
+        adaptive.fingerprints, again.fingerprints,
+        "lossy controller run must replay bit-for-bit"
+    );
+    assert_eq!(adaptive.elapsed, again.elapsed);
+    for (k, s) in static_run.stats.iter().enumerate() {
+        assert_eq!(s.iterations, sc.iters, "static rank {k} wedged");
+    }
+    for (k, s) in adaptive.stats.iter().enumerate() {
+        assert_eq!(s.iterations, sc.iters, "adaptive rank {k} wedged");
+        assert!(s.controller_retunes >= 1, "rank {k} never retuned");
+    }
+    assert!(
+        adaptive.elapsed < static_run.elapsed,
+        "adaptive deadlines must beat the pessimistic static timeout: \
+         adaptive {} vs static {}",
+        adaptive.elapsed,
+        static_run.elapsed
+    );
+}

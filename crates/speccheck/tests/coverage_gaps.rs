@@ -182,3 +182,27 @@ mod desim_gaps {
         assert_eq!(out.take(), Some(10 + 11 + 12));
     }
 }
+
+/// `perfmodel::predicted_iteration_time` agrees with the §4 model it
+/// wraps: the checked entry point returns exactly `t_hat(p)` for a
+/// well-formed parameter set and clamps out-of-range processor counts
+/// into the capacity table instead of panicking.
+#[test]
+fn predicted_iteration_time_matches_t_hat() {
+    let params = perfmodel::ModelParams {
+        n: 200.0,
+        f_comp: 1_500.0,
+        f_spec: 15.0,
+        f_check: 30.0,
+        capacities: vec![2e6; 4],
+        comm: perfmodel::CommModel::Affine {
+            base: 0.02,
+            per_proc: 0.001,
+        },
+        k: 0.1,
+    };
+    let t = perfmodel::predicted_iteration_time(&params, 3).expect("well-formed params");
+    assert_eq!(t, params.t_hat(3));
+    let clamped = perfmodel::predicted_iteration_time(&params, 99).expect("p clamps to table");
+    assert_eq!(clamped, params.t_hat(4));
+}

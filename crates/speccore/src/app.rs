@@ -140,6 +140,16 @@ pub trait SpeculativeApp {
         None
     }
 
+    /// Update the acceptance threshold θ the app uses in
+    /// [`check`](Self::check). Invoked by the adaptive speculation
+    /// controller when a retune changes θ; apps with a fixed or
+    /// app-managed threshold may ignore it (the default is a no-op, which
+    /// keeps every existing app working unchanged and makes the
+    /// controller's θ channel opt-in).
+    fn set_speculation_threshold(&mut self, theta: f64) {
+        let _ = theta;
+    }
+
     /// Snapshot the state needed to re-execute from the current point.
     fn checkpoint(&self) -> Self::Checkpoint;
 

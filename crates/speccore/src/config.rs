@@ -1,6 +1,7 @@
 //! Driver configuration: forward-window policy, correction mode, and
 //! fault-tolerance knobs.
 
+use crate::control::ControllerConfig;
 use desim::SimDuration;
 use netsim::MachineCrash;
 
@@ -310,6 +311,13 @@ pub struct SpecConfig {
     /// lifecycle. Only meaningful when `fault` is also set — without a
     /// loss timeout no promotions happen, so no peer is ever suspected.
     pub supervision: Option<SupervisionConfig>,
+    /// Adaptive speculation controller; `None` (the default) keeps every
+    /// knob static and the driver's behavior bit-identical to the
+    /// controller-unaware implementation. Requires a
+    /// [`WindowPolicy::Fixed`] window (the controller owns window sizing;
+    /// combining two window controllers is rejected by
+    /// [`SpecConfig::validate`]).
+    pub controller: Option<ControllerConfig>,
 }
 
 impl SpecConfig {
@@ -323,6 +331,7 @@ impl SpecConfig {
             fault: None,
             delta: None,
             supervision: None,
+            controller: None,
         }
     }
 
@@ -336,6 +345,7 @@ impl SpecConfig {
             fault: None,
             delta: None,
             supervision: None,
+            controller: None,
         }
     }
 
@@ -376,6 +386,62 @@ impl SpecConfig {
     pub fn with_supervision(mut self, sup: SupervisionConfig) -> Self {
         self.supervision = Some(sup);
         self
+    }
+
+    /// Retune θ, the forward window, and per-peer loss deadlines online
+    /// from observed telemetry (see [`ControllerConfig`]). Requires a
+    /// fixed window policy.
+    pub fn with_adaptive(mut self, controller: ControllerConfig) -> Self {
+        assert!(
+            matches!(self.window, WindowPolicy::Fixed(_)),
+            "adaptive controller requires a fixed window policy (it owns window sizing)"
+        );
+        controller.validate().expect("invalid controller config");
+        self.controller = Some(controller);
+        self
+    }
+
+    /// Cross-field validation of the whole configuration, re-checking every
+    /// invariant the individual builders assert so that struct-literal
+    /// construction (the fields are deliberately public) cannot smuggle a
+    /// zero or degenerate knob past the constructors and livelock or
+    /// divide-by-zero deep inside the driver. The drivers call this once at
+    /// entry and panic with the returned reason.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(f) = &self.fault {
+            if f.loss_timeout == SimDuration::ZERO {
+                return Err("fault tolerance loss timeout must be positive".into());
+            }
+            if f.staleness_budget < 1 {
+                return Err("fault tolerance staleness budget must be at least 1".into());
+            }
+        }
+        if let Some(d) = &self.delta {
+            if !(d.floor.is_finite() && d.floor >= 0.0) {
+                return Err("delta quantization floor must be finite and non-negative".into());
+            }
+            if d.keyframe_interval < 1 {
+                return Err("delta keyframe interval must be at least 1".into());
+            }
+        }
+        if let Some(s) = &self.supervision {
+            if s.suspect_after < 1 {
+                return Err("supervision suspect_after must be at least 1".into());
+            }
+            if s.quarantine_after < s.suspect_after {
+                return Err("supervision quarantine_after must be >= suspect_after".into());
+            }
+        }
+        if let Some(c) = &self.controller {
+            c.validate()?;
+            if !matches!(self.window, WindowPolicy::Fixed(_)) {
+                return Err(
+                    "adaptive controller requires a fixed window policy (it owns window sizing)"
+                        .into(),
+                );
+            }
+        }
+        Ok(())
     }
 }
 
@@ -488,5 +554,94 @@ mod tests {
     #[should_panic(expected = "quantization floor must be finite")]
     fn negative_floor_is_rejected() {
         let _ = DeltaExchange::new(-1.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness budget must be at least 1")]
+    fn zero_staleness_budget_is_rejected() {
+        let _ = FaultTolerance::new(SimDuration::from_millis(5)).with_staleness_budget(0);
+    }
+
+    #[test]
+    fn validate_catches_struct_literal_bypass() {
+        // The builders assert, but the fields are public: a struct literal
+        // can carry degenerate knobs straight to the driver. validate()
+        // is the driver's backstop.
+        let ok = SpecConfig::speculative(1);
+        assert_eq!(ok.validate(), Ok(()));
+
+        let mut c = SpecConfig::speculative(1);
+        c.fault = Some(FaultTolerance {
+            loss_timeout: SimDuration::ZERO,
+            staleness_budget: 4,
+            crashes: Vec::new(),
+        });
+        assert!(c.validate().unwrap_err().contains("loss timeout"));
+
+        let mut c = SpecConfig::speculative(1);
+        c.fault = Some(FaultTolerance {
+            loss_timeout: SimDuration::from_millis(5),
+            staleness_budget: 0,
+            crashes: Vec::new(),
+        });
+        assert!(c.validate().unwrap_err().contains("staleness budget"));
+
+        let mut c = SpecConfig::speculative(1);
+        c.delta = Some(DeltaExchange {
+            floor: 0.0,
+            keyframe_interval: 0,
+        });
+        assert!(c.validate().unwrap_err().contains("keyframe interval"));
+
+        let mut c = SpecConfig::speculative(1);
+        c.delta = Some(DeltaExchange {
+            floor: f64::NAN,
+            keyframe_interval: 8,
+        });
+        assert!(c.validate().unwrap_err().contains("floor"));
+
+        let mut c = SpecConfig::speculative(1);
+        c.supervision = Some(SupervisionConfig {
+            suspect_after: 0,
+            quarantine_after: 4,
+        });
+        assert!(c.validate().unwrap_err().contains("suspect_after"));
+
+        let mut c = SpecConfig::speculative(1);
+        c.supervision = Some(SupervisionConfig {
+            suspect_after: 5,
+            quarantine_after: 4,
+        });
+        assert!(c.validate().unwrap_err().contains("quarantine_after"));
+
+        let mut c = SpecConfig::speculative(1);
+        let mut cc = ControllerConfig::new();
+        cc.period = 0;
+        c.controller = Some(cc);
+        assert!(c.validate().unwrap_err().contains("period"));
+    }
+
+    #[test]
+    fn with_adaptive_attaches_a_controller() {
+        let c = SpecConfig::speculative(1).with_adaptive(ControllerConfig::new());
+        assert!(c.controller.is_some());
+        assert_eq!(c.validate(), Ok(()));
+        assert!(SpecConfig::baseline().controller.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed window policy")]
+    fn controller_rejects_adaptive_window_policy() {
+        let mut c = SpecConfig::speculative(1);
+        c.window = WindowPolicy::adaptive(1, 4);
+        let _ = c.with_adaptive(ControllerConfig::new());
+    }
+
+    #[test]
+    fn validate_rejects_controller_with_adaptive_window() {
+        let mut c = SpecConfig::speculative(1);
+        c.controller = Some(ControllerConfig::new());
+        c.window = WindowPolicy::adaptive(1, 4);
+        assert!(c.validate().unwrap_err().contains("fixed window"));
     }
 }

@@ -26,7 +26,8 @@ use mpk::{DeltaFrame, Envelope, Rank, Tag, Transport, WireCodec, WireSize, HEADE
 use obs::{Gauge, Mark, Phase};
 
 use crate::app::SpeculativeApp;
-use crate::config::{CorrectionMode, DeltaExchange, SpecConfig, SupervisionConfig};
+use crate::config::{CorrectionMode, DeltaExchange, SpecConfig, SupervisionConfig, WindowPolicy};
+use crate::control::ControllerState;
 use crate::history::History;
 use crate::stats::{IterationLog, RunStats};
 
@@ -441,6 +442,9 @@ where
     A::Shared: WireSize,
     T: mpk::AsyncTransport<Msg = IterMsg<A::Shared>>,
 {
+    config
+        .validate()
+        .expect("invalid SpecConfig reached the driver");
     let me = transport.rank();
     let p = transport.size();
     let start = transport.now();
@@ -508,6 +512,18 @@ where
         .unwrap_or_default();
     let mut next_crash = 0usize;
 
+    // ---- adaptive-controller state (inert when `config.controller` is
+    // None: no estimator runs, no stats fields move, no Marks are
+    // emitted, and the window policy is never touched) ----
+    let mut ctl: Option<ControllerState> = config
+        .controller
+        .clone()
+        .map(|cc| ControllerState::new(cc, p, config.window.current()));
+    // Busy-time (compute + speculate + check + correct) high-water mark at
+    // the previous confirmation, so each confirm feeds the controller only
+    // the interval's own busy time.
+    let mut busy_at_confirm = SimDuration::ZERO;
+
     // ---- delta-exchange state (inert unless configured AND the app
     // exposes scalar lanes; inert means bit-identical legacy behavior) ----
     let mut dx: DeltaState<A::Shared> = DeltaState::inert(p);
@@ -538,6 +554,9 @@ where
     'main: while t_conf < total_iters {
         // Fold in everything that has arrived.
         while let Some(env) = transport.try_recv().await {
+            if let Some(c) = &mut ctl {
+                c.on_receive(env.src.0, transport.now());
+            }
             if ft.is_some() {
                 let src = env.src;
                 staleness[src.0] = 0;
@@ -746,10 +765,18 @@ where
                     // evidence through the history alone.
                     let evidence = history[k].latest_iter().is_some_and(|li| li > front_iter)
                         || dx.seen_past[k].is_some_and(|si| si > front_iter);
+                    // Adaptive per-peer deadline: the controller's delay
+                    // quantile × headroom, clamped to never exceed the
+                    // static timeout. Falls back to the static timeout
+                    // while the controller lacks samples (or is off).
+                    let loss_deadline = ctl
+                        .as_ref()
+                        .and_then(|c| c.deadline_for(k))
+                        .unwrap_or(f.loss_timeout);
                     match peer_wait[k] {
                         None => peer_wait[k] = Some(PeerWait::Armed { since: now }),
                         Some(PeerWait::Armed { since }) => {
-                            if now.duration_since(since) >= f.loss_timeout {
+                            if now.duration_since(since) >= loss_deadline {
                                 if evidence {
                                     promote_loss(
                                         k,
@@ -790,7 +817,7 @@ where
                                 peer_wait[k] = Some(PeerWait::Armed {
                                     since: last_heard[k],
                                 });
-                            } else if now.duration_since(asked_at) >= f.loss_timeout {
+                            } else if now.duration_since(asked_at) >= loss_deadline {
                                 // Total silence through the grace period:
                                 // the request or its reply was lost too.
                                 promote_loss(
@@ -884,6 +911,9 @@ where
                 };
                 let t0 = transport.now();
                 let outcome = app.check(Rank(k), &actual, &spec);
+                if let Some(c) = &mut ctl {
+                    c.observe_error(outcome.max_error);
+                }
                 transport.compute(outcome.ops).await;
                 let t1 = transport.now();
                 stats.phases.check += t1 - t0;
@@ -1032,11 +1062,50 @@ where
                         stats.iteration_log.push(entry);
                     }
                 }
-                config.window.on_confirm(
-                    stats.misspeculated_partitions - missed_at_confirm,
-                    stats.checked_partitions - checked_at_confirm,
-                    waited_since_confirm,
-                );
+                let misses_delta = stats.misspeculated_partitions - missed_at_confirm;
+                let checked_delta = stats.checked_partitions - checked_at_confirm;
+                config
+                    .window
+                    .on_confirm(misses_delta, checked_delta, waited_since_confirm);
+                if let Some(c) = &mut ctl {
+                    let busy_total = stats.phases.compute
+                        + stats.phases.speculate
+                        + stats.phases.check
+                        + stats.phases.correct;
+                    c.on_confirm(
+                        misses_delta,
+                        checked_delta,
+                        waited_since_confirm,
+                        busy_total - busy_at_confirm,
+                    );
+                    busy_at_confirm = busy_total;
+                    if let Some(d) = c.maybe_retune(ft.as_ref().map(|f| f.loss_timeout)) {
+                        stats.controller_retunes += 1;
+                        stats.controller_fw = u64::from(d.fw);
+                        stats.controller_theta = d.theta.unwrap_or(0.0);
+                        // The controller owns the window: decisions land as
+                        // a fixed policy (construction rejects pairing the
+                        // controller with an adaptive window policy).
+                        config.window = WindowPolicy::Fixed(d.fw);
+                        if let Some(th) = d.theta {
+                            app.set_speculation_threshold(th);
+                        }
+                        if let Some(r) = transport.recorder() {
+                            r.mark(
+                                obs_rank,
+                                t_now.as_nanos(),
+                                Mark::ControllerRetune {
+                                    fw: d.fw,
+                                    theta_ppb: d
+                                        .theta
+                                        .map(|t| (t * 1e9) as u64)
+                                        .unwrap_or(u64::MAX),
+                                    deadline_ns: d.tightest_deadline_ns,
+                                },
+                            );
+                        }
+                    }
+                }
                 missed_at_confirm = stats.misspeculated_partitions;
                 checked_at_confirm = stats.checked_partitions;
                 waited_since_confirm = SimDuration::ZERO;
@@ -1292,10 +1361,17 @@ where
                     _ => d,
                 });
             };
-            for w in peer_wait.iter().flatten() {
+            for (k, w) in peer_wait.iter().enumerate() {
+                let Some(w) = w else { continue };
+                // Mirror the promotion check's deadline exactly, or the
+                // wakeup would fire early/late relative to the promotion.
+                let loss_deadline = ctl
+                    .as_ref()
+                    .and_then(|c| c.deadline_for(k))
+                    .unwrap_or(f.loss_timeout);
                 match w {
-                    PeerWait::Armed { since } => consider(*since + f.loss_timeout),
-                    PeerWait::Grace { asked_at } => consider(*asked_at + f.loss_timeout),
+                    PeerWait::Armed { since } => consider(*since + loss_deadline),
+                    PeerWait::Grace { asked_at } => consider(*asked_at + loss_deadline),
                 }
             }
             if let Some(s) = starved_since {
@@ -1326,6 +1402,9 @@ where
             }
         }
         if let Some(env) = env {
+            if let Some(c) = &mut ctl {
+                c.on_receive(env.src.0, transport.now());
+            }
             if ft.is_some() {
                 let src = env.src;
                 staleness[src.0] = 0;
@@ -1619,6 +1698,9 @@ mod tests {
             self.x += self.b * (actual - speculated);
             100
         }
+        fn set_speculation_threshold(&mut self, theta: f64) {
+            self.theta = theta;
+        }
         fn delta_extract(&self, shared: &f64, out: &mut Vec<f64>) -> bool {
             out.clear();
             out.push(*shared);
@@ -1876,6 +1958,7 @@ mod tests {
             fault: None,
             delta: None,
             supervision: None,
+            controller: None,
         };
         let iters = 40;
         let (out, _) = run_sim_cluster::<IterMsg<f64>, _, _>(
@@ -1896,6 +1979,47 @@ mod tests {
                 "adaptive window should deepen under heavy latency, got {}",
                 stats.max_depth_used
             );
+        }
+    }
+
+    #[test]
+    fn controller_retunes_and_theta_zero_grid_stays_exact() {
+        // A θ grid pinned to {0.0} with recompute correction is exact for
+        // ANY forward-window schedule, so the controller may retune freely
+        // without perturbing the result. Asserts the integration actually
+        // fires (decisions recorded in stats) and stays bit-exact.
+        use crate::control::ControllerConfig;
+        let p = 4;
+        let iters = 24;
+        let cfg = SpecConfig::speculative(1)
+            .with_correction(CorrectionMode::Recompute)
+            .with_adaptive(
+                ControllerConfig::new()
+                    .with_theta_grid(vec![0.0])
+                    .with_cadence(2, 2)
+                    .with_fw_max(3),
+            );
+        let (out, _) = run_toy(p, iters, 0.0, cfg, 3);
+        let reference = toy_reference(p, iters);
+        for (j, (x, stats)) in out.iter().enumerate() {
+            assert_eq!(*x, reference[j], "rank {j}: θ=0 grid must stay exact");
+            assert_eq!(stats.iterations, iters);
+            assert!(
+                stats.controller_retunes > 0,
+                "controller must have evaluated retunes"
+            );
+            assert_eq!(stats.controller_theta, 0.0);
+            assert!(stats.controller_fw >= 1 && stats.controller_fw <= 3);
+        }
+    }
+
+    #[test]
+    fn controller_off_leaves_new_stats_fields_zero() {
+        let (out, _) = run_toy(3, 8, 0.05, SpecConfig::speculative(1), 2);
+        for (_, stats) in &out {
+            assert_eq!(stats.controller_retunes, 0);
+            assert_eq!(stats.controller_fw, 0);
+            assert_eq!(stats.controller_theta, 0.0);
         }
     }
 

@@ -29,7 +29,10 @@
 //! * [`speculator`] — stock speculation functions (hold, linear, quadratic,
 //!   weighted-sum — the paper's §3.1 family);
 //! * [`RunStats`]/[`ClusterStats`] — phase timings and miss counters
-//!   matching the paper's Tables 2–3 measurements.
+//!   matching the paper's Tables 2–3 measurements;
+//! * [`ControllerConfig`] — the adaptive speculation controller: online
+//!   θ/FW/deadline retuning from observed telemetry through the
+//!   `perfmodel` §4 equations.
 //!
 //! Drivers are generic over [`mpk::Transport`], so the same application code
 //! runs deterministically in virtual time (for experiments) and on real
@@ -39,6 +42,7 @@
 
 mod app;
 mod config;
+mod control;
 mod driver;
 mod history;
 pub mod speculator;
@@ -49,6 +53,7 @@ pub use config::{
     AdaptiveWindow, CorrectionMode, DeltaExchange, FaultTolerance, SpecConfig, SupervisionConfig,
     WindowPolicy,
 };
+pub use control::ControllerConfig;
 pub use driver::{
     run_baseline, run_baseline_aio, run_speculative, run_speculative_aio, IterMsg, MsgBody,
     DATA_TAG, RETRANS_REQ_TAG,

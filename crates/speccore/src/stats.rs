@@ -134,6 +134,15 @@ pub struct RunStats {
     /// Virtual time this rank spent down (crashed), excluded from the
     /// phase breakdown: `phases.total() + downtime == total_time`.
     pub downtime: SimDuration,
+    /// Retune evaluations the adaptive controller performed. Zero when the
+    /// controller is off.
+    pub controller_retunes: u64,
+    /// Forward window most recently chosen by the controller (0 until the
+    /// first retune, and always 0 when the controller is off).
+    pub controller_fw: u64,
+    /// Acceptance threshold most recently chosen by the controller (0.0
+    /// until the first retune or when the grid is empty/controller off).
+    pub controller_theta: f64,
     /// Per-iteration timing records (empty unless the config enabled the
     /// iteration log).
     pub iteration_log: Vec<IterationLog>,
@@ -173,6 +182,9 @@ impl RunStats {
             peers_quarantined: 0,
             peer_rejoins: 0,
             downtime: SimDuration::ZERO,
+            controller_retunes: 0,
+            controller_fw: 0,
+            controller_theta: 0.0,
             iteration_log: Vec::new(),
         }
     }
@@ -326,6 +338,12 @@ impl ClusterStats {
     /// Total delta frames dropped over gaps or duplicates, across ranks.
     pub fn total_delta_frames_dropped(&self) -> u64 {
         self.per_rank.iter().map(|r| r.delta_frames_dropped).sum()
+    }
+
+    /// Total adaptive-controller retune evaluations, across ranks. Zero
+    /// when the controller is off.
+    pub fn total_controller_retunes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.controller_retunes).sum()
     }
 
     /// Largest error among accepted speculations, across ranks.

@@ -184,6 +184,10 @@ impl SpeculativeApp for SyntheticApp {
         }
     }
 
+    fn set_speculation_threshold(&mut self, theta: f64) {
+        self.cfg.theta = theta;
+    }
+
     fn correct(&mut self, _from: Rank, speculated: &Vec<f64>, actual: &Vec<f64>) -> u64 {
         // The iteration consumed only Σ of the peer's values; the update is
         // linear in the mean, so the finished state can be repaired exactly

@@ -142,6 +142,7 @@ fn adaptive_window_deepens_then_retreats() {
             fault: None,
             delta: None,
             supervision: None,
+            controller: None,
         };
         let (outs, _) = run_sim_cluster::<IterMsg<Vec<f64>>, _, _>(
             &cluster,
